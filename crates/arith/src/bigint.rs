@@ -1,0 +1,489 @@
+//! Signed arbitrary-precision integers.
+
+use crate::{BigUint, ParseNumError};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Rem, Sub};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    /// The opposite sign.
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+
+    /// Sign of a product of two signed values.
+    pub fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        }
+    }
+}
+
+/// A signed arbitrary-precision integer.
+///
+/// Invariant: `sign == Sign::Zero` iff `mag.is_zero()`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigInt {
+            sign: Sign::Positive,
+            mag: BigUint::one(),
+        }
+    }
+
+    /// Construct from a sign and a magnitude, normalizing zero.
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with Sign::Zero");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Construct a non-negative integer from a magnitude.
+    pub fn from_biguint(mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt {
+                sign: Sign::Positive,
+                mag,
+            }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude (absolute value as an unsigned integer).
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Is this zero?
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Is this one?
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.mag.is_one()
+    }
+
+    /// Is this strictly negative?
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Is this strictly positive?
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.sign == Sign::Zero {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
+            mag: self.mag.clone(),
+        }
+    }
+
+    /// Truncated division with remainder: `self = q * d + r`, `|r| < |d|`,
+    /// and `r` has the sign of `self` (or is zero).
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    pub fn div_rem(&self, d: &BigInt) -> (BigInt, BigInt) {
+        assert!(!d.is_zero(), "division by zero");
+        let (qm, rm) = self.mag.div_rem(&d.mag);
+        let q = BigInt::from_sign_mag(
+            if qm.is_zero() {
+                Sign::Zero
+            } else {
+                self.sign.mul(d.sign)
+            },
+            qm,
+        );
+        let r = BigInt::from_sign_mag(if rm.is_zero() { Sign::Zero } else { self.sign }, rm);
+        (q, r)
+    }
+
+    /// Euclidean division: quotient rounded toward negative infinity.
+    pub fn div_floor(&self, d: &BigInt) -> BigInt {
+        let (q, r) = self.div_rem(d);
+        if r.is_zero() || (r.sign == d.sign) {
+            q
+        } else {
+            q - BigInt::one()
+        }
+    }
+
+    /// Ceiling division: quotient rounded toward positive infinity.
+    pub fn div_ceil(&self, d: &BigInt) -> BigInt {
+        let (q, r) = self.div_rem(d);
+        if r.is_zero() || (r.sign != d.sign) {
+            q
+        } else {
+            q + BigInt::one()
+        }
+    }
+
+    /// Greatest common divisor of magnitudes (always non-negative).
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        BigInt::from_biguint(self.mag.gcd(&other.mag))
+    }
+
+    /// Raise to a non-negative power.
+    pub fn pow(&self, e: u32) -> BigInt {
+        let mag = self.mag.pow(e);
+        let sign = if mag.is_zero() {
+            Sign::Zero
+        } else if self.sign == Sign::Negative && e % 2 == 1 {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        BigInt::from_sign_mag(sign, mag)
+    }
+
+    /// Conversion to `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i64::try_from(m).ok(),
+            Sign::Negative => {
+                if m == i64::MIN.unsigned_abs() {
+                    Some(i64::MIN)
+                } else {
+                    i64::try_from(m).ok().map(|v| -v)
+                }
+            }
+        }
+    }
+
+    /// Approximate conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        if self.sign == Sign::Negative {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Number of significant bits of the magnitude.
+    pub fn bit_len(&self) -> u64 {
+        self.mag.bit_len()
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt {
+                sign: Sign::Positive,
+                mag: BigUint::from(v as u64),
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Negative,
+                mag: BigUint::from(v.unsigned_abs()),
+            },
+        }
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i64)
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from_biguint(BigUint::from(v))
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt {
+                sign: Sign::Positive,
+                mag: BigUint::from(v as u128),
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Negative,
+                mag: BigUint::from(v.unsigned_abs()),
+            },
+        }
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Positive => self.mag.cmp(&other.mag),
+                Sign::Negative => other.mag.cmp(&self.mag),
+            },
+            o => o,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt {
+            sign: self.sign.flip(),
+            mag: self.mag.clone(),
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt {
+            sign: self.sign.flip(),
+            mag: self.mag,
+        }
+    }
+}
+
+fn add_signed(a: &BigInt, b: &BigInt) -> BigInt {
+    match (a.sign, b.sign) {
+        (Sign::Zero, _) => b.clone(),
+        (_, Sign::Zero) => a.clone(),
+        (sa, sb) if sa == sb => BigInt {
+            sign: sa,
+            mag: &a.mag + &b.mag,
+        },
+        (sa, _) => match a.mag.cmp(&b.mag) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt {
+                sign: sa,
+                mag: a.mag.checked_sub(&b.mag).unwrap(),
+            },
+            Ordering::Less => BigInt {
+                sign: sa.flip(),
+                mag: b.mag.checked_sub(&a.mag).unwrap(),
+            },
+        },
+    }
+}
+
+macro_rules! forward_binop_bigint {
+    ($trait:ident, $method:ident, $impl_fn:expr) => {
+        impl $trait<&BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                let f: fn(&BigInt, &BigInt) -> BigInt = $impl_fn;
+                f(self, rhs)
+            }
+        }
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop_bigint!(Add, add, add_signed);
+forward_binop_bigint!(Sub, sub, |a, b| add_signed(a, &-b));
+forward_binop_bigint!(Mul, mul, |a: &BigInt, b: &BigInt| BigInt::from_sign_mag(
+    a.sign.mul(b.sign),
+    &a.mag * &b.mag
+));
+forward_binop_bigint!(Div, div, |a: &BigInt, b: &BigInt| a.div_rem(b).0);
+forward_binop_bigint!(Rem, rem, |a: &BigInt, b: &BigInt| a.div_rem(b).1);
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseNumError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, rest) = match s.strip_prefix('-') {
+            Some(r) => (Sign::Negative, r),
+            None => (Sign::Positive, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mag: BigUint = rest.parse()?;
+        if mag.is_zero() {
+            Ok(BigInt::zero())
+        } else {
+            Ok(BigInt { sign, mag })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn signs() {
+        assert_eq!(n(0).sign(), Sign::Zero);
+        assert_eq!(n(5).sign(), Sign::Positive);
+        assert_eq!(n(-5).sign(), Sign::Negative);
+        assert_eq!((-n(5)).sign(), Sign::Negative);
+        assert_eq!((-n(0)).sign(), Sign::Zero);
+    }
+
+    #[test]
+    fn add_mixed_signs() {
+        assert_eq!(n(5) + n(-3), n(2));
+        assert_eq!(n(3) + n(-5), n(-2));
+        assert_eq!(n(-3) + n(-5), n(-8));
+        assert_eq!(n(5) + n(-5), n(0));
+        assert_eq!(n(0) + n(7), n(7));
+    }
+
+    #[test]
+    fn sub_mixed_signs() {
+        assert_eq!(n(5) - n(8), n(-3));
+        assert_eq!(n(-5) - n(-8), n(3));
+        assert_eq!(n(-5) - n(8), n(-13));
+    }
+
+    #[test]
+    fn mul_signs() {
+        assert_eq!(n(-4) * n(6), n(-24));
+        assert_eq!(n(-4) * n(-6), n(24));
+        assert_eq!(n(-4) * n(0), n(0));
+    }
+
+    #[test]
+    fn div_rem_truncated() {
+        for (a, b) in [(7i128, 2i128), (-7, 2), (7, -2), (-7, -2)] {
+            let (q, r) = n(a).div_rem(&n(b));
+            assert_eq!(q, n(a / b), "{}/{}", a, b);
+            assert_eq!(r, n(a % b), "{}%{}", a, b);
+        }
+    }
+
+    #[test]
+    fn div_floor_ceil() {
+        assert_eq!(n(7).div_floor(&n(2)), n(3));
+        assert_eq!(n(-7).div_floor(&n(2)), n(-4));
+        assert_eq!(n(7).div_floor(&n(-2)), n(-4));
+        assert_eq!(n(-7).div_floor(&n(-2)), n(3));
+        assert_eq!(n(7).div_ceil(&n(2)), n(4));
+        assert_eq!(n(-7).div_ceil(&n(2)), n(-3));
+        assert_eq!(n(6).div_floor(&n(2)), n(3));
+        assert_eq!(n(6).div_ceil(&n(2)), n(3));
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(n(-10) < n(-2));
+        assert!(n(-2) < n(0));
+        assert!(n(0) < n(3));
+        assert!(n(3) < n(10));
+    }
+
+    #[test]
+    fn pow_signs() {
+        assert_eq!(n(-2).pow(3), n(-8));
+        assert_eq!(n(-2).pow(4), n(16));
+        assert_eq!(n(0).pow(0), n(1));
+    }
+
+    #[test]
+    fn parse_display() {
+        for v in [0i128, 5, -5, 123456789012345678901234567i128] {
+            assert_eq!(n(v).to_string(), v.to_string());
+            assert_eq!(v.to_string().parse::<BigInt>().unwrap(), n(v));
+        }
+        assert_eq!("+42".parse::<BigInt>().unwrap(), n(42));
+        assert_eq!("-0".parse::<BigInt>().unwrap(), n(0));
+        assert!("--1".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(n(i64::MAX as i128).to_i64(), Some(i64::MAX));
+        assert_eq!(n(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(n(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(n(i64::MIN as i128 - 1).to_i64(), None);
+    }
+}

@@ -1,0 +1,697 @@
+//! Unsigned arbitrary-precision integers.
+
+use crate::ParseNumError;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Shl, Shr, Sub};
+use std::str::FromStr;
+
+const BASE_BITS: u32 = 32;
+const BASE: u64 = 1 << BASE_BITS;
+const MASK: u64 = BASE - 1;
+
+/// An unsigned arbitrary-precision integer.
+///
+/// Stored as little-endian `u32` limbs with no trailing zero limbs; the empty
+/// limb vector represents zero.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Construct from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// View of the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    /// Is this zero?
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Is this one?
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * BASE_BITS as u64 + (32 - top.leading_zeros()) as u64
+            }
+        }
+    }
+
+    /// The `i`-th bit (little-endian; bit 0 is the least significant).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / BASE_BITS as u64) as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % BASE_BITS as u64)) & 1 == 1
+    }
+
+    /// Lossy conversion to `u64`; returns `None` if the value does not fit.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    /// Approximate conversion to `f64` (infinite for huge values).
+    pub fn to_f64(&self) -> f64 {
+        let mut x = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            x = x * BASE as f64 + l as f64;
+        }
+        x
+    }
+
+    /// Compare magnitudes.
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push((s & MASK) as u32);
+            carry = s >> BASE_BITS;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Subtract magnitudes; requires `a >= b`.
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i64;
+        for i in 0..a.len() {
+            let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + BASE as i64) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &bj) in b.iter().enumerate() {
+                let t = ai as u64 * bj as u64 + out[i + j] as u64 + carry;
+                out[i + j] = (t & MASK) as u32;
+                carry = t >> BASE_BITS;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = (t & MASK) as u32;
+                carry = t >> BASE_BITS;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Divide by a single limb; returns (quotient limbs, remainder).
+    fn div_rem_limb(a: &[u32], d: u32) -> (Vec<u32>, u32) {
+        debug_assert!(d != 0);
+        let mut q = vec![0u32; a.len()];
+        let mut rem = 0u64;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << BASE_BITS) | a[i] as u64;
+            q[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        (q, rem as u32)
+    }
+
+    /// Knuth Algorithm D long division; requires `b.len() >= 2` and `a >= b`.
+    fn div_rem_knuth(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let n = b.len();
+        let m = a.len() - n;
+        // Normalize so the divisor's top limb has its high bit set.
+        let s = b[n - 1].leading_zeros();
+        let v: Vec<u32> = shl_bits(b, s);
+        let mut u: Vec<u32> = shl_bits(a, s);
+        u.resize(a.len() + 1, 0); // one extra limb for the algorithm
+
+        let mut q = vec![0u32; m + 1];
+        let vtop = v[n - 1] as u64;
+        let vsec = v[n - 2] as u64;
+
+        for j in (0..=m).rev() {
+            let num = ((u[j + n] as u64) << BASE_BITS) | u[j + n - 1] as u64;
+            let mut qhat = num / vtop;
+            let mut rhat = num % vtop;
+            loop {
+                if qhat >= BASE || qhat * vsec > (rhat << BASE_BITS) + u[j + n - 2] as u64 {
+                    qhat -= 1;
+                    rhat += vtop;
+                    if rhat < BASE {
+                        continue;
+                    }
+                }
+                break;
+            }
+            // Multiply-subtract qhat * v from u[j .. j+n+1]. The
+            // multiplication carry and the subtraction borrow are tracked
+            // separately so each limb's deficit stays within one base unit.
+            let mut carry = 0u64;
+            let mut borrow = 0i64;
+            for i in 0..n {
+                let p = qhat * v[i] as u64 + carry;
+                carry = p >> BASE_BITS;
+                let t = u[j + i] as i64 - (p & MASK) as i64 - borrow;
+                if t < 0 {
+                    u[j + i] = (t + BASE as i64) as u32;
+                    borrow = 1;
+                } else {
+                    u[j + i] = t as u32;
+                    borrow = 0;
+                }
+            }
+            let t = u[j + n] as i64 - carry as i64 - borrow;
+            if t < 0 {
+                // qhat was one too large: add v back.
+                u[j + n] = (t + BASE as i64) as u32;
+                qhat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let s2 = u[j + i] as u64 + v[i] as u64 + carry;
+                    u[j + i] = (s2 & MASK) as u32;
+                    carry = s2 >> BASE_BITS;
+                }
+                u[j + n] = (u[j + n] as u64 + carry) as u32;
+            } else {
+                u[j + n] = t as u32;
+            }
+            q[j] = qhat as u32;
+        }
+
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        let mut r = shr_bits(&u[..n], s);
+        while r.last() == Some(&0) {
+            r.pop();
+        }
+        (q, r)
+    }
+
+    /// Quotient and remainder; `self = q * d + r` with `r < d`.
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    pub fn div_rem(&self, d: &BigUint) -> (BigUint, BigUint) {
+        assert!(!d.is_zero(), "division by zero");
+        if Self::cmp_mag(&self.limbs, &d.limbs) == Ordering::Less {
+            return (BigUint::zero(), self.clone());
+        }
+        if d.limbs.len() == 1 {
+            let (q, r) = Self::div_rem_limb(&self.limbs, d.limbs[0]);
+            return (
+                BigUint { limbs: q },
+                if r == 0 {
+                    BigUint::zero()
+                } else {
+                    BigUint { limbs: vec![r] }
+                },
+            );
+        }
+        let (q, r) = Self::div_rem_knuth(&self.limbs, &d.limbs);
+        (BigUint { limbs: q }, BigUint { limbs: r })
+    }
+
+    /// Greatest common divisor (Euclid's algorithm).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple.
+    pub fn lcm(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let g = self.gcd(other);
+        let (q, _) = self.div_rem(&g);
+        &q * other
+    }
+
+    /// Raise to a non-negative power by repeated squaring.
+    pub fn pow(&self, mut e: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Checked subtraction; `None` if `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if Self::cmp_mag(&self.limbs, &other.limbs) == Ordering::Less {
+            None
+        } else {
+            Some(BigUint {
+                limbs: Self::sub_mag(&self.limbs, &other.limbs),
+            })
+        }
+    }
+
+    /// Is this value even?
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+}
+
+/// Shift limbs left by `s` bits where `0 <= s < 32`.
+fn shl_bits(a: &[u32], s: u32) -> Vec<u32> {
+    if s == 0 {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = 0u32;
+    for &l in a {
+        out.push((l << s) | carry);
+        carry = (l as u64 >> (BASE_BITS - s)) as u32;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Shift limbs right by `s` bits where `0 <= s < 32`.
+fn shr_bits(a: &[u32], s: u32) -> Vec<u32> {
+    if s == 0 {
+        return a.to_vec();
+    }
+    let mut out = vec![0u32; a.len()];
+    for i in 0..a.len() {
+        let mut v = a[i] >> s;
+        if i + 1 < a.len() {
+            v |= a[i + 1] << (BASE_BITS - s);
+        }
+        out[i] = v;
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        let lo = (v & MASK) as u32;
+        let hi = (v >> BASE_BITS) as u32;
+        if hi != 0 {
+            BigUint {
+                limbs: vec![lo, hi],
+            }
+        } else if lo != 0 {
+            BigUint { limbs: vec![lo] }
+        } else {
+            BigUint::zero()
+        }
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        let mut limbs = Vec::new();
+        let mut x = v;
+        while x != 0 {
+            limbs.push((x & MASK as u128) as u32);
+            x >>= BASE_BITS;
+        }
+        BigUint { limbs }
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        Self::cmp_mag(&self.limbs, &other.limbs)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+macro_rules! forward_binop_biguint {
+    ($trait:ident, $method:ident, $impl_fn:expr) => {
+        impl $trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                let f: fn(&BigUint, &BigUint) -> BigUint = $impl_fn;
+                f(self, rhs)
+            }
+        }
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop_biguint!(Add, add, |a, b| BigUint {
+    limbs: BigUint::add_mag(&a.limbs, &b.limbs)
+});
+forward_binop_biguint!(Sub, sub, |a, b| a
+    .checked_sub(b)
+    .expect("BigUint subtraction underflow"));
+forward_binop_biguint!(Mul, mul, |a, b| BigUint {
+    limbs: BigUint::mul_mag(&a.limbs, &b.limbs)
+});
+forward_binop_biguint!(Div, div, |a, b| a.div_rem(b).0);
+forward_binop_biguint!(Rem, rem, |a, b| a.div_rem(b).1);
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        self.limbs = BigUint::add_mag(&self.limbs, &rhs.limbs);
+    }
+}
+
+impl Shl<u64> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, s: u64) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = (s / BASE_BITS as u64) as usize;
+        let bit_shift = (s % BASE_BITS as u64) as u32;
+        let mut limbs = vec![0u32; limb_shift];
+        limbs.extend(shl_bits(&self.limbs, bit_shift));
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Shr<u64> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, s: u64) -> BigUint {
+        let limb_shift = (s / BASE_BITS as u64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = (s % BASE_BITS as u64) as u32;
+        BigUint::from_limbs(shr_bits(&self.limbs[limb_shift..], bit_shift))
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Extract base-10^9 digits.
+        let mut chunks = Vec::new();
+        let mut cur = self.limbs.clone();
+        while !cur.is_empty() {
+            let (q, r) = BigUint::div_rem_limb(&cur, 1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.last().unwrap().to_string();
+        for c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{:09}", c));
+        }
+        write!(f, "{}", s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseNumError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseNumError::new("empty string"));
+        }
+        if !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseNumError::new(format!("invalid digits in '{}'", s)));
+        }
+        let mut acc = BigUint::zero();
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let end = (i + 9).min(bytes.len());
+            let chunk = &s[i..end];
+            let v: u32 = chunk.parse().expect("digits verified above");
+            let scale = BigUint::from(10u32).pow((end - i) as u32);
+            acc = &acc * &scale + BigUint::from(v);
+            i = end;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let x = b(0xFFFF_FFFF_FFFF_FFFF_1234);
+        let y = b(0xABCD_EF01_2345);
+        assert_eq!((&x + &y).checked_sub(&y).unwrap(), x);
+        assert_eq!(&(&x + &y) - &x, y);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let x = 0x1234_5678_9ABCu128;
+        let y = 0xDEAD_BEEFu128;
+        assert_eq!(b(x) * b(y), b(x * y));
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = b(1000).div_rem(&b(7));
+        assert_eq!(q, b(142));
+        assert_eq!(r, b(6));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let x = b(u128::MAX - 12345);
+        let d = b(0x1_0000_0001);
+        let (q, r) = x.div_rem(&d);
+        assert_eq!(&q * &d + &r, x);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn div_rem_knuth_addback_case() {
+        // Exercise the add-back branch: constructed so qhat estimate is high.
+        let a = BigUint::from_limbs(vec![0, 0, 0x8000_0000]);
+        let d = BigUint::from_limbs(vec![1, 0x8000_0000]);
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(&q * &d + &r, a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(b(48).gcd(&b(36)), b(12));
+        assert_eq!(b(17).gcd(&b(5)), b(1));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(5).gcd(&b(0)), b(5));
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(b(4).lcm(&b(6)), b(12));
+        assert_eq!(b(0).lcm(&b(6)), b(0));
+    }
+
+    #[test]
+    fn pow_basic() {
+        assert_eq!(b(2).pow(100), b(1u128 << 100));
+        assert_eq!(b(3).pow(0), b(1));
+        assert_eq!(b(10).pow(3), b(1000));
+    }
+
+    #[test]
+    fn bit_access() {
+        let x = b(0b1011_0100);
+        assert!(!x.bit(0));
+        assert!(!x.bit(1));
+        assert!(x.bit(2));
+        assert!(x.bit(4));
+        assert!(x.bit(5));
+        assert!(x.bit(7));
+        assert!(!x.bit(100));
+        let big = &BigUint::one() << 77u64;
+        assert!(big.bit(77));
+        assert!(!big.bit(76));
+        assert_eq!(big.bit_len(), 78);
+    }
+
+    #[test]
+    fn shifts() {
+        let x = b(0x1234_5678_9ABC_DEF0);
+        assert_eq!(&(&x << 40u64) >> 40u64, x);
+        assert_eq!(&b(1) << 33u64, b(1u128 << 33));
+        assert_eq!(&b(0) << 5u64, b(0));
+        assert_eq!(&b(7) >> 10u64, b(0));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for v in [
+            0u128,
+            1,
+            999_999_999,
+            1_000_000_000,
+            12_345_678_901_234_567_890,
+            u128::MAX,
+        ] {
+            let s = b(v).to_string();
+            assert_eq!(s, v.to_string());
+            assert_eq!(s.parse::<BigUint>().unwrap(), b(v));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigUint>().is_err());
+        assert!("12a3".parse::<BigUint>().is_err());
+        assert!("-5".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(b(5) < b(6));
+        assert!(b(u64::MAX as u128 + 1) > b(u64::MAX as u128));
+        assert_eq!(b(42).cmp(&b(42)), Ordering::Equal);
+    }
+
+    #[test]
+    fn even_odd() {
+        assert!(b(0).is_even());
+        assert!(b(2).is_even());
+        assert!(!b(3).is_even());
+    }
+
+    #[test]
+    fn to_u64_limits() {
+        assert_eq!(b(u64::MAX as u128).to_u64(), Some(u64::MAX));
+        assert_eq!(b(u64::MAX as u128 + 1).to_u64(), None);
+        assert_eq!(BigUint::zero().to_u64(), Some(0));
+    }
+}

@@ -1,0 +1,467 @@
+//! Exact rational numbers.
+
+use crate::{BigInt, BigUint, ParseNumError, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number.
+///
+/// Invariants: the denominator is strictly positive and `gcd(|num|, den) == 1`;
+/// zero is represented as `0/1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Construct `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = num.gcd(&den);
+        let mut num = &num / &g;
+        let mut den = &den / &g;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        Rational { num, den }
+    }
+
+    /// Construct from an integer.
+    pub fn from_integer(n: BigInt) -> Self {
+        Rational {
+            num: n,
+            den: BigInt::one(),
+        }
+    }
+
+    /// The (normalized) numerator.
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The (normalized, positive) denominator.
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Magnitude of the numerator, for bit-level access (`rBIT`).
+    pub fn numer_magnitude(&self) -> &BigUint {
+        self.num.magnitude()
+    }
+
+    /// Magnitude of the denominator, for bit-level access (`rBIT`).
+    pub fn denom_magnitude(&self) -> &BigUint {
+        self.den.magnitude()
+    }
+
+    /// Is this zero?
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Is this one?
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Is this an integer (denominator one)?
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Is this strictly negative?
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Is this strictly positive?
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if this is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        let (num, den) = if self.num.is_negative() {
+            (-&self.den, -&self.num)
+        } else {
+            (self.den.clone(), self.num.clone())
+        };
+        Rational { num, den }
+    }
+
+    /// Greatest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        self.num.div_floor(&self.den)
+    }
+
+    /// Least integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        self.num.div_ceil(&self.den)
+    }
+
+    /// Raise to an integer power (negative powers require nonzero value).
+    pub fn pow(&self, e: i32) -> Rational {
+        if e >= 0 {
+            Rational::new(self.num.pow(e as u32), self.den.pow(e as u32))
+        } else {
+            self.recip().pow(-e)
+        }
+    }
+
+    /// Approximate `f64` value (for display and benchmarks only).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// Exact conversion from an `f64` that is a small dyadic rational is
+    /// deliberately *not* provided; parse decimal strings instead to keep the
+    /// computation model exact.
+    ///
+    /// Construct from an `i64` numerator and denominator.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn from_i64s(num: i64, den: i64) -> Rational {
+        Rational::new(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Midpoint of two rationals.
+    pub fn midpoint(a: &Rational, b: &Rational) -> Rational {
+        (a + b) / Rational::from_i64s(2, 1)
+    }
+
+    /// Minimum of two values (by value, cloning the smaller).
+    pub fn min_val(a: &Rational, b: &Rational) -> Rational {
+        if a <= b {
+            a.clone()
+        } else {
+            b.clone()
+        }
+    }
+
+    /// Maximum of two values (by value, cloning the larger).
+    pub fn max_val(a: &Rational, b: &Rational) -> Rational {
+        if a >= b {
+            a.clone()
+        } else {
+            b.clone()
+        }
+    }
+
+    /// Total size in bits of numerator plus denominator; the paper's measure
+    /// of coefficient size on the Turing tape.
+    pub fn bit_size(&self) -> u64 {
+        self.num.bit_len() + self.den.bit_len()
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_integer(BigInt::from(v))
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational::from_integer(BigInt::from(v))
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Self {
+        Rational::from_integer(v)
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+macro_rules! forward_binop_rational {
+    ($trait:ident, $method:ident, $impl_fn:expr) => {
+        impl $trait<&Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                let f: fn(&Rational, &Rational) -> Rational = $impl_fn;
+                f(self, rhs)
+            }
+        }
+        impl $trait<Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop_rational!(Add, add, |a: &Rational, b: &Rational| Rational::new(
+    &a.num * &b.den + &b.num * &a.den,
+    &a.den * &b.den
+));
+forward_binop_rational!(Sub, sub, |a: &Rational, b: &Rational| Rational::new(
+    &a.num * &b.den - &b.num * &a.den,
+    &a.den * &b.den
+));
+forward_binop_rational!(Mul, mul, |a: &Rational, b: &Rational| Rational::new(
+    &a.num * &b.num,
+    &a.den * &b.den
+));
+forward_binop_rational!(Div, div, |a: &Rational, b: &Rational| {
+    assert!(!b.is_zero(), "rational division by zero");
+    Rational::new(&a.num * &b.den, &a.den * &b.num)
+});
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl FromStr for Rational {
+    type Err = ParseNumError;
+
+    /// Parses `"a"`, `"a/b"`, and decimal `"a.b"` forms, with optional sign.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some((numer, denom)) = s.split_once('/') {
+            let n: BigInt = numer.trim().parse()?;
+            let d: BigInt = denom.trim().parse()?;
+            if d.is_zero() {
+                return Err(ParseNumError::new("zero denominator"));
+            }
+            return Ok(Rational::new(n, d));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            let negative = int_part.trim_start().starts_with('-');
+            let i: BigInt = if int_part.is_empty() || int_part == "-" || int_part == "+" {
+                BigInt::zero()
+            } else {
+                int_part.parse()?
+            };
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseNumError::new(format!(
+                    "invalid decimal fraction '{}'",
+                    s
+                )));
+            }
+            let f: BigInt = frac_part.parse()?;
+            let scale = BigInt::from(10i64).pow(frac_part.len() as u32);
+            let frac = Rational::new(f, scale);
+            let int_rat = Rational::from_integer(i);
+            return Ok(if negative {
+                int_rat - frac
+            } else {
+                int_rat + frac
+            });
+        }
+        Ok(Rational::from_integer(s.parse()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, 5), Rational::zero());
+        assert!(rat(2, -4).denom().is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = rat(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(2, 3) * rat(3, 4), rat(1, 2));
+        assert_eq!(rat(1, 2) / rat(1, 4), rat(2, 1));
+        assert_eq!(-rat(1, 2), rat(-1, 2));
+    }
+
+    #[test]
+    fn comparison() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(-1, 2) < rat(1, 100));
+        assert_eq!(rat(3, 9), rat(1, 3));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(rat(7, 2).floor(), BigInt::from(3));
+        assert_eq!(rat(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(rat(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(rat(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(rat(4, 2).floor(), BigInt::from(2));
+        assert_eq!(rat(4, 2).ceil(), BigInt::from(2));
+    }
+
+    #[test]
+    fn recip_and_pow() {
+        assert_eq!(rat(2, 3).recip(), rat(3, 2));
+        assert_eq!(rat(-2, 3).recip(), rat(-3, 2));
+        assert!(rat(-2, 3).recip().denom().is_positive());
+        assert_eq!(rat(2, 3).pow(2), rat(4, 9));
+        assert_eq!(rat(2, 3).pow(-2), rat(9, 4));
+        assert_eq!(rat(5, 7).pow(0), Rational::one());
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!("3".parse::<Rational>().unwrap(), rat(3, 1));
+        assert_eq!("-3/6".parse::<Rational>().unwrap(), rat(-1, 2));
+        assert_eq!("1.25".parse::<Rational>().unwrap(), rat(5, 4));
+        assert_eq!("-1.25".parse::<Rational>().unwrap(), rat(-5, 4));
+        assert_eq!("-0.5".parse::<Rational>().unwrap(), rat(-1, 2));
+        assert_eq!("0.1".parse::<Rational>().unwrap(), rat(1, 10));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("1.".parse::<Rational>().is_err());
+        assert!("a/b".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(rat(1, 2).to_string(), "1/2");
+        assert_eq!(rat(4, 2).to_string(), "2");
+        assert_eq!(rat(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn midpoint_between() {
+        let m = Rational::midpoint(&rat(1, 3), &rat(1, 2));
+        assert!(rat(1, 3) < m && m < rat(1, 2));
+        assert_eq!(m, rat(5, 12));
+    }
+
+    #[test]
+    fn bit_size_grows() {
+        assert!(rat(1, 3).bit_size() < rat(123456789, 987654321).bit_size());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for arbitrary-precision arithmetic, cross-checked
+//! against native `i128`/`u128` semantics and algebraic laws.
+
+use lcdb_arith::{BigInt, BigUint, Rational};
+use proptest::prelude::*;
+
+fn bu(v: u128) -> BigUint {
+    BigUint::from(v)
+}
+
+fn bi(v: i128) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn biguint_add_matches_u128(a in 0u128..=u128::MAX / 2, b in 0u128..=u128::MAX / 2) {
+        prop_assert_eq!(bu(a) + bu(b), bu(a + b));
+    }
+
+    #[test]
+    fn biguint_mul_matches_u128(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        prop_assert_eq!(bu(a as u128) * bu(b as u128), bu(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn biguint_div_rem_invariant(a in any::<u128>(), b in 1u128..=u128::MAX) {
+        let (q, r) = bu(a).div_rem(&bu(b));
+        prop_assert_eq!(&q * &bu(b) + &r, bu(a));
+        prop_assert!(r < bu(b));
+    }
+
+    /// Exercise multi-limb divisors beyond the u128 range, checking the
+    /// reconstruction identity q*d + r == a with r < d.
+    #[test]
+    fn biguint_div_rem_huge(
+        a1 in any::<u128>(), a2 in any::<u128>(),
+        d1 in any::<u128>(), d2 in 1u128..=u128::MAX,
+    ) {
+        let a = &(&bu(a1) << 128u64) + &bu(a2);
+        let d = &(&bu(d1) << 64u64) + &bu(d2);
+        let (q, r) = a.div_rem(&d);
+        prop_assert_eq!(&(&q * &d) + &r, a);
+        prop_assert!(r < d);
+    }
+
+    #[test]
+    fn biguint_gcd_divides_both(a in any::<u128>(), b in any::<u128>()) {
+        let g = bu(a).gcd(&bu(b));
+        if !g.is_zero() {
+            prop_assert!(bu(a).div_rem(&g).1.is_zero());
+            prop_assert!(bu(b).div_rem(&g).1.is_zero());
+        } else {
+            prop_assert_eq!(a, 0);
+            prop_assert_eq!(b, 0);
+        }
+    }
+
+    #[test]
+    fn biguint_shift_roundtrip(a in any::<u128>(), s in 0u64..200) {
+        let x = bu(a);
+        prop_assert_eq!(&(&x << s) >> s, x);
+    }
+
+    #[test]
+    fn biguint_bits_match_u128(a in any::<u128>(), i in 0u64..128) {
+        prop_assert_eq!(bu(a).bit(i), (a >> i) & 1 == 1);
+    }
+
+    #[test]
+    fn biguint_string_roundtrip(a in any::<u128>()) {
+        let s = bu(a).to_string();
+        prop_assert_eq!(s.parse::<BigUint>().unwrap(), bu(a));
+    }
+
+    #[test]
+    fn bigint_ring_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        let (x, y, z) = (bi(a as i128), bi(b as i128), bi(c as i128));
+        // commutativity, associativity, distributivity
+        prop_assert_eq!(&x + &y, &y + &x);
+        prop_assert_eq!(&x * &y, &y * &x);
+        prop_assert_eq!(&(&x + &y) + &z, &x + &(&y + &z));
+        prop_assert_eq!(&(&x * &y) * &z, &x * &(&y * &z));
+        prop_assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
+        prop_assert_eq!(&x - &x, BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (a, b) = (a as i128, b as i128);
+        prop_assert_eq!(bi(a) + bi(b), bi(a + b));
+        prop_assert_eq!(bi(a) - bi(b), bi(a - b));
+        prop_assert_eq!(bi(a) * bi(b), bi(a * b));
+        if b != 0 {
+            prop_assert_eq!(bi(a) / bi(b), bi(a / b));
+            prop_assert_eq!(bi(a) % bi(b), bi(a % b));
+        }
+    }
+
+    #[test]
+    fn bigint_cmp_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+        prop_assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn rational_field_laws(
+        an in -1000i64..1000, ad in 1i64..100,
+        bn in -1000i64..1000, bd in 1i64..100,
+        cn in -1000i64..1000, cd in 1i64..100,
+    ) {
+        let x = Rational::from_i64s(an, ad);
+        let y = Rational::from_i64s(bn, bd);
+        let z = Rational::from_i64s(cn, cd);
+        prop_assert_eq!(&x + &y, &y + &x);
+        prop_assert_eq!(&(&x + &y) + &z, &x + &(&y + &z));
+        prop_assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
+        prop_assert_eq!(&x - &y, -(&y - &x));
+        if !y.is_zero() {
+            prop_assert_eq!(&(&x / &y) * &y, x.clone());
+            prop_assert_eq!(&y * &y.recip(), Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_order_consistent_with_f64(
+        an in -10_000i64..10_000, ad in 1i64..10_000,
+        bn in -10_000i64..10_000, bd in 1i64..10_000,
+    ) {
+        let x = Rational::from_i64s(an, ad);
+        let y = Rational::from_i64s(bn, bd);
+        let fx = an as f64 / ad as f64;
+        let fy = bn as f64 / bd as f64;
+        if (fx - fy).abs() > 1e-9 {
+            prop_assert_eq!(x < y, fx < fy);
+        }
+    }
+
+    #[test]
+    fn rational_normalized(an in -10_000i64..10_000, ad in 1i64..10_000) {
+        let x = Rational::from_i64s(an, ad);
+        prop_assert!(x.denom().is_positive());
+        let g = x.numer().gcd(x.denom());
+        prop_assert!(g.is_one() || x.numer().is_zero());
+    }
+
+    #[test]
+    fn rational_floor_ceil_bracket(an in -10_000i64..10_000, ad in 1i64..100) {
+        let x = Rational::from_i64s(an, ad);
+        let f = Rational::from_integer(x.floor());
+        let c = Rational::from_integer(x.ceil());
+        prop_assert!(f <= x && x <= c);
+        prop_assert!(&x - &f < Rational::one());
+        prop_assert!(&c - &x < Rational::one());
+    }
+
+    #[test]
+    fn rational_string_roundtrip(an in -100_000i64..100_000, ad in 1i64..100_000) {
+        let x = Rational::from_i64s(an, ad);
+        let s = x.to_string();
+        prop_assert_eq!(s.parse::<Rational>().unwrap(), x);
+    }
+}

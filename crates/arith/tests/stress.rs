@@ -1,0 +1,104 @@
+//! Multi-limb stress tests: algebraic identities at sizes where every
+//! code path (Knuth division, carries, normalization) is exercised.
+
+use lcdb_arith::{BigInt, BigUint, Rational};
+
+fn big(hex_ish: u64, shift: u64) -> BigUint {
+    &(&BigUint::from(hex_ish) << shift) + &BigUint::from(0x9E3779B97F4A7C15u64)
+}
+
+#[test]
+fn division_identity_many_sizes() {
+    for a_shift in [0u64, 31, 64, 127, 200] {
+        for d_shift in [0u64, 33, 90] {
+            let a = big(0xDEADBEEFCAFEBABE, a_shift);
+            let d = big(0x123456789ABCDEF, d_shift);
+            let (q, r) = a.div_rem(&d);
+            assert_eq!(&(&q * &d) + &r, a, "a_shift={} d_shift={}", a_shift, d_shift);
+            assert!(r < d);
+        }
+    }
+}
+
+#[test]
+fn gcd_lcm_product_identity() {
+    for s in [5u64, 40, 90] {
+        let a = big(0x0123456789ABCDEF, s);
+        let b = big(0xFEDCBA9876543210, s / 2 + 3);
+        let g = a.gcd(&b);
+        let l = a.lcm(&b);
+        assert_eq!(&g * &l, &a * &b, "gcd·lcm == a·b at shift {}", s);
+        assert!(a.div_rem(&g).1.is_zero());
+        assert!(b.div_rem(&g).1.is_zero());
+        assert!(l.div_rem(&a).1.is_zero());
+        assert!(l.div_rem(&b).1.is_zero());
+    }
+}
+
+#[test]
+fn pow_law_exponent_addition() {
+    let b = BigUint::from(1234567u64);
+    for (e1, e2) in [(0u32, 7u32), (3, 4), (10, 13)] {
+        assert_eq!(&b.pow(e1) * &b.pow(e2), b.pow(e1 + e2));
+    }
+}
+
+#[test]
+fn binomial_expansion_squares() {
+    // (a + b)² = a² + 2ab + b² with ~200-bit operands.
+    let a = BigInt::from_biguint(big(0xABCDEF, 160));
+    let b = -BigInt::from_biguint(big(0x13579B, 150));
+    let lhs = (&a + &b).pow(2);
+    let two = BigInt::from(2i64);
+    let rhs = &(&a.pow(2) + &(&two * &(&a * &b))) + &b.pow(2);
+    assert_eq!(lhs, rhs);
+}
+
+#[test]
+fn rational_mediant_between() {
+    // The mediant (a+c)/(b+d) lies strictly between a/b and c/d.
+    let pairs = [((1i64, 3i64), (1i64, 2i64)), ((22, 7), (355, 113)), ((-5, 4), (-1, 1))];
+    for ((a, b), (c, d)) in pairs {
+        let x = Rational::from_i64s(a, b);
+        let y = Rational::from_i64s(c, d);
+        let (lo, hi) = if x < y { (x.clone(), y.clone()) } else { (y.clone(), x.clone()) };
+        let mediant = Rational::new(
+            BigInt::from(a) + BigInt::from(c),
+            BigInt::from(b) + BigInt::from(d),
+        );
+        assert!(lo < mediant && mediant < hi, "{}/{} vs {}/{}", a, b, c, d);
+    }
+}
+
+#[test]
+fn rational_sum_telescopes() {
+    // Σ 1/(k(k+1)) = 1 - 1/(n+1), exactly.
+    let n = 60i64;
+    let mut acc = Rational::zero();
+    for k in 1..=n {
+        acc += &Rational::from_i64s(1, k * (k + 1));
+    }
+    let expect = Rational::one() - Rational::from_i64s(1, n + 1);
+    assert_eq!(acc, expect);
+}
+
+#[test]
+fn bit_len_of_products() {
+    // bit_len(a·b) ∈ {bit_len a + bit_len b − 1, bit_len a + bit_len b}.
+    for (sa, sb) in [(10u64, 20u64), (63, 65), (100, 200)] {
+        let a = big(0xFFFF_FFFF_FFFF_FFFF, sa);
+        let b = big(0xF0F0_F0F0_F0F0_F0F0, sb);
+        let p = &a * &b;
+        let sum = a.bit_len() + b.bit_len();
+        assert!(p.bit_len() == sum || p.bit_len() == sum - 1);
+    }
+}
+
+#[test]
+fn display_parse_huge_roundtrip() {
+    let x = big(0xDEADBEEF, 300);
+    let s = x.to_string();
+    assert!(s.len() > 90, "~300-bit number has ~100 decimal digits");
+    let back: BigUint = s.parse().unwrap();
+    assert_eq!(back, x);
+}

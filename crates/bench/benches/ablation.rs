@@ -1,0 +1,29 @@
+//! E17: the same query over both decompositions (Note 7.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcdb_bench::corner_chain;
+use lcdb_core::{queries, Evaluator, RegionExtension};
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let r = corner_chain(2);
+    let q = queries::connectivity();
+    group.bench_function("arrangement_build+conn", |b| {
+        b.iter(|| {
+            let ext = RegionExtension::arrangement(r.clone());
+            Evaluator::new(&ext).eval_sentence(&q)
+        })
+    });
+    group.bench_function("nc1_build+conn", |b| {
+        b.iter(|| {
+            let ext = RegionExtension::nc1(r.clone());
+            Evaluator::new(&ext).eval_sentence(&q)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E18 substrate: exact arithmetic operation scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcdb_arith::{BigUint, Rational};
+use std::time::Duration;
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("biguint_ops");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for bits in [64usize, 256, 1024] {
+        let a = (&BigUint::one() << bits as u64) - BigUint::from(12345u64);
+        let b = (&BigUint::one() << (bits as u64 / 2)) + BigUint::from(987u64);
+        group.bench_with_input(BenchmarkId::new("mul", bits), &(a.clone(), b.clone()), |bench, (a, b)| {
+            bench.iter(|| a * b)
+        });
+        group.bench_with_input(BenchmarkId::new("div_rem", bits), &(a.clone(), b.clone()), |bench, (a, b)| {
+            bench.iter(|| a.div_rem(b))
+        });
+        group.bench_with_input(BenchmarkId::new("gcd", bits), &(a, b), |bench, (a, b)| {
+            bench.iter(|| a.gcd(b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rational(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rational_ops");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let a = Rational::from_i64s(123456789, 987654321);
+    let b = Rational::from_i64s(555555, 777777);
+    group.bench_function("add", |bench| bench.iter(|| &a + &b));
+    group.bench_function("mul", |bench| bench.iter(|| &a * &b));
+    group.bench_function("cmp", |bench| bench.iter(|| a < b));
+    group.finish();
+}
+
+criterion_group!(benches, bench_bigint, bench_rational);
+criterion_main!(benches);

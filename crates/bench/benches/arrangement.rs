@@ -1,0 +1,26 @@
+//! E3: arrangement construction scaling (Theorem 3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcdb_bench::random_hyperplanes;
+use lcdb_geom::Arrangement;
+use std::time::Duration;
+
+fn bench_arrangement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrangement_build");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for d in [1usize, 2] {
+        let ns: &[usize] = if d == 1 { &[8, 16, 32] } else { &[4, 6, 8] };
+        for &n in ns {
+            let hs = random_hyperplanes(d, n, 7 + d as u64);
+            group.bench_with_input(
+                BenchmarkId::new(format!("d{}", d), n),
+                &hs,
+                |b, hs| b.iter(|| Arrangement::build(d, hs.clone())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arrangement);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E18: Fourier-Motzkin elimination cost and the DNF conversion strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcdb_logic::{dnf, parse_formula, qe};
+use std::time::Duration;
+
+fn chain_formula(k: usize) -> lcdb_logic::Formula {
+    let mut parts = Vec::new();
+    for i in 0..k {
+        parts.push(format!("3*v{} - 2*v{} <= {}", i, i + 1, i + 1));
+        parts.push(format!("5*v{} + 7*v{} >= -{}", i + 1, i, i + 2));
+    }
+    parse_formula(&parts.join(" and ")).unwrap()
+}
+
+fn bench_fm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fourier_motzkin_chain");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [3usize, 5, 7] {
+        let f = chain_formula(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &f, |b, f| {
+            b.iter(|| {
+                let mut d = dnf::to_dnf(f);
+                for i in 0..k {
+                    d = qe::eliminate_exists_dnf(&d, &format!("v{}", i)).simplify();
+                }
+                d
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dnf_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dnf_strategies");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    // A moderately redundant disjunction of overlapping boxes.
+    let parts: Vec<String> = (0..4)
+        .map(|i| format!("(x >= {i} and x <= {} and y >= 0 and y <= 2)", i + 2))
+        .collect();
+    let f = lcdb_logic::Formula::not(parse_formula(&parts.join(" or ")).unwrap());
+    group.bench_function("pruned", |b| b.iter(|| dnf::to_dnf_pruned(&f)));
+    group.bench_function("cells", |b| b.iter(|| dnf::to_dnf_cells(&f)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fm, bench_dnf_strategies);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E4/E8/E15: RegFO, RegLFP and RegTC evaluation scaling (Theorems 4.3,
+//! 6.1, 7.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcdb_bench::{chained_intervals, intervals};
+use lcdb_core::{queries, Evaluator, RegFormula, RegionExtension};
+use lcdb_logic::LinExpr;
+use std::time::Duration;
+
+fn bench_regfo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regfo_exists");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let q = RegFormula::exists_elem(
+        "x",
+        RegFormula::Pred("S".into(), vec![LinExpr::var("x")]),
+    );
+    for k in [2usize, 4, 8] {
+        let ext = RegionExtension::arrangement(intervals(k));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &ext, |b, ext| {
+            b.iter(|| {
+                let ev = Evaluator::new(ext);
+                ev.eval_sentence(&q)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reglfp_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reglfp_connectivity");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let q = queries::connectivity();
+    for k in [2usize, 4, 8] {
+        let ext = RegionExtension::arrangement(chained_intervals(k));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &ext, |b, ext| {
+            b.iter(|| {
+                let ev = Evaluator::new(ext);
+                ev.eval_sentence(&q)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_regtc_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regtc_connectivity");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let q = queries::connectivity_tc(false);
+    for k in [2usize, 4, 8] {
+        let ext = RegionExtension::arrangement(chained_intervals(k));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &ext, |b, ext| {
+            b.iter(|| {
+                let ev = Evaluator::new(ext);
+                ev.eval_sentence(&q)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_regfo,
+    bench_reglfp_connectivity,
+    bench_regtc_connectivity
+);
+criterion_main!(benches);

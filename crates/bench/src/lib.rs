@@ -1,0 +1,227 @@
+//! Shared workload generators for benchmarks and the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lcdb_arith::{int, Rational};
+use lcdb_geom::Hyperplane;
+use lcdb_logic::{parse_formula, Relation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `k` disjoint open unit intervals on the line: `(0,1) ∪ (2,3) ∪ …`.
+pub fn intervals(k: usize) -> Relation {
+    let parts: Vec<String> = (0..k)
+        .map(|i| format!("({} < x and x < {})", 2 * i, 2 * i + 1))
+        .collect();
+    Relation::new(vec!["x".into()], &parse_formula(&parts.join(" or ")).unwrap())
+}
+
+/// `k` *touching* closed unit intervals: `[0,1] ∪ [1,2] ∪ …` (connected).
+pub fn chained_intervals(k: usize) -> Relation {
+    let parts: Vec<String> = (0..k)
+        .map(|i| format!("({} <= x and x <= {})", i, i + 1))
+        .collect();
+    Relation::new(vec!["x".into()], &parse_formula(&parts.join(" or ")).unwrap())
+}
+
+/// A row of `k` disjoint open boxes in the plane.
+pub fn boxes(k: usize) -> Relation {
+    let parts: Vec<String> = (0..k)
+        .map(|i| {
+            format!(
+                "({} < x and x < {} and 0 < y and y < 1)",
+                2 * i,
+                2 * i + 1
+            )
+        })
+        .collect();
+    Relation::new(
+        vec!["x".into(), "y".into()],
+        &parse_formula(&parts.join(" or ")).unwrap(),
+    )
+}
+
+/// A chain of `k` closed boxes touching corner-to-corner (connected).
+pub fn corner_chain(k: usize) -> Relation {
+    let parts: Vec<String> = (0..k)
+        .map(|i| {
+            format!(
+                "({i} <= x and x <= {} and {i} <= y and y <= {})",
+                i + 1,
+                i + 1,
+                i = i
+            )
+        })
+        .collect();
+    Relation::new(
+        vec!["x".into(), "y".into()],
+        &parse_formula(&parts.join(" or ")).unwrap(),
+    )
+}
+
+/// The running-example relation of Fig. 1: any relation whose induced
+/// hyperplane set is three lines in general position reproduces the census
+/// of Fig. 3 (three 0-faces, nine 1-faces, seven 2-faces).
+pub fn figure1_relation() -> Relation {
+    Relation::new(
+        vec!["x".into(), "y".into()],
+        &parse_formula("x >= 0 and y >= 0 and x + y <= 1").unwrap(),
+    )
+}
+
+/// The Fig. 7 pentagon (vertices (0,0), (3,-1), (5,1), (4,4), (1,3)).
+pub fn figure7_pentagon() -> Relation {
+    Relation::new(
+        vec!["x".into(), "y".into()],
+        &parse_formula(
+            "x + 3*y >= 0 and x - y <= 4 and 3*x + y <= 16 and 3*y - x <= 8 and y <= 3*x",
+        )
+        .unwrap(),
+    )
+}
+
+/// The Fig. 10 unbounded polyhedron `y ≤ x ∧ y ≥ -x ∧ x ≥ 1`.
+pub fn figure10_unbounded() -> Relation {
+    Relation::new(
+        vec!["x".into(), "y".into()],
+        &parse_formula("y <= x and y >= -x and x >= 1").unwrap(),
+    )
+}
+
+/// `n` random hyperplanes in `ℝ^d` with small integer coefficients.
+pub fn random_hyperplanes(d: usize, n: usize, seed: u64) -> Vec<Hyperplane> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Hyperplane> = Vec::with_capacity(n);
+    // The offset range must grow with n or there are fewer distinct
+    // canonical hyperplanes than requested and the loop cannot finish.
+    let span = 2 * n as i64 + 5;
+    while out.len() < n {
+        let coeffs: Vec<Rational> = (0..d).map(|_| int(rng.gen_range(-3..=3i64))).collect();
+        if coeffs.iter().all(|c| c.is_zero()) {
+            continue;
+        }
+        let rhs = int(rng.gen_range(-span..=span));
+        let h = Hyperplane::new(coeffs, rhs);
+        if !out.contains(&h) {
+            out.push(h);
+        }
+    }
+    out
+}
+
+/// A random convex polygon with `k` vertices on a circle of radius ~r,
+/// returned as a conjunctive relation (its edge inequalities).
+pub fn random_polygon(k: usize, seed: u64) -> Relation {
+    assert!(k >= 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Rational points in convex position: perturbed lattice points on a
+    // coarse circle, sorted by angle octant trick. Use exact small fractions.
+    let mut pts: Vec<(i64, i64)> = Vec::new();
+    let mut angle = 0.0f64;
+    for _ in 0..k {
+        angle += rng.gen_range(0.2..(2.0 * std::f64::consts::PI / k as f64 * 1.5));
+        let r = rng.gen_range(80.0..100.0);
+        pts.push(((r * angle.cos()) as i64, (r * angle.sin()) as i64));
+    }
+    // Ensure convex position by taking the convex hull (monotone chain).
+    let hull = convex_hull_i64(&mut pts);
+    let m = hull.len();
+    let mut atoms = Vec::new();
+    for i in 0..m {
+        let (x1, y1) = hull[i];
+        let (x2, y2) = hull[(i + 1) % m];
+        // Interior on the left of (p1 -> p2) for CCW hulls:
+        // a·x + b·y >= c with a = -(y2-y1), b = x2-x1, c = a·x1 + b·y1.
+        let a = -(y2 - y1);
+        let b = x2 - x1;
+        let c = a * x1 + b * y1;
+        let expr = lcdb_logic::LinExpr::var("x")
+            .scale(&int(a))
+            .add(&lcdb_logic::LinExpr::var("y").scale(&int(b)));
+        atoms.push(lcdb_logic::Formula::Atom(lcdb_logic::Atom::new(
+            expr,
+            lcdb_logic::Rel::Ge,
+            lcdb_logic::LinExpr::constant(int(c)),
+        )));
+    }
+    Relation::new(
+        vec!["x".into(), "y".into()],
+        &lcdb_logic::Formula::and(atoms),
+    )
+}
+
+fn convex_hull_i64(pts: &mut Vec<(i64, i64)>) -> Vec<(i64, i64)> {
+    pts.sort();
+    pts.dedup();
+    if pts.len() < 3 {
+        return pts.clone();
+    }
+    let cross = |o: (i64, i64), a: (i64, i64), b: (i64, i64)| {
+        (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0)
+    };
+    let mut hull: Vec<(i64, i64)> = Vec::new();
+    for &p in pts.iter() {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev() {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop();
+    hull
+}
+
+/// Log-log slope between two measurements — the empirical polynomial degree.
+pub fn fitted_exponent(n1: usize, y1: f64, n2: usize, y2: f64) -> f64 {
+    if y1 <= 0.0 || y2 <= 0.0 {
+        return f64::NAN;
+    }
+    (y2 / y1).ln() / ((n2 as f64) / (n1 as f64)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdb_arith::rat;
+
+    #[test]
+    fn interval_generators() {
+        let r = intervals(3);
+        assert!(r.contains(&[rat(1, 2)]));
+        assert!(!r.contains(&[rat(3, 2)]));
+        let c = chained_intervals(3);
+        assert!(c.contains(&[int(1)]));
+        assert!(c.contains(&[int(3)]));
+        assert!(!c.contains(&[int(4)]));
+    }
+
+    #[test]
+    fn polygon_generator_is_convex_and_nonempty() {
+        for seed in 0..5 {
+            let r = random_polygon(8, seed);
+            assert!(!r.is_empty(), "seed {}", seed);
+            // Origin-ish points are inside (hull surrounds the origin).
+            assert!(r.contains(&[int(0), int(0)]));
+        }
+    }
+
+    #[test]
+    fn random_hyperplane_count() {
+        let hs = random_hyperplanes(2, 10, 42);
+        assert_eq!(hs.len(), 10);
+    }
+
+    #[test]
+    fn exponent_fit() {
+        let e = fitted_exponent(10, 100.0, 20, 400.0);
+        assert!((e - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,384 @@
+//! `lcdb` — an interactive shell for linear constraint databases.
+//!
+//! ```text
+//! $ cargo run -p lcdb-cli --bin lcdb
+//! lcdb> rel S(x) := (0 < x and x < 1) or (2 < x and x < 3)
+//! lcdb> regions
+//! lcdb> sentence forall Rx. forall Ry. (Rx subset S and Ry subset S) -> ...
+//! lcdb> query exists x. S(x) and y = x + 1
+//! lcdb> quit
+//! ```
+//!
+//! Also runs scripts: `lcdb script.lcdb` executes each line of the file, and
+//! `lcdb -e "<command>"` runs a single command. See `help` for the command
+//! list.
+
+use lcdb_core::{parse_regformula, queries, Decomposition, Evaluator, RegionExtension};
+use lcdb_logic::{parse_formula, Database, Relation};
+use std::io::{BufRead, Write};
+
+struct Shell {
+    db: Database,
+    spatial: Option<String>,
+    decomposition: DecompositionKind,
+    /// Cached extension; rebuilt when the database or settings change.
+    ext: Option<RegionExtension>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum DecompositionKind {
+    Arrangement,
+    Nc1,
+}
+
+impl Shell {
+    fn new() -> Self {
+        Shell {
+            db: Database::new(),
+            spatial: None,
+            decomposition: DecompositionKind::Arrangement,
+            ext: None,
+        }
+    }
+
+    fn extension(&mut self) -> Result<&RegionExtension, String> {
+        if self.ext.is_none() {
+            let spatial = self
+                .spatial
+                .clone()
+                .ok_or_else(|| "no relation defined yet; use `rel NAME(vars) := formula`".to_string())?;
+            let ext = match self.decomposition {
+                DecompositionKind::Arrangement => {
+                    RegionExtension::arrangement_db(self.db.clone(), &spatial)
+                }
+                DecompositionKind::Nc1 => RegionExtension::nc1_db(self.db.clone(), &spatial),
+            };
+            self.ext = Some(ext);
+        }
+        Ok(self.ext.as_ref().unwrap())
+    }
+
+    /// Execute one command line; returns false to quit.
+    fn execute(&mut self, line: &str, out: &mut dyn Write) -> std::io::Result<bool> {
+        let line = line.trim().trim_end_matches(';').trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(true);
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "quit" | "exit" => return Ok(false),
+            "help" => {
+                writeln!(out, "commands:")?;
+                writeln!(out, "  rel NAME(v1, v2, …) := FORMULA   define a relation (FO+LIN, quantifier-free)")?;
+                writeln!(out, "  spatial NAME                     choose the designated spatial relation S")?;
+                writeln!(out, "  decomposition arrangement|nc1    choose the region decomposition")?;
+                writeln!(out, "  regions                          list the regions of B^Reg")?;
+                writeln!(out, "  sentence REGFORMULA              evaluate a boolean region-logic sentence")?;
+                writeln!(out, "  query REGFORMULA                 evaluate an open query to a QF formula")?;
+                writeln!(out, "  connected                        run the §5 connectivity query")?;
+                writeln!(out, "  encode                           print the β(B) tape encoding")?;
+                writeln!(out, "  contains NAME p1 p2 …            membership test for a point")?;
+                writeln!(out, "  quit                             leave")?;
+            }
+            "rel" => match parse_rel_definition(rest) {
+                Ok((name, vars, formula)) => {
+                    let rel = Relation::new(vars, &formula);
+                    if self.spatial.is_none() {
+                        self.spatial = Some(name.clone());
+                    }
+                    self.db.insert(name.clone(), rel);
+                    self.ext = None;
+                    writeln!(out, "defined {}", name)?;
+                }
+                Err(e) => writeln!(out, "error: {}", e)?,
+            },
+            "spatial" => {
+                if self.db.relation(rest).is_none() {
+                    writeln!(out, "error: unknown relation '{}'", rest)?;
+                } else {
+                    self.spatial = Some(rest.to_string());
+                    self.ext = None;
+                    writeln!(out, "spatial relation set to {}", rest)?;
+                }
+            }
+            "decomposition" => {
+                match rest {
+                    "arrangement" => self.decomposition = DecompositionKind::Arrangement,
+                    "nc1" => self.decomposition = DecompositionKind::Nc1,
+                    other => {
+                        writeln!(out, "error: unknown decomposition '{}'", other)?;
+                        return Ok(true);
+                    }
+                }
+                self.ext = None;
+                writeln!(out, "decomposition set to {}", rest)?;
+            }
+            "regions" => match self.extension() {
+                Ok(ext) => {
+                    writeln!(out, "{} regions:", ext.num_regions())?;
+                    for id in ext.region_ids() {
+                        let r = ext.region(id);
+                        let w: Vec<String> =
+                            r.witness.iter().map(|c| c.to_string()).collect();
+                        writeln!(
+                            out,
+                            "  #{:<3} dim={} bounded={:<5} witness=({})  in-S={}",
+                            id,
+                            r.dim,
+                            r.bounded,
+                            w.join(", "),
+                            ext.subset_of(id, ext.spatial_relation()),
+                        )?;
+                    }
+                }
+                Err(e) => writeln!(out, "error: {}", e)?,
+            },
+            "sentence" => match parse_regformula(rest) {
+                Ok(f) => match self.extension() {
+                    Ok(ext) => {
+                        let ev = Evaluator::new(ext);
+                        let verdict = ev.eval_sentence(&f);
+                        let st = ev.stats();
+                        writeln!(
+                            out,
+                            "{}   (lfp stages: {}, qe calls: {})",
+                            verdict, st.fix_iterations, st.qe_calls
+                        )?;
+                    }
+                    Err(e) => writeln!(out, "error: {}", e)?,
+                },
+                Err(e) => writeln!(out, "parse error: {}", e)?,
+            },
+            "query" => match parse_regformula(rest) {
+                Ok(f) => match self.extension() {
+                    Ok(ext) => {
+                        let ev = Evaluator::new(ext);
+                        let answer = ev.eval_query(&f);
+                        writeln!(out, "{}", answer)?;
+                    }
+                    Err(e) => writeln!(out, "error: {}", e)?,
+                },
+                Err(e) => writeln!(out, "parse error: {}", e)?,
+            },
+            "connected" => match self.extension() {
+                Ok(ext) => {
+                    let ev = Evaluator::new(ext);
+                    writeln!(out, "{}", ev.eval_sentence(&queries::connectivity()))?;
+                }
+                Err(e) => writeln!(out, "error: {}", e)?,
+            },
+            "encode" => match self.extension() {
+                Ok(ext) => writeln!(out, "{}", lcdb_tm::encode::encode(ext))?,
+                Err(e) => writeln!(out, "error: {}", e)?,
+            },
+            "contains" => {
+                let mut parts = rest.split_whitespace();
+                let Some(name) = parts.next() else {
+                    writeln!(out, "usage: contains NAME p1 p2 …")?;
+                    return Ok(true);
+                };
+                let Some(rel) = self.db.relation(name) else {
+                    writeln!(out, "error: unknown relation '{}'", name)?;
+                    return Ok(true);
+                };
+                let mut point = Vec::new();
+                for p in parts {
+                    match p.parse() {
+                        Ok(v) => point.push(v),
+                        Err(e) => {
+                            writeln!(out, "error: bad coordinate '{}': {}", p, e)?;
+                            return Ok(true);
+                        }
+                    }
+                }
+                if point.len() != rel.arity() {
+                    writeln!(
+                        out,
+                        "error: {} has arity {}, got {} coordinates",
+                        name,
+                        rel.arity(),
+                        point.len()
+                    )?;
+                } else {
+                    writeln!(out, "{}", rel.contains(&point))?;
+                }
+            }
+            other => writeln!(out, "error: unknown command '{}' (try `help`)", other)?,
+        }
+        Ok(true)
+    }
+}
+
+/// Parse `NAME(v1, v2, …) := FORMULA`.
+fn parse_rel_definition(src: &str) -> Result<(String, Vec<String>, lcdb_logic::Formula), String> {
+    let (head, body) = src
+        .split_once(":=")
+        .ok_or("expected `NAME(vars) := formula`")?;
+    let head = head.trim();
+    let open = head.find('(').ok_or("expected '(' in relation head")?;
+    if !head.ends_with(')') {
+        return Err("expected ')' at the end of the relation head".into());
+    }
+    let name = head[..open].trim().to_string();
+    if name.is_empty() {
+        return Err("empty relation name".into());
+    }
+    let vars: Vec<String> = head[open + 1..head.len() - 1]
+        .split(',')
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .collect();
+    if vars.is_empty() {
+        return Err("relation needs at least one variable".into());
+    }
+    let formula = parse_formula(body.trim()).map_err(|e| e.to_string())?;
+    Ok((name, vars, formula))
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shell = Shell::new();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    // One-shot mode: -e "cmd" (repeatable).
+    if args.first().map(String::as_str) == Some("-e") {
+        for cmd in args[1..].iter() {
+            if !shell.execute(cmd, &mut out)? {
+                break;
+            }
+        }
+        return Ok(());
+    }
+
+    // Script mode: each non-empty line of each file is a command.
+    if !args.is_empty() {
+        for path in &args {
+            let text = std::fs::read_to_string(path)?;
+            for line in text.lines() {
+                if !shell.execute(line, &mut out)? {
+                    return Ok(());
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    // Interactive REPL.
+    writeln!(out, "lcdb — linear constraint databases with region logics")?;
+    writeln!(out, "type `help` for commands, `quit` to leave")?;
+    let stdin = std::io::stdin();
+    loop {
+        write!(out, "lcdb> ")?;
+        out.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        if !shell.execute(&line, &mut out)? {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cmds: &[&str]) -> String {
+        let mut shell = Shell::new();
+        let mut out = Vec::new();
+        for c in cmds {
+            let cont = shell.execute(c, &mut out).unwrap();
+            if !cont {
+                break;
+            }
+        }
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn define_and_query() {
+        let out = run(&[
+            "rel S(x) := (0 < x and x < 1) or (2 < x and x < 3)",
+            "connected",
+            "contains S 1/2",
+            "contains S 3/2",
+        ]);
+        assert!(out.contains("defined S"));
+        assert!(out.contains("false"), "{}", out);
+        assert!(out.contains("true"), "{}", out);
+    }
+
+    #[test]
+    fn sentence_and_query_commands() {
+        let out = run(&[
+            "rel S(x) := 0 < x and x < 2",
+            "sentence exists R. R subset S",
+            "query exists x. S(x) and y = x + 1",
+        ]);
+        assert!(out.contains("true"), "{}", out);
+        assert!(out.contains("y"), "query output mentions y: {}", out);
+    }
+
+    #[test]
+    fn regions_listing() {
+        let out = run(&["rel S(x) := 0 < x and x < 1", "regions"]);
+        assert!(out.contains("5 regions"), "{}", out);
+        assert!(out.contains("in-S=true"), "{}", out);
+    }
+
+    #[test]
+    fn decomposition_switch() {
+        let out = run(&[
+            "rel S(x) := 0 <= x and x <= 1",
+            "decomposition nc1",
+            "regions",
+        ]);
+        assert!(out.contains("3 regions"), "{}", out);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let out = run(&[
+            "sentence true",
+            "rel S := junk",
+            "rel S(x) := 0 < x",
+            "spatial T",
+            "decomposition weird",
+            "contains S 1 2",
+            "nonsense",
+        ]);
+        assert!(out.contains("no relation defined yet"));
+        assert!(out.contains("error"));
+        assert!(out.contains("unknown command"));
+        assert!(out.contains("arity"));
+    }
+
+    #[test]
+    fn encode_command() {
+        let out = run(&["rel S(x) := 0 < x and x < 2", "encode"]);
+        assert!(out.contains('@'), "{}", out);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let out = run(&["# a comment", "", "   "]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rel_parse_failures() {
+        assert!(parse_rel_definition("S(x) : = foo").is_err());
+        assert!(parse_rel_definition("(x) := x < 1").is_err());
+        assert!(parse_rel_definition("S() := x < 1").is_err());
+        assert!(parse_rel_definition("S(x) := x <").is_err());
+        let ok = parse_rel_definition("S(x, y) := x < y");
+        assert!(ok.is_ok());
+        assert_eq!(ok.unwrap().1, vec!["x".to_string(), "y".to_string()]);
+    }
+}

@@ -1,0 +1,1228 @@
+//! Evaluation of region-logic queries against a region extension.
+//!
+//! The evaluator implements the algorithms behind Theorems 4.3, 6.1 and 7.3:
+//!
+//! * region quantifiers expand into finite disjunctions/conjunctions over
+//!   the region sort;
+//! * element quantifiers are eliminated by Fourier–Motzkin (with
+//!   feasibility-pruned DNF conversion), so the result of a query with free
+//!   element variables is a quantifier-free FO+LIN formula — *closure*;
+//! * fixed points iterate over `P(Reg^k)` — a finite lattice, so iteration
+//!   always terminates (the paper's central design point);
+//! * `TC`/`DTC` compute reachability over tuples of regions;
+//! * `rBIT` extracts the binary representation of a defined rational.
+//!
+//! Fixed points and TC edge relations are memoized per operator node and
+//! outer environment, which is what makes e.g. the connectivity query cost
+//! one fixed-point computation instead of `|Reg|²` of them.
+
+use crate::regfo::{FixMode, RegFormula, RegionVar, SetVar};
+use crate::region::Decomposition;
+use lcdb_arith::{Rational, Sign};
+use lcdb_logic::dnf::{to_dnf_pruned, Dnf};
+use lcdb_logic::{qe, Formula, Rel, Var};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::rc::Rc;
+
+/// Counters describing the work an evaluation performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixed-point iterations (applications of the stage operator).
+    pub fix_iterations: usize,
+    /// Tuples tested across all fixed-point stages.
+    pub fix_tuple_tests: usize,
+    /// Quantifier eliminations of element variables.
+    pub qe_calls: usize,
+    /// Region-quantifier expansions (regions × quantifiers).
+    pub region_expansions: usize,
+    /// Transitive-closure edge evaluations.
+    pub tc_edge_tests: usize,
+}
+
+/// Environment: bindings for region variables and set variables.
+#[derive(Clone, Default, Debug, PartialEq, Eq, Hash)]
+struct Env {
+    regions: BTreeMap<RegionVar, usize>,
+    sets: BTreeMap<SetVar, Rc<BTreeSet<Vec<usize>>>>,
+}
+
+impl Env {
+    fn region(&self, v: &str) -> usize {
+        *self
+            .regions
+            .get(v)
+            .unwrap_or_else(|| panic!("unbound region variable '{}'", v))
+    }
+
+}
+
+/// Static facts about a formula node, computed once and keyed by the node's
+/// address (stable while the query AST is borrowed).
+#[derive(Clone)]
+struct NodeInfo {
+    elem_free: bool,
+    set_free: bool,
+    /// Free region variables, sorted by name.
+    free_regions: Rc<Vec<RegionVar>>,
+}
+
+/// Cache key: interned node id plus the bindings of its free region
+/// variables (in name order). Only set-variable-free nodes are cached this
+/// way.
+type NodeKey = (u32, Vec<usize>);
+
+/// Evaluator for region-logic formulas over a fixed region extension.
+///
+/// Caches are keyed by node addresses within the formulas passed to the
+/// public entry points; they are cleared on every entry call, so results
+/// never leak between different query ASTs.
+pub struct Evaluator<'a> {
+    ext: &'a dyn Decomposition,
+    /// Structural interning: formulas that are equal share one id, so
+    /// repeated instances of e.g. the order predicates share cache entries.
+    intern: RefCell<HashMap<RegFormula, u32>>,
+    /// Address → interned id, so the structural lookup happens once per node.
+    addr_to_id: RefCell<HashMap<usize, u32>>,
+    node_info: RefCell<HashMap<u32, NodeInfo>>,
+    fix_cache: RefCell<HashMap<NodeKey, Rc<BTreeSet<Vec<usize>>>>>,
+    tc_cache: RefCell<HashMap<NodeKey, Rc<Vec<Vec<usize>>>>>,
+    bool_cache: RefCell<HashMap<NodeKey, bool>>,
+    positivity_checked: RefCell<HashSet<u32>>,
+    stats: RefCell<EvalStats>,
+    zero_dim_order: Vec<usize>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator over a region extension.
+    pub fn new(ext: &'a dyn Decomposition) -> Self {
+        // Order the 0-dimensional regions lexicographically by the point they
+        // contain (they are singletons); this is the total order the rBIT
+        // operator and the capture construction rely on (§5, §6).
+        let mut zero_dim: Vec<usize> = ext
+            .region_ids()
+            .filter(|&r| ext.region(r).dim == 0)
+            .collect();
+        zero_dim.sort_by(|&a, &b| ext.region(a).witness.cmp(&ext.region(b).witness));
+        Evaluator {
+            ext,
+            intern: RefCell::new(HashMap::new()),
+            addr_to_id: RefCell::new(HashMap::new()),
+            node_info: RefCell::new(HashMap::new()),
+            fix_cache: RefCell::new(HashMap::new()),
+            tc_cache: RefCell::new(HashMap::new()),
+            bool_cache: RefCell::new(HashMap::new()),
+            positivity_checked: RefCell::new(HashSet::new()),
+            stats: RefCell::new(EvalStats::default()),
+            zero_dim_order: zero_dim,
+        }
+    }
+
+    /// Interned id of a node: one structural hash per address, shared across
+    /// structurally equal nodes.
+    fn node_id(&self, f: &RegFormula) -> u32 {
+        let addr = f as *const RegFormula as usize;
+        if let Some(&id) = self.addr_to_id.borrow().get(&addr) {
+            return id;
+        }
+        let mut intern = self.intern.borrow_mut();
+        let next = intern.len() as u32;
+        let id = *intern.entry(f.clone()).or_insert(next);
+        self.addr_to_id.borrow_mut().insert(addr, id);
+        id
+    }
+
+    /// Address-keyed caches are only valid for the AST they were built from;
+    /// clear them when a new query enters.
+    fn clear_caches(&self) {
+        self.intern.borrow_mut().clear();
+        self.addr_to_id.borrow_mut().clear();
+        self.node_info.borrow_mut().clear();
+        self.fix_cache.borrow_mut().clear();
+        self.tc_cache.borrow_mut().clear();
+        self.bool_cache.borrow_mut().clear();
+        self.positivity_checked.borrow_mut().clear();
+    }
+
+    fn info(&self, f: &RegFormula) -> (u32, NodeInfo) {
+        let id = self.node_id(f);
+        if let Some(i) = self.node_info.borrow().get(&id) {
+            return (id, i.clone());
+        }
+        let info = NodeInfo {
+            elem_free: f.free_element_vars().is_empty(),
+            set_free: f.free_set_vars().is_empty(),
+            free_regions: Rc::new(f.free_region_vars().into_iter().collect()),
+        };
+        self.node_info.borrow_mut().insert(id, info.clone());
+        (id, info)
+    }
+
+    fn bindings(&self, info: &NodeInfo, env: &Env) -> Vec<usize> {
+        info.free_regions.iter().map(|v| env.region(v)).collect()
+    }
+
+    /// The accumulated work counters.
+    pub fn stats(&self) -> EvalStats {
+        *self.stats.borrow()
+    }
+
+    /// The region extension under evaluation.
+    pub fn extension(&self) -> &dyn Decomposition {
+        self.ext
+    }
+
+    /// The lexicographic order on 0-dimensional regions (region ids, rank
+    /// `1..=n` in the paper's numbering).
+    pub fn zero_dim_order(&self) -> &[usize] {
+        &self.zero_dim_order
+    }
+
+    /// Evaluate a sentence (no free variables of any sort) to a boolean.
+    ///
+    /// # Panics
+    /// Panics if the formula has free variables.
+    pub fn eval_sentence(&self, f: &RegFormula) -> bool {
+        assert!(
+            f.free_element_vars().is_empty(),
+            "sentence has free element variables"
+        );
+        assert!(
+            f.free_region_vars().is_empty(),
+            "sentence has free region variables"
+        );
+        assert!(
+            f.free_set_vars().is_empty(),
+            "sentence has free set variables"
+        );
+        self.clear_caches();
+        let out = self.eval(f, &Env::default());
+        out.eval(&BTreeMap::new())
+    }
+
+    /// Evaluate a query with free *element* variables to a quantifier-free
+    /// FO+LIN formula over those variables (the closure property of §2: the
+    /// answer is again a finitely representable relation).
+    ///
+    /// # Panics
+    /// Panics if the formula has free region or set variables.
+    pub fn eval_query(&self, f: &RegFormula) -> Formula {
+        assert!(
+            f.free_region_vars().is_empty(),
+            "query has free region variables"
+        );
+        assert!(f.free_set_vars().is_empty(), "query has free set variables");
+        self.clear_caches();
+        let out = self.eval(f, &Env::default());
+        to_dnf_pruned(&out).simplify_strong().to_formula()
+    }
+
+    /// Evaluate an open query and package the answer as a [`lcdb_logic::Relation`] over
+    /// the given variable order — the query's result as a first-class
+    /// database object (closure, §2).
+    ///
+    /// # Panics
+    /// Panics if the formula's free element variables are not exactly
+    /// `var_order`, or if region/set variables are free.
+    pub fn eval_query_to_relation(
+        &self,
+        f: &RegFormula,
+        var_order: &[Var],
+    ) -> lcdb_logic::Relation {
+        let free = f.free_element_vars();
+        assert_eq!(
+            free,
+            var_order.iter().cloned().collect(),
+            "variable order must match the query's free element variables"
+        );
+        let qf = self.eval_query(f);
+        lcdb_logic::Relation::new(var_order.to_vec(), &qf)
+    }
+
+    /// Evaluate with explicit region variable bindings (for tests and for
+    /// region-valued sub-queries).
+    pub fn eval_with_regions(
+        &self,
+        f: &RegFormula,
+        bindings: &[(&str, usize)],
+    ) -> Formula {
+        let env = Env {
+            regions: bindings
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect(),
+            sets: BTreeMap::new(),
+        };
+        self.clear_caches();
+        self.eval(f, &env)
+    }
+
+    /// Core recursion: produces a quantifier-free formula over the free
+    /// element variables of `f` (constants `True`/`False` when none).
+    fn eval(&self, f: &RegFormula, env: &Env) -> Formula {
+        // Memoize boolean-valued quantifier nodes per free-variable bindings:
+        // order formulas like succ/first are re-evaluated inside fixed-point
+        // bodies thousands of times with the same bindings. Set-variable
+        // contents change between fixed-point stages, so only set-free
+        // subformulas are cached.
+        if matches!(
+            f,
+            RegFormula::ExistsElem(..)
+                | RegFormula::ForallElem(..)
+                | RegFormula::ExistsRegion(..)
+                | RegFormula::ForallRegion(..)
+        ) {
+            let (id, info) = self.info(f);
+            if info.elem_free && info.set_free {
+                let key = (id, self.bindings(&info, env));
+                if let Some(&b) = self.bool_cache.borrow().get(&key) {
+                    return bool_formula(b);
+                }
+                let out = self.eval_uncached(f, env);
+                let b = match out {
+                    Formula::True => true,
+                    Formula::False => false,
+                    other => other.eval(&BTreeMap::new()),
+                };
+                self.bool_cache.borrow_mut().insert(key, b);
+                return bool_formula(b);
+            }
+        }
+        self.eval_uncached(f, env)
+    }
+
+    fn eval_uncached(&self, f: &RegFormula, env: &Env) -> Formula {
+        match f {
+            RegFormula::True => Formula::True,
+            RegFormula::False => Formula::False,
+            RegFormula::Lin(a) => match a.constant_truth() {
+                Some(true) => Formula::True,
+                Some(false) => Formula::False,
+                None => Formula::Atom(a.clone()),
+            },
+            RegFormula::Pred(name, args) => {
+                let rel = self
+                    .ext
+                    .database()
+                    .relation(name)
+                    .unwrap_or_else(|| panic!("unknown relation '{}'", name));
+                rel.apply(args)
+            }
+            RegFormula::In(args, rvar) => {
+                let id = env.region(rvar);
+                let d = self.ext.ambient_dim();
+                assert_eq!(args.len(), d, "∈ arity mismatch");
+                let tmp: Vec<String> = (0..d).map(|i| format!("__in{}", i)).collect();
+                let mut formula = self.ext.region_formula(id, &tmp);
+                for (t, arg) in tmp.iter().zip(args) {
+                    formula = formula.substitute(t, arg);
+                }
+                formula
+            }
+            RegFormula::Adj(a, b) => {
+                bool_formula(self.ext.adjacent(env.region(a), env.region(b)))
+            }
+            RegFormula::RegionEq(a, b) => bool_formula(env.region(a) == env.region(b)),
+            RegFormula::SubsetOf(r, name) => {
+                bool_formula(self.ext.subset_of(env.region(r), name))
+            }
+            RegFormula::DimEq(r, k) => bool_formula(self.ext.region(env.region(r)).dim == *k),
+            RegFormula::Bounded(r) => bool_formula(self.ext.region(env.region(r)).bounded),
+            RegFormula::And(fs) => {
+                let mut parts = Vec::with_capacity(fs.len());
+                for sub in fs {
+                    match self.eval(sub, env) {
+                        Formula::False => return Formula::False,
+                        Formula::True => {}
+                        other => parts.push(other),
+                    }
+                }
+                Formula::and(parts)
+            }
+            RegFormula::Or(fs) => {
+                let mut parts = Vec::with_capacity(fs.len());
+                for sub in fs {
+                    match self.eval(sub, env) {
+                        Formula::True => return Formula::True,
+                        Formula::False => {}
+                        other => parts.push(other),
+                    }
+                }
+                Formula::or(parts)
+            }
+            RegFormula::Not(inner) => Formula::not(self.eval(inner, env)),
+            RegFormula::ExistsElem(v, inner) => {
+                let sub = self.eval(inner, env);
+                self.stats.borrow_mut().qe_calls += 1;
+                qe::eliminate_one_cells(&sub, v, true)
+            }
+            RegFormula::ForallElem(v, inner) => {
+                let sub = self.eval(inner, env);
+                self.stats.borrow_mut().qe_calls += 1;
+                qe::eliminate_one_cells(&sub, v, false)
+            }
+            RegFormula::ExistsRegion(v, inner) => {
+                let mut parts = Vec::new();
+                let mut env2 = env.clone();
+                env2.regions.insert(v.clone(), 0);
+                for id in self.ext.region_ids() {
+                    self.stats.borrow_mut().region_expansions += 1;
+                    *env2.regions.get_mut(v).expect("just inserted") = id;
+                    match self.eval(inner, &env2) {
+                        Formula::True => return Formula::True,
+                        Formula::False => {}
+                        other => parts.push(other),
+                    }
+                }
+                Formula::or(parts)
+            }
+            RegFormula::ForallRegion(v, inner) => {
+                let mut parts = Vec::new();
+                let mut env2 = env.clone();
+                env2.regions.insert(v.clone(), 0);
+                for id in self.ext.region_ids() {
+                    self.stats.borrow_mut().region_expansions += 1;
+                    *env2.regions.get_mut(v).expect("just inserted") = id;
+                    match self.eval(inner, &env2) {
+                        Formula::False => return Formula::False,
+                        Formula::True => {}
+                        other => parts.push(other),
+                    }
+                }
+                Formula::and(parts)
+            }
+            RegFormula::SetApp(m, vars) => {
+                let set = env
+                    .sets
+                    .get(m)
+                    .unwrap_or_else(|| panic!("unbound set variable '{}'", m));
+                let tuple: Vec<usize> = vars.iter().map(|v| env.region(v)).collect();
+                bool_formula(set.contains(&tuple))
+            }
+            RegFormula::Fix {
+                mode,
+                set_var,
+                vars,
+                body,
+                args,
+            } => {
+                let fixpoint = self.fixpoint_set(f, *mode, set_var, vars, body, env);
+                let tuple: Vec<usize> = args.iter().map(|v| env.region(v)).collect();
+                bool_formula(fixpoint.contains(&tuple))
+            }
+            RegFormula::Rbit { var, body, rn, rd } => {
+                bool_formula(self.eval_rbit(var, body, env.region(rn), env.region(rd), env))
+            }
+            RegFormula::Tc {
+                deterministic,
+                left,
+                right,
+                body,
+                arg_left,
+                arg_right,
+            } => {
+                let src: Vec<usize> = arg_left.iter().map(|v| env.region(v)).collect();
+                let dst: Vec<usize> = arg_right.iter().map(|v| env.region(v)).collect();
+                bool_formula(self.eval_tc(f, *deterministic, left, right, body, env, &src, &dst))
+            }
+        }
+    }
+
+    /// Evaluate a formula with no free element variables to a boolean.
+    fn eval_bool(&self, f: &RegFormula, env: &Env) -> bool {
+        let out = self.eval(f, env);
+        match out {
+            Formula::True => true,
+            Formula::False => false,
+            other => {
+                debug_assert!(
+                    other.free_vars().is_empty(),
+                    "fixed-point bodies must not have free element variables"
+                );
+                other.eval(&BTreeMap::new())
+            }
+        }
+    }
+
+    /// Compute (and memoize) the fixed-point set of a `Fix` node under the
+    /// outer environment.
+    fn fixpoint_set(
+        &self,
+        node: &RegFormula,
+        mode: FixMode,
+        set_var: &str,
+        vars: &[RegionVar],
+        body: &RegFormula,
+        env: &Env,
+    ) -> Rc<BTreeSet<Vec<usize>>> {
+        let _ = node;
+        // Key on the *body*: the fixed point depends only on (body, tuple
+        // variables, set variable, outer bindings), never on the applied
+        // args, so distinct application sites of the same operator share
+        // one computation.
+        let id = self.node_id(body);
+        if self.positivity_checked.borrow_mut().insert(id) {
+            assert!(
+                body.free_element_vars().is_empty(),
+                "fixed-point bodies must not have free element variables (Definition 5.1)"
+            );
+            if mode == FixMode::Lfp {
+                assert!(
+                    body.positive_in(set_var),
+                    "LFP requires the body to be positive in '{}'",
+                    set_var
+                );
+            }
+        }
+        // The fixed point depends only on the *body's* free region variables
+        // other than the tuple variables — crucially *not* on the applied
+        // args, so one computation serves every application site. Bodies
+        // that read outer set variables are not memoized (their contents
+        // change between outer fixed-point stages).
+        let (deps, body_set_free) = {
+            let (_, info) = self.info(body);
+            let deps: Vec<RegionVar> = info
+                .free_regions
+                .iter()
+                .filter(|v| !vars.contains(v))
+                .cloned()
+                .collect();
+            let set_free = body
+                .free_set_vars()
+                .iter()
+                .all(|m| m == set_var);
+            (deps, set_free)
+        };
+        let cache_key = if body_set_free {
+            let key = (id, deps.iter().map(|v| env.region(v)).collect::<Vec<_>>());
+            if let Some(cached) = self.fix_cache.borrow().get(&key) {
+                return Rc::clone(cached);
+            }
+            Some(key)
+        } else {
+            None
+        };
+
+        let k = vars.len();
+        let tuples = all_tuples(self.ext.num_regions(), k);
+        let mut current: Rc<BTreeSet<Vec<usize>>> = Rc::new(BTreeSet::new());
+        let mut seen: HashSet<BTreeSet<Vec<usize>>> = HashSet::new();
+        let result = loop {
+            seen.insert((*current).clone());
+            let mut next: BTreeSet<Vec<usize>> = if mode == FixMode::Ifp {
+                (*current).clone()
+            } else {
+                BTreeSet::new()
+            };
+            let mut env2 = env.clone();
+            env2.sets.insert(set_var.to_string(), Rc::clone(&current));
+            for v in vars {
+                env2.regions.insert(v.clone(), 0);
+            }
+            for tuple in &tuples {
+                if mode == FixMode::Ifp && next.contains(tuple) {
+                    continue;
+                }
+                self.stats.borrow_mut().fix_tuple_tests += 1;
+                for (v, &id) in vars.iter().zip(tuple) {
+                    *env2.regions.get_mut(v).expect("pre-inserted") = id;
+                }
+                if self.eval_bool(body, &env2) {
+                    next.insert(tuple.clone());
+                }
+            }
+            self.stats.borrow_mut().fix_iterations += 1;
+            if next == *current {
+                break Rc::clone(&current);
+            }
+            match mode {
+                FixMode::Lfp | FixMode::Ifp => current = Rc::new(next),
+                FixMode::Pfp => {
+                    if seen.contains(&next) {
+                        // Divergence: the PFP is empty by definition.
+                        break Rc::new(BTreeSet::new());
+                    }
+                    current = Rc::new(next);
+                }
+            }
+        };
+        if let Some(key) = cache_key {
+            self.fix_cache.borrow_mut().insert(key, Rc::clone(&result));
+        }
+        result
+    }
+
+    /// Reachability for the TC/DTC operators: is `dst` reachable from `src`
+    /// (reflexively) via the step relation defined by `body`?
+    #[allow(clippy::too_many_arguments)]
+    fn eval_tc(
+        &self,
+        node: &RegFormula,
+        deterministic: bool,
+        left: &[RegionVar],
+        right: &[RegionVar],
+        body: &RegFormula,
+        env: &Env,
+        src: &[usize],
+        dst: &[usize],
+    ) -> bool {
+        assert_eq!(left.len(), right.len(), "TC tuple arity mismatch");
+        assert!(
+            body.free_element_vars().is_empty(),
+            "TC bodies must not have free element variables"
+        );
+        if src == dst {
+            return true; // a path of length one (n = 1 in Definition 7.2)
+        }
+        let m = left.len();
+        let id = self.node_id(node);
+        let (deps, body_set_free) = {
+            let (_, info) = self.info(body);
+            let deps: Vec<RegionVar> = info
+                .free_regions
+                .iter()
+                .filter(|v| !left.contains(v) && !right.contains(v))
+                .cloned()
+                .collect();
+            (deps, info.set_free)
+        };
+        let cache_key = if body_set_free {
+            Some((id, deps.iter().map(|v| env.region(v)).collect::<Vec<_>>()))
+        } else {
+            None
+        };
+
+        // Memoized edge relation as an adjacency list over tuple indices.
+        let tuples = all_tuples(self.ext.num_regions(), m);
+        let tuple_index: HashMap<&Vec<usize>, usize> =
+            tuples.iter().enumerate().map(|(i, t)| (t, i)).collect();
+        let cached_edges = cache_key
+            .as_ref()
+            .and_then(|key| self.tc_cache.borrow().get(key).cloned());
+        let edges: Rc<Vec<Vec<usize>>> = {
+            if let Some(cached) = cached_edges {
+                cached
+            } else {
+                let mut out = vec![Vec::new(); tuples.len()];
+                let mut env2 = env.clone();
+                for v in left.iter().chain(right) {
+                    env2.regions.insert(v.clone(), 0);
+                }
+                for (i, t1) in tuples.iter().enumerate() {
+                    for (v, &id) in left.iter().zip(t1) {
+                        *env2.regions.get_mut(v).expect("pre-inserted") = id;
+                    }
+                    for t2 in tuples.iter() {
+                        self.stats.borrow_mut().tc_edge_tests += 1;
+                        for (v, &id) in right.iter().zip(t2) {
+                            *env2.regions.get_mut(v).expect("pre-inserted") = id;
+                        }
+                        if self.eval_bool(body, &env2) {
+                            out[i].push(tuple_index[t2]);
+                        }
+                    }
+                }
+                if deterministic {
+                    // DTC: keep only unique successors.
+                    for succs in out.iter_mut() {
+                        if succs.len() != 1 {
+                            succs.clear();
+                        }
+                    }
+                }
+                let rc = Rc::new(out);
+                if let Some(key) = cache_key {
+                    self.tc_cache.borrow_mut().insert(key, Rc::clone(&rc));
+                }
+                rc
+            }
+        };
+
+        // BFS.
+        let start = tuple_index[&src.to_vec()];
+        let goal = tuple_index[&dst.to_vec()];
+        let mut visited = vec![false; tuples.len()];
+        let mut queue = std::collections::VecDeque::new();
+        visited[start] = true;
+        queue.push_back(start);
+        while let Some(cur) = queue.pop_front() {
+            if cur == goal {
+                return true;
+            }
+            for &nxt in &edges[cur] {
+                if !visited[nxt] {
+                    visited[nxt] = true;
+                    queue.push_back(nxt);
+                }
+            }
+        }
+        false
+    }
+
+    /// The `rBIT` operator (Definition 5.1).
+    fn eval_rbit(&self, var: &Var, body: &RegFormula, rn: usize, rd: usize, env: &Env) -> bool {
+        let formula = self.eval(body, env);
+        let free = formula.free_vars();
+        assert!(
+            free.is_empty() || (free.len() == 1 && free.contains(var)),
+            "rBIT body must have exactly the one free element variable '{}'",
+            var
+        );
+        let dnf = to_dnf_pruned(&formula);
+        let Some(a) = unique_solution(&dnf, var) else {
+            return false;
+        };
+        if a.is_zero() {
+            // Case 2: a = 0 relates equal higher-dimensional regions.
+            return rn == rd && self.ext.region(rn).dim > 0;
+        }
+        // Case 1: rank i of R_n among the 0-dim regions indexes a set bit of
+        // the numerator, rank j of R_d a set bit of the denominator.
+        // Ranks are 1-based; rank i corresponds to bit i-1 (LSB first).
+        let Some(i) = self.zero_dim_order.iter().position(|&r| r == rn) else {
+            return false;
+        };
+        let Some(j) = self.zero_dim_order.iter().position(|&r| r == rd) else {
+            return false;
+        };
+        a.numer_magnitude().bit(i as u64) && a.denom_magnitude().bit(j as u64)
+    }
+}
+
+fn bool_formula(b: bool) -> Formula {
+    if b {
+        Formula::True
+    } else {
+        Formula::False
+    }
+}
+
+/// All tuples over `0..n` of length `k` in lexicographic order.
+fn all_tuples(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new()];
+    for _ in 0..k {
+        let mut next = Vec::with_capacity(out.len() * n);
+        for t in &out {
+            for i in 0..n {
+                let mut t2 = t.clone();
+                t2.push(i);
+                next.push(t2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// If the single-variable DNF defines exactly one rational, return it.
+fn unique_solution(dnf: &Dnf, var: &str) -> Option<Rational> {
+    let mut point: Option<Rational> = None;
+    for conj in &dnf.disjuncts {
+        match conjunct_solution(conj, var)? {
+            None => continue,                 // empty disjunct
+            Some(v) => match &point {
+                None => point = Some(v),
+                Some(p) if *p == v => {}
+                _ => return None, // two distinct points
+            },
+        }
+    }
+    point
+}
+
+/// Solution set of a single-variable conjunct: `Ok(None)` = empty,
+/// `Ok(Some(v))` = the single point `v`; outer `None` = a bigger set.
+#[allow(clippy::type_complexity)]
+fn conjunct_solution(conj: &[lcdb_logic::Atom], var: &str) -> Option<Option<Rational>> {
+    // Track the interval [lo, hi] with strictness and any equality pins.
+    let mut lo: Option<(Rational, bool)> = None; // (bound, strict)
+    let mut hi: Option<(Rational, bool)> = None;
+    let mut pin: Option<Rational> = None;
+    for atom in conj {
+        let a = atom.expr.coeff(var);
+        if a.is_zero() {
+            // Ground atom: must be constant.
+            match atom.constant_truth() {
+                Some(true) => continue,
+                Some(false) | None => return Some(None),
+            }
+        }
+        // a·x + c REL 0  ⇒  x REL' -c/a.
+        let bound = -(atom.expr.constant_term() / &a);
+        let flip = a.sign() == Sign::Negative;
+        let rel = if flip { atom.rel.flip() } else { atom.rel };
+        match rel {
+            Rel::Eq => match &pin {
+                None => pin = Some(bound),
+                Some(p) if *p == bound => {}
+                _ => return Some(None),
+            },
+            Rel::Lt | Rel::Le => {
+                let strict = rel == Rel::Lt;
+                hi = Some(match hi {
+                    None => (bound, strict),
+                    Some((h, hs)) => {
+                        if bound < h || (bound == h && strict) {
+                            (bound, strict)
+                        } else {
+                            (h, hs)
+                        }
+                    }
+                });
+            }
+            Rel::Gt | Rel::Ge => {
+                let strict = rel == Rel::Gt;
+                lo = Some(match lo {
+                    None => (bound, strict),
+                    Some((l, ls)) => {
+                        if bound > l || (bound == l && strict) {
+                            (bound, strict)
+                        } else {
+                            (l, ls)
+                        }
+                    }
+                });
+            }
+        }
+    }
+    if let Some(p) = pin {
+        let ok_lo = lo.map_or(true, |(l, s)| if s { p > l } else { p >= l });
+        let ok_hi = hi.map_or(true, |(h, s)| if s { p < h } else { p <= h });
+        return Some(if ok_lo && ok_hi { Some(p) } else { None });
+    }
+    match (lo, hi) {
+        (Some((l, ls)), Some((h, hs))) => {
+            if l > h {
+                Some(None)
+            } else if l == h {
+                if ls || hs {
+                    Some(None)
+                } else {
+                    Some(Some(l))
+                }
+            } else {
+                None // a real interval: not a unique point
+            }
+        }
+        _ => None, // unbounded on some side: not a unique point
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionExtension;
+    use lcdb_arith::int;
+    use lcdb_logic::{parse_formula, Atom, LinExpr, Relation};
+
+    fn relation(src: &str, vars: &[&str]) -> Relation {
+        Relation::new(
+            vars.iter().map(|v| v.to_string()).collect(),
+            &parse_formula(src).unwrap(),
+        )
+    }
+
+    fn interval_ext() -> RegionExtension {
+        RegionExtension::arrangement(relation("0 < x and x < 2", &["x"]))
+    }
+
+    #[test]
+    fn region_quantifiers_expand() {
+        let ext = interval_ext();
+        let ev = Evaluator::new(&ext);
+        // Some region is contained in S.
+        let f = RegFormula::exists_region("R", RegFormula::SubsetOf("R".into(), "S".into()));
+        assert!(ev.eval_sentence(&f));
+        // Not every region is contained in S.
+        let g = RegFormula::forall_region("R", RegFormula::SubsetOf("R".into(), "S".into()));
+        assert!(!ev.eval_sentence(&g));
+    }
+
+    #[test]
+    fn element_quantifiers_via_qe() {
+        let ext = interval_ext();
+        let ev = Evaluator::new(&ext);
+        // ∃x S(x) — S nonempty.
+        let f = RegFormula::exists_elem(
+            "x",
+            RegFormula::Pred("S".into(), vec![LinExpr::var("x")]),
+        );
+        assert!(ev.eval_sentence(&f));
+        // ∀x S(x) — false.
+        let g = RegFormula::forall_elem(
+            "x",
+            RegFormula::Pred("S".into(), vec![LinExpr::var("x")]),
+        );
+        assert!(!ev.eval_sentence(&g));
+        assert!(ev.stats().qe_calls >= 2);
+    }
+
+    #[test]
+    fn query_output_is_quantifier_free() {
+        let ext = interval_ext();
+        let ev = Evaluator::new(&ext);
+        // { y : ∃x (S(x) ∧ y = x + 1) } = (1, 3).
+        let f = RegFormula::exists_elem(
+            "x",
+            RegFormula::and(vec![
+                RegFormula::Pred("S".into(), vec![LinExpr::var("x")]),
+                RegFormula::Lin(Atom::new(
+                    LinExpr::var("y"),
+                    Rel::Eq,
+                    LinExpr::var("x").add(&LinExpr::constant(int(1))),
+                )),
+            ]),
+        );
+        let out = ev.eval_query(&f);
+        assert!(out.is_quantifier_free());
+        let check = |v: i64| {
+            let mut env = BTreeMap::new();
+            env.insert("y".to_string(), int(v));
+            out.eval(&env)
+        };
+        assert!(check(2));
+        assert!(!check(1));
+        assert!(!check(3));
+        assert!(!check(0));
+    }
+
+    #[test]
+    fn membership_in_region() {
+        let ext = interval_ext();
+        let ev = Evaluator::new(&ext);
+        // ∃R (1 ∈ R ∧ R ⊆ S): the point 1 lies in an S-region.
+        let f = RegFormula::exists_region(
+            "R",
+            RegFormula::and(vec![
+                RegFormula::In(vec![LinExpr::constant(int(1))], "R".into()),
+                RegFormula::SubsetOf("R".into(), "S".into()),
+            ]),
+        );
+        assert!(ev.eval_sentence(&f));
+        // Same for the point 5: not in S.
+        let g = RegFormula::exists_region(
+            "R",
+            RegFormula::and(vec![
+                RegFormula::In(vec![LinExpr::constant(int(5))], "R".into()),
+                RegFormula::SubsetOf("R".into(), "S".into()),
+            ]),
+        );
+        assert!(!ev.eval_sentence(&g));
+    }
+
+    #[test]
+    fn lfp_reachability_two_components() {
+        // S = (0,1) ∪ (2,3): regions of S are not mutually reachable.
+        let ext = RegionExtension::arrangement(relation(
+            "(0 < x and x < 1) or (2 < x and x < 3)",
+            &["x"],
+        ));
+        let ev = Evaluator::new(&ext);
+        let conn = crate::queries::connectivity();
+        assert!(!ev.eval_sentence(&conn));
+        // A single interval is connected.
+        let ext2 = interval_ext();
+        let ev2 = Evaluator::new(&ext2);
+        assert!(ev2.eval_sentence(&crate::queries::connectivity()));
+    }
+
+    #[test]
+    fn lfp_positivity_enforced() {
+        let ext = interval_ext();
+        let ev = Evaluator::new(&ext);
+        let bad = RegFormula::exists_region(
+            "R",
+            RegFormula::Fix {
+                mode: FixMode::Lfp,
+                set_var: "M".into(),
+                vars: vec!["X".into()],
+                body: Box::new(RegFormula::not(RegFormula::SetApp(
+                    "M".into(),
+                    vec!["X".into()],
+                ))),
+                args: vec!["R".into()],
+            },
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ev.eval_sentence(&bad)
+        }));
+        assert!(result.is_err(), "negative LFP must be rejected");
+    }
+
+    #[test]
+    fn ifp_handles_non_monotone_bodies() {
+        let ext = interval_ext();
+        let ev = Evaluator::new(&ext);
+        // IFP of "X not yet in M": first stage adds everything; fixpoint = all.
+        let f = RegFormula::forall_region(
+            "R",
+            RegFormula::Fix {
+                mode: FixMode::Ifp,
+                set_var: "M".into(),
+                vars: vec!["X".into()],
+                body: Box::new(RegFormula::not(RegFormula::SetApp(
+                    "M".into(),
+                    vec!["X".into()],
+                ))),
+                args: vec!["R".into()],
+            },
+        );
+        assert!(ev.eval_sentence(&f));
+    }
+
+    #[test]
+    fn pfp_divergence_yields_empty() {
+        let ext = interval_ext();
+        let ev = Evaluator::new(&ext);
+        // PFP of the complement operator oscillates: ∅ → all → ∅ → …
+        // By definition the PFP is then empty.
+        let f = RegFormula::exists_region(
+            "R",
+            RegFormula::Fix {
+                mode: FixMode::Pfp,
+                set_var: "M".into(),
+                vars: vec!["X".into()],
+                body: Box::new(RegFormula::not(RegFormula::SetApp(
+                    "M".into(),
+                    vec!["X".into()],
+                ))),
+                args: vec!["R".into()],
+            },
+        );
+        assert!(!ev.eval_sentence(&f));
+    }
+
+    #[test]
+    fn pfp_converging_body_agrees_with_lfp() {
+        let ext = RegionExtension::arrangement(relation(
+            "(0 < x and x < 1) or (2 < x and x < 3)",
+            &["x"],
+        ));
+        let ev = Evaluator::new(&ext);
+        let body = RegFormula::or(vec![
+            RegFormula::SubsetOf("X".into(), "S".into()),
+            RegFormula::SetApp("M".into(), vec!["X".into()]),
+        ]);
+        for mode in [FixMode::Lfp, FixMode::Ifp, FixMode::Pfp] {
+            let f = RegFormula::forall_region(
+                "R",
+                RegFormula::SubsetOf("R".into(), "S".into()).implies(RegFormula::Fix {
+                    mode,
+                    set_var: "M".into(),
+                    vars: vec!["X".into()],
+                    body: Box::new(body.clone()),
+                    args: vec!["R".into()],
+                }),
+            );
+            assert!(ev.eval_sentence(&f), "{:?}", mode);
+        }
+    }
+
+    #[test]
+    fn tc_and_dtc_reachability() {
+        let ext = interval_ext();
+        let ev = Evaluator::new(&ext);
+        // TC over adjacency starting anywhere reaches everything (the line is
+        // connected through its face poset).
+        let tc_all = RegFormula::forall_region(
+            "A",
+            RegFormula::forall_region(
+                "B",
+                RegFormula::Tc {
+                    deterministic: false,
+                    left: vec!["X".into()],
+                    right: vec!["Y".into()],
+                    body: Box::new(RegFormula::Adj("X".into(), "Y".into())),
+                    arg_left: vec!["A".into()],
+                    arg_right: vec!["B".into()],
+                },
+            ),
+        );
+        assert!(ev.eval_sentence(&tc_all));
+        // DTC over adjacency: interior faces have several adjacent faces, so
+        // deterministic steps are blocked; reflexive pairs still hold.
+        let dtc_refl = RegFormula::forall_region(
+            "A",
+            RegFormula::Tc {
+                deterministic: true,
+                left: vec!["X".into()],
+                right: vec!["Y".into()],
+                body: Box::new(RegFormula::Adj("X".into(), "Y".into())),
+                arg_left: vec!["A".into()],
+                arg_right: vec!["A".into()],
+            },
+        );
+        assert!(ev.eval_sentence(&dtc_refl));
+    }
+
+    #[test]
+    fn dtc_strictly_weaker_than_tc() {
+        // A 'V' of two segments: the vertex has two adjacent higher regions,
+        // so DTC cannot step out of it, but TC can.
+        let ext = RegionExtension::arrangement(relation("0 < x and x < 2", &["x"]));
+        let ev = Evaluator::new(&ext);
+        // From the 0-dim region {0}, TC via adjacency reaches the segment's
+        // region; DTC does not (deg > 1).
+        let zero_region = ext
+            .region_ids()
+            .find(|&r| ext.region(r).dim == 0 && ext.contains_point(r, &[int(0)]))
+            .unwrap();
+        let seg_region = ext
+            .region_ids()
+            .find(|&r| ext.contains_point(r, &[lcdb_arith::rat(1, 2)]))
+            .unwrap();
+        let mk = |det: bool| RegFormula::Tc {
+            deterministic: det,
+            left: vec!["X".into()],
+            right: vec!["Y".into()],
+            body: Box::new(RegFormula::Adj("X".into(), "Y".into())),
+            arg_left: vec!["A".into()],
+            arg_right: vec!["B".into()],
+        };
+        let tc = ev.eval_with_regions(&mk(false), &[("A", zero_region), ("B", seg_region)]);
+        let dtc = ev.eval_with_regions(&mk(true), &[("A", zero_region), ("B", seg_region)]);
+        assert_eq!(tc, Formula::True);
+        assert_eq!(dtc, Formula::False);
+    }
+
+    #[test]
+    fn rbit_extracts_bits() {
+        // S = (0,2); regions: {0}, {2} are the 0-dim regions, ranks 1 and 2.
+        let ext = interval_ext();
+        let ev = Evaluator::new(&ext);
+        assert_eq!(ev.zero_dim_order().len(), 2);
+        let r0 = ev.zero_dim_order()[0]; // {0}, rank 1 -> bit 0
+        let r2 = ev.zero_dim_order()[1]; // {2}, rank 2 -> bit 1
+        // body: x = 3/2  (numerator 3 = 0b11, denominator 2 = 0b10).
+        let body = RegFormula::Lin(Atom::new(
+            LinExpr::var("x").scale(&int(2)),
+            Rel::Eq,
+            LinExpr::constant(int(3)),
+        ));
+        let mk = |rn: &str, rd: &str| RegFormula::Rbit {
+            var: "x".into(),
+            body: Box::new(body.clone()),
+            rn: rn.into(),
+            rd: rd.into(),
+        };
+        // numerator bits 0 and 1 set; denominator bit 1 set only.
+        let t = |rn, rd| {
+            ev.eval_with_regions(&mk("Rn", "Rd"), &[("Rn", rn), ("Rd", rd)]) == Formula::True
+        };
+        assert!(t(r0, r2)); // num bit0=1, den bit1=1
+        assert!(t(r2, r2)); // num bit1=1, den bit1=1
+        assert!(!t(r0, r0)); // den bit0=0
+        assert!(!t(r2, r0));
+    }
+
+    #[test]
+    fn rbit_zero_case_and_non_unique() {
+        let ext = interval_ext();
+        let ev = Evaluator::new(&ext);
+        let seg = ext
+            .region_ids()
+            .find(|&r| ext.region(r).dim == 1 && ext.contains_point(r, &[int(1)]))
+            .unwrap();
+        let zero_r = ev.zero_dim_order()[0];
+        // body: x = 0.
+        let zero_body = RegFormula::Lin(Atom::new(
+            LinExpr::var("x"),
+            Rel::Eq,
+            LinExpr::zero(),
+        ));
+        let mk = |body: RegFormula| RegFormula::Rbit {
+            var: "x".into(),
+            body: Box::new(body),
+            rn: "Rn".into(),
+            rd: "Rd".into(),
+        };
+        let t = |f: &RegFormula, rn, rd| {
+            ev.eval_with_regions(f, &[("Rn", rn), ("Rd", rd)]) == Formula::True
+        };
+        let f0 = mk(zero_body);
+        assert!(t(&f0, seg, seg), "a=0 relates equal higher-dim regions");
+        assert!(!t(&f0, zero_r, zero_r), "a=0 excludes 0-dim regions");
+        // Non-unique solution (an interval): empty relation.
+        let interval_body = RegFormula::Lin(Atom::new(
+            LinExpr::var("x"),
+            Rel::Gt,
+            LinExpr::zero(),
+        ));
+        let fi = mk(interval_body);
+        assert!(!t(&fi, zero_r, zero_r));
+        assert!(!t(&fi, seg, seg));
+    }
+
+    #[test]
+    fn fix_cache_effective() {
+        let ext = RegionExtension::arrangement(relation("0 < x and x < 2", &["x"]));
+        let ev = Evaluator::new(&ext);
+        let conn = crate::queries::connectivity();
+        let _ = ev.eval_sentence(&conn);
+        let s = ev.stats();
+        // One fixed point for all (Rx, Ry) pairs: iterations bounded by the
+        // lattice height, not multiplied by |Reg|².
+        assert!(
+            s.fix_iterations <= ext.num_regions() + 2,
+            "fixpoint recomputed per argument pair: {} iterations",
+            s.fix_iterations
+        );
+    }
+
+    #[test]
+    fn unique_solution_analysis() {
+        use lcdb_logic::parse_formula;
+        let check = |src: &str| {
+            let f = parse_formula(src).unwrap();
+            unique_solution(&to_dnf_pruned(&f), "x")
+        };
+        assert_eq!(check("x = 3"), Some(int(3)));
+        assert_eq!(check("2*x = 3"), Some(lcdb_arith::rat(3, 2)));
+        assert_eq!(check("x >= 1 and x <= 1"), Some(int(1)));
+        assert_eq!(check("x = 1 or x = 1"), Some(int(1)));
+        assert_eq!(check("x = 1 or x = 2"), None);
+        assert_eq!(check("x > 0 and x < 1"), None);
+        assert_eq!(check("x > 0"), None);
+        assert_eq!(check("x = 1 and x = 2"), None); // empty
+        assert_eq!(check("x = 1 or (x > 5 and x < 4)"), Some(int(1)));
+    }
+}
+
+#[cfg(test)]
+mod relation_output_tests {
+    use crate::region::RegionExtension;
+    use crate::{Evaluator, RegFormula};
+    use lcdb_arith::{int, rat};
+    use lcdb_logic::{parse_formula, LinExpr, Relation};
+
+    #[test]
+    fn query_answers_are_relations() {
+        let rel = Relation::new(
+            vec!["x".into()],
+            &parse_formula("(0 < x and x < 1) or (2 < x and x < 3)").unwrap(),
+        );
+        let ext = RegionExtension::arrangement(rel);
+        let ev = Evaluator::new(&ext);
+        // { y : ∃x (S(x) ∧ y = 2x) } = (0,2) ∪ (4,6).
+        let q = RegFormula::exists_elem(
+            "x",
+            RegFormula::and(vec![
+                RegFormula::Pred("S".into(), vec![LinExpr::var("x")]),
+                RegFormula::Lin(lcdb_logic::Atom::new(
+                    LinExpr::var("y"),
+                    lcdb_logic::Rel::Eq,
+                    LinExpr::var("x").scale(&int(2)),
+                )),
+            ]),
+        );
+        let answer = ev.eval_query_to_relation(&q, &["y".into()]);
+        assert!(answer.contains(&[int(1)]));
+        assert!(answer.contains(&[int(5)]));
+        assert!(!answer.contains(&[int(3)]));
+        assert!(!answer.contains(&[rat(13, 2)]));
+        // The answer relation can itself be decomposed and queried.
+        let ext2 = RegionExtension::arrangement(answer);
+        let ev2 = Evaluator::new(&ext2);
+        assert!(!ev2.eval_sentence(&crate::queries::connectivity()));
+    }
+}

@@ -1,0 +1,554 @@
+//! Region extensions `B^Reg` of linear constraint databases (Definition 4.1)
+//! and the [`Decomposition`] interface shared by the arrangement of §3 and
+//! the NC¹ decomposition of §7/Appendix A.
+
+use lcdb_arith::Rational;
+use lcdb_geom::nc1::{Nc1Decomposition, RegionKind};
+use lcdb_geom::{Arrangement, Hyperplane, VPolyhedron};
+use lcdb_linalg::QVector;
+use lcdb_logic::{Database, Formula, LinExpr, Relation};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Per-region metadata exposed to the logics.
+#[derive(Clone, Debug)]
+pub struct RegionData {
+    /// Region id in `0..num_regions()`.
+    pub id: usize,
+    /// Dimension of the region (of its affine support).
+    pub dim: usize,
+    /// Is the region contained in some hypercube?
+    pub bounded: bool,
+    /// A point in the (relative) interior of the region.
+    pub witness: QVector,
+}
+
+/// A decomposition of `ℝ^d` into finitely many regions, together with the
+/// database it was derived from. This is the second sort of `B^Reg`; the
+/// logics of §4–§7 are parametric in it (Note 7.1).
+pub trait Decomposition {
+    /// Ambient dimension `d`.
+    fn ambient_dim(&self) -> usize;
+
+    /// The database the structure expands.
+    fn database(&self) -> &Database;
+
+    /// Name of the designated spatial relation `S`.
+    fn spatial_relation(&self) -> &str;
+
+    /// Number of regions.
+    fn num_regions(&self) -> usize;
+
+    /// Metadata for one region.
+    fn region(&self, id: usize) -> &RegionData;
+
+    /// The paper's adjacency relation `adj` (Definition 4.1): one region is
+    /// contained in the closure of the other.
+    fn adjacent(&self, a: usize, b: usize) -> bool;
+
+    /// The containment relation `∈`: is the point inside the region?
+    fn contains_point(&self, id: usize, x: &[Rational]) -> bool;
+
+    /// A quantifier-free formula over `vars` defining the region.
+    fn region_formula(&self, id: usize, vars: &[String]) -> Formula;
+
+    /// Is the region entirely contained in the named relation?
+    ///
+    /// Exact for the arrangement (regions are membership-homogeneous, §3);
+    /// for the NC¹ decomposition this is decided at the witness point, which
+    /// the paper accepts as the price of the weaker decomposition (§7).
+    fn subset_of(&self, id: usize, relation: &str) -> bool;
+
+    /// All region ids, convenience.
+    fn region_ids(&self) -> std::ops::Range<usize> {
+        0..self.num_regions()
+    }
+}
+
+/// The arrangement-based region structure of §3/§4: regions are the faces of
+/// `A(S)` (extended over the hyperplanes of *all* database relations of the
+/// same arity, so every relation is homogeneous on every region).
+pub struct ArrangementRegions {
+    db: Database,
+    spatial: String,
+    arrangement: Arrangement,
+    data: Vec<RegionData>,
+}
+
+impl ArrangementRegions {
+    /// Build from a database and the designated spatial relation name.
+    ///
+    /// # Panics
+    /// Panics if the relation is missing.
+    pub fn new(db: Database, spatial: &str) -> Self {
+        let rel = db
+            .relation(spatial)
+            .unwrap_or_else(|| panic!("unknown spatial relation '{}'", spatial));
+        let d = rel.arity();
+        // Union of hyperplanes across all d-ary relations: keeps every
+        // relation sign-homogeneous per face.
+        let mut hyperplanes: Vec<Hyperplane> = Vec::new();
+        for (_, r) in db.relations() {
+            if r.arity() == d {
+                for h in lcdb_geom::extract_hyperplanes(r) {
+                    if !hyperplanes.contains(&h) {
+                        hyperplanes.push(h);
+                    }
+                }
+            }
+        }
+        let arrangement = Arrangement::build(d, hyperplanes);
+        let data = arrangement
+            .faces()
+            .iter()
+            .map(|f| RegionData {
+                id: f.id,
+                dim: f.dim,
+                bounded: f.bounded,
+                witness: f.witness.clone(),
+            })
+            .collect();
+        ArrangementRegions {
+            db,
+            spatial: spatial.to_string(),
+            arrangement,
+            data,
+        }
+    }
+
+    /// The underlying arrangement.
+    pub fn arrangement(&self) -> &Arrangement {
+        &self.arrangement
+    }
+}
+
+impl Decomposition for ArrangementRegions {
+    fn ambient_dim(&self) -> usize {
+        self.arrangement.ambient_dim()
+    }
+
+    fn database(&self) -> &Database {
+        &self.db
+    }
+
+    fn spatial_relation(&self) -> &str {
+        &self.spatial
+    }
+
+    fn num_regions(&self) -> usize {
+        self.data.len()
+    }
+
+    fn region(&self, id: usize) -> &RegionData {
+        &self.data[id]
+    }
+
+    fn adjacent(&self, a: usize, b: usize) -> bool {
+        self.arrangement.adjacent(a, b)
+    }
+
+    fn contains_point(&self, id: usize, x: &[Rational]) -> bool {
+        self.arrangement.face_contains(id, x)
+    }
+
+    fn region_formula(&self, id: usize, vars: &[String]) -> Formula {
+        Formula::and(
+            self.arrangement
+                .face_atoms(id, vars)
+                .into_iter()
+                .map(Formula::Atom)
+                .collect(),
+        )
+    }
+
+    fn subset_of(&self, id: usize, relation: &str) -> bool {
+        let rel = self
+            .db
+            .relation(relation)
+            .unwrap_or_else(|| panic!("unknown relation '{}'", relation));
+        // Faces are homogeneous w.r.t. every relation whose hyperplanes are
+        // in the arrangement, so the witness decides containment exactly.
+        rel.contains(&self.data[id].witness)
+    }
+}
+
+/// The NC¹ region structure of §7/Appendix A: `regions(S)` is the union of
+/// the per-disjunct vertex-fan decompositions.
+pub struct Nc1Regions {
+    db: Database,
+    spatial: String,
+    decomposition: Nc1Decomposition,
+    data: Vec<RegionData>,
+    adjacency: RefCell<HashMap<(usize, usize), bool>>,
+    formulas: RefCell<HashMap<usize, Formula>>,
+}
+
+impl Nc1Regions {
+    /// Build from a database and the designated spatial relation name.
+    pub fn new(db: Database, spatial: &str) -> Self {
+        let rel = db
+            .relation(spatial)
+            .unwrap_or_else(|| panic!("unknown spatial relation '{}'", spatial));
+        let decomposition = lcdb_geom::nc1::decompose_relation(rel);
+        let data = decomposition
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(id, r)| RegionData {
+                id,
+                dim: r.dim,
+                bounded: r.set.is_bounded(),
+                witness: r.set.interior_point(),
+            })
+            .collect();
+        Nc1Regions {
+            db,
+            spatial: spatial.to_string(),
+            decomposition,
+            data,
+            adjacency: RefCell::new(HashMap::new()),
+            formulas: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying decomposition.
+    pub fn decomposition(&self) -> &Nc1Decomposition {
+        &self.decomposition
+    }
+
+    /// Construction kind of a region.
+    pub fn kind(&self, id: usize) -> RegionKind {
+        self.decomposition.regions[id].kind
+    }
+
+    fn vpoly(&self, id: usize) -> &VPolyhedron {
+        &self.decomposition.regions[id].set
+    }
+}
+
+impl Decomposition for Nc1Regions {
+    fn ambient_dim(&self) -> usize {
+        self.decomposition.dim
+    }
+
+    fn database(&self) -> &Database {
+        &self.db
+    }
+
+    fn spatial_relation(&self) -> &str {
+        &self.spatial
+    }
+
+    fn num_regions(&self) -> usize {
+        self.data.len()
+    }
+
+    fn region(&self, id: usize) -> &RegionData {
+        &self.data[id]
+    }
+
+    fn adjacent(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&v) = self.adjacency.borrow().get(&key) {
+            return v;
+        }
+        let v = self.vpoly(a).adjacent(self.vpoly(b));
+        self.adjacency.borrow_mut().insert(key, v);
+        v
+    }
+
+    fn contains_point(&self, id: usize, x: &[Rational]) -> bool {
+        self.vpoly(id).contains(x)
+    }
+
+    fn region_formula(&self, id: usize, vars: &[String]) -> Formula {
+        if let Some(f) = self.formulas.borrow().get(&id) {
+            return rename_region_formula(f, self.ambient_dim(), vars);
+        }
+        // Build `x ∈ openconv(points; rays)` as an existential formula over
+        // the hull coefficients, then eliminate them by Fourier–Motzkin.
+        let d = self.ambient_dim();
+        let canon: Vec<String> = (0..d).map(canonical_var).collect();
+        let vp = self.vpoly(id);
+        let np = vp.points().len();
+        let nr = vp.rays().len();
+        let avars: Vec<String> = (0..np).map(|i| format!("__a{}", i)).collect();
+        let bvars: Vec<String> = (0..nr).map(|j| format!("__b{}", j)).collect();
+        let mut conj: Vec<Formula> = Vec::new();
+        for coord in 0..d {
+            // x_coord = Σ a_i p_i[coord] + Σ b_j r_j[coord]
+            let mut rhs = LinExpr::zero();
+            for (i, p) in vp.points().iter().enumerate() {
+                rhs = rhs.add(&LinExpr::var(avars[i].clone()).scale(&p[coord]));
+            }
+            for (j, r) in vp.rays().iter().enumerate() {
+                rhs = rhs.add(&LinExpr::var(bvars[j].clone()).scale(&r[coord]));
+            }
+            conj.push(Formula::Atom(lcdb_logic::Atom::new(
+                LinExpr::var(canon[coord].clone()),
+                lcdb_logic::Rel::Eq,
+                rhs,
+            )));
+        }
+        let mut sum = LinExpr::zero();
+        for a in &avars {
+            sum = sum.add(&LinExpr::var(a.clone()));
+        }
+        conj.push(Formula::Atom(lcdb_logic::Atom::new(
+            sum,
+            lcdb_logic::Rel::Eq,
+            LinExpr::constant(Rational::one()),
+        )));
+        for v in avars.iter().chain(&bvars) {
+            conj.push(Formula::Atom(lcdb_logic::Atom::new(
+                LinExpr::var(v.clone()),
+                lcdb_logic::Rel::Gt,
+                LinExpr::zero(),
+            )));
+        }
+        let mut f = Formula::and(conj);
+        for v in avars.iter().chain(&bvars) {
+            f = Formula::Exists(v.clone(), Box::new(f));
+        }
+        let qf = lcdb_logic::qe::eliminate_quantifiers(&f);
+        self.formulas.borrow_mut().insert(id, qf.clone());
+        rename_region_formula(&qf, d, vars)
+    }
+
+    fn subset_of(&self, id: usize, relation: &str) -> bool {
+        let rel = self
+            .db
+            .relation(relation)
+            .unwrap_or_else(|| panic!("unknown relation '{}'", relation));
+        rel.contains(&self.data[id].witness)
+    }
+}
+
+fn canonical_var(i: usize) -> String {
+    format!("__x{}", i)
+}
+
+/// Rename the canonical coordinate variables of a cached region formula to
+/// the caller's variable names.
+fn rename_region_formula(f: &Formula, d: usize, vars: &[String]) -> Formula {
+    assert_eq!(vars.len(), d);
+    let mut out = f.clone();
+    for (i, v) in vars.iter().enumerate() {
+        out = out.substitute(&canonical_var(i), &LinExpr::var(v.clone()));
+    }
+    out
+}
+
+/// A region extension `B^Reg`: the database together with one of the two
+/// decompositions, behind the common [`Decomposition`] interface.
+pub struct RegionExtension {
+    inner: Box<dyn Decomposition>,
+}
+
+impl RegionExtension {
+    /// Region extension over the arrangement `A(S)` (§3), for a single
+    /// spatial relation named `S`.
+    pub fn arrangement(relation: Relation) -> Self {
+        let mut db = Database::new();
+        db.insert("S", relation);
+        Self::arrangement_db(db, "S")
+    }
+
+    /// Region extension over the arrangement, general database form.
+    pub fn arrangement_db(db: Database, spatial: &str) -> Self {
+        RegionExtension {
+            inner: Box::new(ArrangementRegions::new(db, spatial)),
+        }
+    }
+
+    /// Region extension over the NC¹ decomposition (§7), single relation.
+    pub fn nc1(relation: Relation) -> Self {
+        let mut db = Database::new();
+        db.insert("S", relation);
+        Self::nc1_db(db, "S")
+    }
+
+    /// Region extension over the NC¹ decomposition, general database form.
+    pub fn nc1_db(db: Database, spatial: &str) -> Self {
+        RegionExtension {
+            inner: Box::new(Nc1Regions::new(db, spatial)),
+        }
+    }
+
+    /// Access the decomposition interface.
+    pub fn decomposition(&self) -> &dyn Decomposition {
+        self.inner.as_ref()
+    }
+}
+
+impl Decomposition for RegionExtension {
+    fn ambient_dim(&self) -> usize {
+        self.inner.ambient_dim()
+    }
+    fn database(&self) -> &Database {
+        self.inner.database()
+    }
+    fn spatial_relation(&self) -> &str {
+        self.inner.spatial_relation()
+    }
+    fn num_regions(&self) -> usize {
+        self.inner.num_regions()
+    }
+    fn region(&self, id: usize) -> &RegionData {
+        self.inner.region(id)
+    }
+    fn adjacent(&self, a: usize, b: usize) -> bool {
+        self.inner.adjacent(a, b)
+    }
+    fn contains_point(&self, id: usize, x: &[Rational]) -> bool {
+        self.inner.contains_point(id, x)
+    }
+    fn region_formula(&self, id: usize, vars: &[String]) -> Formula {
+        self.inner.region_formula(id, vars)
+    }
+    fn subset_of(&self, id: usize, relation: &str) -> bool {
+        self.inner.subset_of(id, relation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdb_arith::{int, rat};
+    use lcdb_logic::parse_formula;
+    use std::collections::BTreeMap;
+
+    fn relation(src: &str, vars: &[&str]) -> Relation {
+        Relation::new(
+            vars.iter().map(|v| v.to_string()).collect(),
+            &parse_formula(src).unwrap(),
+        )
+    }
+
+    #[test]
+    fn arrangement_regions_partition() {
+        let ext = RegionExtension::arrangement(relation("0 < x and x < 2", &["x"]));
+        // Hyperplanes x=0, x=2: five faces of R^1.
+        assert_eq!(ext.num_regions(), 5);
+        let pts = [int(-1), int(0), int(1), int(2), int(3)];
+        let mut seen = std::collections::HashSet::new();
+        for p in &pts {
+            let ids: Vec<usize> = ext
+                .region_ids()
+                .filter(|&r| ext.contains_point(r, std::slice::from_ref(p)))
+                .collect();
+            assert_eq!(ids.len(), 1, "exactly one region per point");
+            seen.insert(ids[0]);
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn arrangement_subset_of_s_exact() {
+        let ext = RegionExtension::arrangement(relation("0 < x and x < 2", &["x"]));
+        let in_s: Vec<usize> = ext
+            .region_ids()
+            .filter(|&r| ext.subset_of(r, "S"))
+            .collect();
+        assert_eq!(in_s.len(), 1);
+        assert_eq!(ext.region(in_s[0]).dim, 1);
+        assert!(ext.region(in_s[0]).bounded);
+    }
+
+    #[test]
+    fn arrangement_region_formula_matches_membership() {
+        let ext = RegionExtension::arrangement(relation("0 < x and x < 2", &["x"]));
+        for id in ext.region_ids() {
+            let f = ext.region_formula(id, &["x".to_string()]);
+            for v in [int(-1), int(0), int(1), int(2), int(3), rat(1, 2)] {
+                let mut env = BTreeMap::new();
+                env.insert("x".to_string(), v.clone());
+                assert_eq!(
+                    f.eval(&env),
+                    ext.contains_point(id, &[v.clone()]),
+                    "region {} at {}",
+                    id,
+                    v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nc1_region_formula_via_qe() {
+        let ext = RegionExtension::nc1(relation(
+            "x >= 0 and y >= 0 and x + y <= 2",
+            &["x", "y"],
+        ));
+        let vars = vec!["u".to_string(), "v".to_string()];
+        for id in ext.region_ids() {
+            let f = ext.region_formula(id, &vars);
+            assert!(f.is_quantifier_free());
+            // Spot-check at region witnesses and at an outside point.
+            let w = ext.region(id).witness.clone();
+            let mut env = BTreeMap::new();
+            env.insert("u".to_string(), w[0].clone());
+            env.insert("v".to_string(), w[1].clone());
+            assert!(f.eval(&env), "witness of region {} satisfies formula", id);
+            env.insert("u".to_string(), int(50));
+            env.insert("v".to_string(), int(50));
+            assert!(!f.eval(&env));
+        }
+    }
+
+    #[test]
+    fn multi_relation_database_homogeneity() {
+        // Auxiliary relation T shares the space; faces must be homogeneous
+        // for T too because its hyperplanes join the arrangement.
+        let mut db = Database::new();
+        db.insert("S", relation("0 < x and x < 4", &["x"]));
+        db.insert("T", relation("x > 2", &["x"]));
+        let ext = RegionExtension::arrangement_db(db, "S");
+        // Hyperplanes x=0, x=4, x=2: seven faces.
+        assert_eq!(ext.num_regions(), 7);
+        for id in ext.region_ids() {
+            let w = ext.region(id).witness.clone();
+            assert_eq!(
+                ext.subset_of(id, "T"),
+                ext.database().relation("T").unwrap().contains(&w)
+            );
+        }
+    }
+
+    #[test]
+    fn adjacency_symmetry_and_irreflexivity() {
+        let ext = RegionExtension::arrangement(relation("0 < x and x < 2", &["x"]));
+        for a in ext.region_ids() {
+            assert!(!ext.adjacent(a, a));
+            for b in ext.region_ids() {
+                assert_eq!(ext.adjacent(a, b), ext.adjacent(b, a));
+            }
+        }
+        let nc1 = RegionExtension::nc1(relation("x >= 0 and x <= 2", &["x"]));
+        for a in nc1.region_ids() {
+            assert!(!nc1.adjacent(a, a));
+            for b in nc1.region_ids() {
+                assert_eq!(nc1.adjacent(a, b), nc1.adjacent(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn nc1_interval_adjacency() {
+        // [0,2]: {0}, {2}, (0,2). The endpoints are adjacent to the segment.
+        let ext = RegionExtension::nc1(relation("x >= 0 and x <= 2", &["x"]));
+        assert_eq!(ext.num_regions(), 3);
+        let seg = ext
+            .region_ids()
+            .find(|&r| ext.region(r).dim == 1)
+            .unwrap();
+        for id in ext.region_ids() {
+            if id != seg {
+                assert!(ext.adjacent(id, seg));
+            }
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Spatial datalog over linear constraint databases — the baseline whose
+//! shortcomings motivate the paper's region logics.
+//!
+//! Geerts and Kuijpers \[5\] study datalog with linear-constraint EDBs: IDB
+//! predicates are *infinite* finitely-represented relations, and the
+//! immediate-consequence operator is evaluated with FO+LIN machinery
+//! (conjunction of constraint formulas, projection by quantifier
+//! elimination). The fundamental problem (§1 of the paper, and \[18\]): the
+//! fixpoint iteration need not terminate — each round can produce strictly
+//! larger relations forever, because the value domain ℝ is infinite. The
+//! region logics of the paper restrict recursion to the *finite* region sort
+//! precisely to repair this.
+//!
+//! This crate implements naive spatial datalog honestly:
+//!
+//! * [`Program`] — rules `head(x̄) :- atom₁, …, atomₖ` whose body atoms are
+//!   EDB/IDB predicate applications or linear constraints;
+//! * [`Program::evaluate`] — bounded naive evaluation; each stage computes
+//!   the immediate consequence as a quantifier-free formula, and
+//!   *semantic* convergence is detected by two LP-backed inclusion tests;
+//! * [`EvalOutcome`] — either a fixpoint (with its round count) or
+//!   `Diverged` when the stage budget is exhausted — which genuinely happens
+//!   (see the `westward_translation` test and experiment E19).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lcdb_logic::dnf::{to_dnf_pruned, Dnf};
+use lcdb_logic::{qe, Database, Formula, LinExpr, Relation, Var};
+use std::collections::BTreeMap;
+
+/// A body literal of a rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Literal {
+    /// Application of an EDB or IDB predicate to variables.
+    Pred(String, Vec<Var>),
+    /// A linear constraint over the rule's variables.
+    Constraint(lcdb_logic::Atom),
+}
+
+/// A datalog rule `head(vars) :- body`.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Head predicate name.
+    pub head: String,
+    /// Head variable tuple (distinct variables).
+    pub head_vars: Vec<Var>,
+    /// Body literals (conjunctive).
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Construct a rule, checking the head variables are distinct.
+    pub fn new(head: impl Into<String>, head_vars: Vec<Var>, body: Vec<Literal>) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        for v in &head_vars {
+            assert!(seen.insert(v.clone()), "repeated head variable '{}'", v);
+        }
+        Rule {
+            head: head.into(),
+            head_vars,
+            body,
+        }
+    }
+}
+
+/// A spatial datalog program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    rules: Vec<Rule>,
+}
+
+/// Result of bounded naive evaluation.
+#[derive(Clone, Debug)]
+pub enum EvalOutcome {
+    /// A (semantic) fixpoint was reached after the given number of rounds.
+    Fixpoint {
+        /// The IDB relations at the fixpoint.
+        idb: BTreeMap<String, Relation>,
+        /// Rounds needed.
+        rounds: usize,
+    },
+    /// The stage budget was exhausted without convergence — the program
+    /// (empirically) diverges on this database.
+    Diverged {
+        /// The IDB relations after the last completed round.
+        partial: BTreeMap<String, Relation>,
+        /// Rounds executed.
+        rounds: usize,
+    },
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Add a rule.
+    pub fn rule(mut self, r: Rule) -> Self {
+        self.rules.push(r);
+        self
+    }
+
+    /// The IDB predicate names (heads of rules).
+    pub fn idb_predicates(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = Vec::new();
+        for r in &self.rules {
+            if !out.iter().any(|(n, _)| n == &r.head) {
+                out.push((r.head.clone(), r.head_vars.len()));
+            }
+        }
+        out
+    }
+
+    /// Naive bounded evaluation over a database of EDB relations.
+    ///
+    /// Each round recomputes every IDB relation from the immediate
+    /// consequence of all its rules; convergence is semantic (mutual
+    /// inclusion of consecutive stages, decided by LP satisfiability of the
+    /// difference formulas).
+    pub fn evaluate(&self, edb: &Database, max_rounds: usize) -> EvalOutcome {
+        let mut idb: BTreeMap<String, Relation> = BTreeMap::new();
+        for (name, arity) in self.idb_predicates() {
+            let vars: Vec<Var> = (0..arity).map(|i| format!("x{}", i)).collect();
+            idb.insert(name, Relation::new(vars, &Formula::False));
+        }
+        for round in 1..=max_rounds {
+            let mut next: BTreeMap<String, Relation> = BTreeMap::new();
+            for (name, arity) in self.idb_predicates() {
+                let vars: Vec<Var> = (0..arity).map(|i| format!("x{}", i)).collect();
+                let mut disjuncts = Vec::new();
+                for rule in self.rules.iter().filter(|r| r.head == name) {
+                    disjuncts.push(self.rule_consequence(rule, edb, &idb, &vars));
+                }
+                // Monotone accumulation (datalog is positive).
+                disjuncts.push(idb[&name].dnf().to_formula());
+                let formula = Formula::or(disjuncts);
+                let dnf = to_dnf_pruned(&formula).simplify();
+                next.insert(name.clone(), Relation::from_dnf(vars, dnf));
+            }
+            // Semantic convergence: next ⊆ current suffices (monotone).
+            let converged = self
+                .idb_predicates()
+                .iter()
+                .all(|(name, _)| subset_of(&next[name], &idb[name]));
+            idb = next;
+            if converged {
+                return EvalOutcome::Fixpoint { idb, rounds: round };
+            }
+        }
+        EvalOutcome::Diverged {
+            partial: idb,
+            rounds: max_rounds,
+        }
+    }
+
+    /// The quantifier-free formula for one rule's immediate consequence,
+    /// over the canonical head variables.
+    fn rule_consequence(
+        &self,
+        rule: &Rule,
+        edb: &Database,
+        idb: &BTreeMap<String, Relation>,
+        head_vars: &[Var],
+    ) -> Formula {
+        // Conjoin body literals, expanding predicates to their definitions.
+        let mut parts = Vec::new();
+        for lit in &rule.body {
+            match lit {
+                Literal::Constraint(a) => parts.push(Formula::Atom(a.clone())),
+                Literal::Pred(name, args) => {
+                    let rel = idb
+                        .get(name)
+                        .or_else(|| edb.relation(name))
+                        .unwrap_or_else(|| panic!("unknown predicate '{}'", name));
+                    let exprs: Vec<LinExpr> =
+                        args.iter().map(|v| LinExpr::var(v.clone())).collect();
+                    parts.push(rel.apply(&exprs));
+                }
+            }
+        }
+        let mut f = Formula::and(parts);
+        // Rename head variables to the canonical names, then project out the
+        // existential (body-only) variables.
+        for (hv, canon) in rule.head_vars.iter().zip(head_vars) {
+            f = f.substitute(hv, &LinExpr::var(format!("__h_{}", canon)));
+        }
+        let free: Vec<Var> = f.free_vars().into_iter().collect();
+        for v in free {
+            if !v.starts_with("__h_") {
+                f = Formula::Exists(v.clone(), Box::new(f));
+            }
+        }
+        let mut qf = qe::eliminate_quantifiers(&f);
+        for canon in head_vars {
+            qf = qf.substitute(&format!("__h_{}", canon), &LinExpr::var(canon.clone()));
+        }
+        qf
+    }
+}
+
+/// Semantic inclusion of finitely represented relations: `a ⊆ b` iff
+/// `a ∧ ¬b` is unsatisfiable. Exact, via LP on the DNF of the difference.
+pub fn subset_of(a: &Relation, b: &Relation) -> bool {
+    assert_eq!(a.arity(), b.arity());
+    // Align variable names.
+    let vars = a.var_names().to_vec();
+    let exprs: Vec<LinExpr> = vars.iter().map(|v| LinExpr::var(v.clone())).collect();
+    let diff = Formula::and(vec![
+        a.dnf().to_formula(),
+        Formula::not(b.apply(&exprs)),
+    ]);
+    !to_dnf_pruned(&diff).is_satisfiable()
+}
+
+/// Semantic equality of relations.
+pub fn same_relation(a: &Relation, b: &Relation) -> bool {
+    subset_of(a, b) && subset_of(b, a)
+}
+
+/// Helper: dump a relation's DNF (for diagnostics).
+pub fn relation_dnf(r: &Relation) -> &Dnf {
+    r.dnf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdb_arith::{int, rat};
+    use lcdb_logic::{parse_formula, Rel};
+
+    fn rel1(src: &str) -> Relation {
+        Relation::new(vec!["x".into()], &parse_formula(src).unwrap())
+    }
+
+    fn atom(src: &str) -> lcdb_logic::Atom {
+        match parse_formula(src).unwrap() {
+            Formula::Atom(a) => a,
+            other => panic!("expected atom, got {}", other),
+        }
+    }
+
+    #[test]
+    fn subset_semantics() {
+        assert!(subset_of(&rel1("0 < x and x < 1"), &rel1("0 <= x and x <= 1")));
+        assert!(!subset_of(&rel1("0 <= x and x <= 1"), &rel1("0 < x and x < 1")));
+        assert!(same_relation(
+            &rel1("0 < x and x < 10"),
+            &rel1("(0 < x and x < 6) or (6 < x and x < 10) or x = 6"),
+        ));
+    }
+
+    /// Reachability within a *bounded* window terminates: points reachable
+    /// from S by repeatedly stepping +1 while staying below 5.
+    #[test]
+    fn bounded_step_program_terminates() {
+        let mut edb = Database::new();
+        edb.insert("S", rel1("0 <= x and x <= 1"));
+        // reach(x) :- S(x).
+        // reach(x) :- reach(y), x = y + 1, x <= 5.
+        let program = Program::new()
+            .rule(Rule::new(
+                "reach",
+                vec!["x".into()],
+                vec![Literal::Pred("S".into(), vec!["x".into()])],
+            ))
+            .rule(Rule::new(
+                "reach",
+                vec!["x".into()],
+                vec![
+                    Literal::Pred("reach".into(), vec!["y".into()]),
+                    Literal::Constraint(atom("x - y = 1")),
+                    Literal::Constraint(atom("x <= 5")),
+                ],
+            ));
+        match program.evaluate(&edb, 20) {
+            EvalOutcome::Fixpoint { idb, rounds } => {
+                let reach = &idb["reach"];
+                assert!(rounds <= 8, "rounds {}", rounds);
+                assert!(reach.contains(&[int(0)]));
+                assert!(reach.contains(&[int(3)]));
+                assert!(reach.contains(&[rat(9, 2)]));
+                assert!(reach.contains(&[int(5)]));
+                assert!(!reach.contains(&[rat(11, 2)]));
+                assert!(!reach.contains(&[int(-1)]));
+            }
+            EvalOutcome::Diverged { rounds, .. } => {
+                panic!("bounded program diverged after {} rounds", rounds)
+            }
+        }
+    }
+
+    /// The unbounded translation program diverges — the paper's §1 point:
+    /// naive recursion over (ℝ, <, +) does not terminate.
+    #[test]
+    fn westward_translation_diverges() {
+        let mut edb = Database::new();
+        edb.insert("S", rel1("0 <= x and x <= 1"));
+        // reach(x) :- S(x).
+        // reach(x) :- reach(y), x = y + 1.       (no bound!)
+        let program = Program::new()
+            .rule(Rule::new(
+                "reach",
+                vec!["x".into()],
+                vec![Literal::Pred("S".into(), vec!["x".into()])],
+            ))
+            .rule(Rule::new(
+                "reach",
+                vec!["x".into()],
+                vec![
+                    Literal::Pred("reach".into(), vec!["y".into()]),
+                    Literal::Constraint(atom("x - y = 1")),
+                ],
+            ));
+        match program.evaluate(&edb, 12) {
+            EvalOutcome::Fixpoint { rounds, .. } => {
+                panic!("unbounded translation converged?! rounds={}", rounds)
+            }
+            EvalOutcome::Diverged { partial, rounds } => {
+                assert_eq!(rounds, 12);
+                // The partial result keeps growing: stage 12 contains 11-ish.
+                assert!(partial["reach"].contains(&[int(11)]));
+                assert!(!partial["reach"].contains(&[int(100)]));
+            }
+        }
+    }
+
+    /// Joining two EDB relations through a constraint.
+    #[test]
+    fn join_rule() {
+        let mut edb = Database::new();
+        edb.insert("A", rel1("0 <= x and x <= 2"));
+        edb.insert("B", rel1("1 <= x and x <= 3"));
+        // C(x) :- A(x), B(x).
+        let program = Program::new().rule(Rule::new(
+            "C",
+            vec!["x".into()],
+            vec![
+                Literal::Pred("A".into(), vec!["x".into()]),
+                Literal::Pred("B".into(), vec!["x".into()]),
+            ],
+        ));
+        match program.evaluate(&edb, 5) {
+            EvalOutcome::Fixpoint { idb, rounds } => {
+                assert!(rounds <= 3);
+                let c = &idb["C"];
+                assert!(c.contains(&[rat(3, 2)]));
+                assert!(!c.contains(&[rat(1, 2)]));
+                assert!(!c.contains(&[rat(7, 2)]));
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+
+    /// Binary IDB: the "between" closure of an interval family.
+    #[test]
+    fn binary_idb_projection() {
+        let mut edb = Database::new();
+        edb.insert(
+            "Seg",
+            Relation::new(
+                vec!["x".into(), "y".into()],
+                &parse_formula("0 <= x and x <= 1 and 2 <= y and y <= 3").unwrap(),
+            ),
+        );
+        // Mid(z) :- Seg(x, y), 2*z = x + y.
+        let program = Program::new().rule(Rule::new(
+            "Mid",
+            vec!["z".into()],
+            vec![
+                Literal::Pred("Seg".into(), vec!["x".into(), "y".into()]),
+                Literal::Constraint(lcdb_logic::Atom::new(
+                    LinExpr::var("z").scale(&int(2)),
+                    Rel::Eq,
+                    LinExpr::var("x").add(&LinExpr::var("y")),
+                )),
+            ],
+        ));
+        match program.evaluate(&edb, 5) {
+            EvalOutcome::Fixpoint { idb, .. } => {
+                let mid = &idb["Mid"];
+                assert!(mid.contains(&[rat(3, 2)])); // midpoint of (1,2)
+                assert!(mid.contains(&[int(1)]));    // midpoint of (0,2)
+                assert!(mid.contains(&[int(2)]));    // midpoint of (1,3)
+                assert!(!mid.contains(&[rat(9, 2)]));
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated head variable")]
+    fn repeated_head_vars_rejected() {
+        let _ = Rule::new(
+            "P",
+            vec!["x".into(), "x".into()],
+            vec![Literal::Pred("S".into(), vec!["x".into()])],
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Convex closure of bounded linear constraint relations — the operator the
+//! paper's conclusion (§8) proposes adding to capture non-boolean PTIME
+//! queries.
+//!
+//! For a *bounded* relation (a finite union of polytopes), the convex hull
+//! is the hull of the disjuncts' vertex sets. We compute the vertices with
+//! the Appendix-A machinery, express hull membership as an existential
+//! formula over convex coefficients, and eliminate the coefficients by
+//! Fourier–Motzkin — producing the hull as a first-class [`Relation`]
+//! (closure of the framework, §2).
+//!
+//! The paper *bans* this operator inside the query language (Fig. 5:
+//! convex closure defines multiplication); providing it as an explicit
+//! database-level operation is exactly the §8 proposal.
+
+use crate::nc1;
+use lcdb_arith::Rational;
+use lcdb_linalg::QVector;
+use lcdb_logic::dnf::to_dnf_pruned;
+use lcdb_logic::{qe, Atom, Formula, LinExpr, Rel, Relation};
+
+/// All polytope vertices across the disjuncts of a bounded relation.
+///
+/// # Panics
+/// Panics if the relation is unbounded (the hull would not be closed) or
+/// empty.
+pub fn relation_vertices(relation: &Relation) -> Vec<QVector> {
+    let dec = nc1::decompose_relation(relation);
+    assert!(
+        !dec.regions.is_empty(),
+        "convex closure of an empty relation"
+    );
+    assert!(
+        dec.regions.iter().all(|r| r.set.is_bounded()),
+        "convex closure requires a bounded relation"
+    );
+    let mut vertices: Vec<QVector> = Vec::new();
+    for region in &dec.regions {
+        if region.dim == 0 {
+            let p = region.set.points()[0].clone();
+            if !vertices.contains(&p) {
+                vertices.push(p);
+            }
+        }
+    }
+    vertices.sort();
+    vertices
+}
+
+/// The convex closure `conv(S)` of a bounded relation, as a relation over
+/// the same variables.
+pub fn convex_closure(relation: &Relation) -> Relation {
+    let vertices = relation_vertices(relation);
+    let names = relation.var_names().to_vec();
+    let d = names.len();
+    let k = vertices.len();
+    // x̄ ∈ conv(vertices) ⟺ ∃a₁…a_k ≥ 0: Σaᵢ = 1 ∧ x̄ = Σ aᵢ vᵢ.
+    let avars: Vec<String> = (0..k).map(|i| format!("__hull_a{}", i)).collect();
+    let mut conj: Vec<Formula> = Vec::new();
+    for coord in 0..d {
+        let mut rhs = LinExpr::zero();
+        for (i, v) in vertices.iter().enumerate() {
+            rhs = rhs.add(&LinExpr::var(avars[i].clone()).scale(&v[coord]));
+        }
+        conj.push(Formula::Atom(Atom::new(
+            LinExpr::var(names[coord].clone()),
+            Rel::Eq,
+            rhs,
+        )));
+    }
+    let mut sum = LinExpr::zero();
+    for a in &avars {
+        sum = sum.add(&LinExpr::var(a.clone()));
+        conj.push(Formula::Atom(Atom::new(
+            LinExpr::var(a.clone()),
+            Rel::Ge,
+            LinExpr::zero(),
+        )));
+    }
+    conj.push(Formula::Atom(Atom::new(
+        sum,
+        Rel::Eq,
+        LinExpr::constant(Rational::one()),
+    )));
+    let mut f = Formula::and(conj);
+    for a in avars.iter().rev() {
+        f = Formula::Exists(a.clone(), Box::new(f));
+    }
+    let qf = qe::eliminate_quantifiers(&f);
+    Relation::from_dnf(names, to_dnf_pruned(&qf).simplify_strong())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdb_arith::{int, rat};
+    use lcdb_logic::parse_formula;
+
+    fn rel(src: &str, vars: &[&str]) -> Relation {
+        Relation::new(
+            vars.iter().map(|v| v.to_string()).collect(),
+            &parse_formula(src).unwrap(),
+        )
+    }
+
+    #[test]
+    fn hull_of_two_intervals() {
+        // conv((0,1) ∪ (2,3)) = [0, 3] (closure includes the endpoints).
+        let r = rel("(0 < x and x < 1) or (2 < x and x < 3)", &["x"]);
+        let h = convex_closure(&r);
+        assert!(h.contains(&[rat(3, 2)])); // the gap is filled
+        assert!(h.contains(&[int(0)]));
+        assert!(h.contains(&[int(3)]));
+        assert!(!h.contains(&[rat(-1, 10)]));
+        assert!(!h.contains(&[rat(31, 10)]));
+    }
+
+    #[test]
+    fn hull_of_points_is_polytope() {
+        // Three isolated points span a triangle.
+        let r = rel(
+            "(x = 0 and y = 0) or (x = 2 and y = 0) or (x = 0 and y = 2)",
+            &["x", "y"],
+        );
+        let h = convex_closure(&r);
+        assert!(h.contains(&[rat(1, 2), rat(1, 2)]));
+        assert!(h.contains(&[int(1), int(1)])); // hypotenuse midpoint
+        assert!(!h.contains(&[rat(3, 2), rat(3, 2)]));
+        assert!(h.contains(&[int(0), int(0)]));
+    }
+
+    #[test]
+    fn hull_idempotent_and_extensive() {
+        let r = rel(
+            "(0 <= x and x <= 1 and 0 <= y and y <= 1) or (x = 3 and y = 0)",
+            &["x", "y"],
+        );
+        let h = convex_closure(&r);
+        // Extensive: contains the original relation (sample points).
+        for p in [
+            vec![rat(1, 2), rat(1, 2)],
+            vec![int(3), int(0)],
+            vec![int(0), int(1)],
+        ] {
+            assert!(r.contains(&p) && h.contains(&p));
+        }
+        // Idempotent.
+        let hh = convex_closure(&h);
+        assert!(lcdb_logic::algebra::equivalent(&h, &hh));
+        // Convexity: midpoints of member points are members.
+        assert!(h.contains(&[int(2), rat(1, 4)]));
+    }
+
+    #[test]
+    fn figure5_multiplication_through_hull_operator() {
+        // The Fig. 5 construction with the relation-level operator: the hull
+        // of {(0, y°), (z°, 0)} contains (x°, y°-1) iff x°·y° = z°.
+        let check = |x: Rational, y: Rational, z: Rational| {
+            let r = Relation::new(
+                vec!["u".into(), "v".into()],
+                &parse_formula(&format!(
+                    "(u = 0 and v = {}) or (u = {} and v = 0)",
+                    y, z
+                ))
+                .unwrap(),
+            );
+            let h = convex_closure(&r);
+            h.contains(&[x, &y - &Rational::one()])
+        };
+        assert!(check(rat(3, 2), int(2), int(3)));
+        assert!(!check(rat(3, 2), int(2), int(4)));
+        assert!(check(rat(7, 2), int(3), rat(21, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded")]
+    fn unbounded_relation_rejected() {
+        let r = rel("x > 0", &["x"]);
+        let _ = convex_closure(&r);
+    }
+}

@@ -1,0 +1,197 @@
+//! Hyperplanes induced by a linear constraint relation (the set `𝔥(S)` of §3).
+
+use lcdb_arith::{BigInt, Rational, Sign};
+use lcdb_linalg::{dot, QVector};
+use lcdb_logic::{Atom, Relation};
+use std::fmt;
+
+/// A hyperplane `coeffs · x = rhs` in `ℝ^d`, stored in canonical primitive
+/// form: integer coefficients with gcd 1 and positive leading coefficient.
+/// Two atoms inducing the same point set yield equal (and hash-equal) values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Hyperplane {
+    coeffs: QVector,
+    rhs: Rational,
+}
+
+impl Hyperplane {
+    /// Construct from a normal vector and offset, canonicalizing.
+    ///
+    /// # Panics
+    /// Panics if all coefficients are zero (not a hyperplane).
+    pub fn new(coeffs: QVector, rhs: Rational) -> Self {
+        assert!(
+            coeffs.iter().any(|c| !c.is_zero()),
+            "degenerate hyperplane with zero normal"
+        );
+        // Scale to primitive integers: multiply by lcm of denominators,
+        // divide by gcd of numerators; then force positive leading coeff.
+        let mut f = BigInt::one();
+        for c in coeffs.iter().chain(std::iter::once(&rhs)) {
+            let g = f.gcd(c.denom());
+            f = &(&f * c.denom()) / &g;
+        }
+        let mut g = BigInt::zero();
+        for c in coeffs.iter().chain(std::iter::once(&rhs)) {
+            let n = c.numer() * &(&f / c.denom());
+            g = g.gcd(&n);
+        }
+        let mut factor = Rational::new(f, g);
+        let leading = coeffs.iter().find(|c| !c.is_zero()).unwrap();
+        if leading.is_negative() {
+            factor = -factor;
+        }
+        Hyperplane {
+            coeffs: coeffs.iter().map(|c| c * &factor).collect(),
+            rhs: &rhs * &factor,
+        }
+    }
+
+    /// The hyperplane induced by an atom `expr REL 0` (replacing the relation
+    /// by equality, §3). Returns `None` for constant atoms.
+    pub fn from_atom(atom: &Atom, var_order: &[String]) -> Option<Hyperplane> {
+        if atom.expr.is_constant() {
+            return None;
+        }
+        let coeffs: QVector = var_order.iter().map(|v| atom.expr.coeff(v)).collect();
+        if coeffs.iter().all(|c| c.is_zero()) {
+            return None;
+        }
+        // expr = a·x + c REL 0  ⇒  hyperplane a·x = -c.
+        Some(Hyperplane::new(coeffs, -atom.expr.constant_term().clone()))
+    }
+
+    /// Normal vector (canonical primitive integers).
+    pub fn coeffs(&self) -> &[Rational] {
+        &self.coeffs
+    }
+
+    /// Right-hand side.
+    pub fn rhs(&self) -> &Rational {
+        &self.rhs
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Which side of the hyperplane is the point on? (`Positive` = above,
+    /// `Zero` = on, `Negative` = below, matching `v_i(p)` of §3.)
+    pub fn side_of(&self, p: &[Rational]) -> Sign {
+        (dot(&self.coeffs, p) - &self.rhs).sign()
+    }
+
+    /// The value `coeffs · p - rhs`.
+    pub fn eval(&self, p: &[Rational]) -> Rational {
+        dot(&self.coeffs, p) - &self.rhs
+    }
+}
+
+impl fmt::Display for Hyperplane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if first {
+                if c.is_one() {
+                    write!(f, "x{}", i + 1)?;
+                } else {
+                    write!(f, "{}*x{}", c, i + 1)?;
+                }
+                first = false;
+            } else if c.is_negative() {
+                write!(f, " - {}*x{}", -c, i + 1)?;
+            } else {
+                write!(f, " + {}*x{}", c, i + 1)?;
+            }
+        }
+        write!(f, " = {}", self.rhs)
+    }
+}
+
+/// Extract the deduplicated hyperplane set `𝔥(S)` from a relation's DNF
+/// representation (§3): one hyperplane per non-constant atom, with the
+/// (in)equality replaced by equality.
+pub fn extract_hyperplanes(relation: &Relation) -> Vec<Hyperplane> {
+    let order: Vec<String> = relation.var_names().to_vec();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for conj in &relation.dnf().disjuncts {
+        for atom in conj {
+            if let Some(h) = Hyperplane::from_atom(atom, &order) {
+                if seen.insert(h.clone()) {
+                    out.push(h);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdb_arith::{int, rat};
+    use lcdb_logic::parse_formula;
+
+    fn v(vals: &[i64]) -> QVector {
+        vals.iter().map(|&x| int(x)).collect()
+    }
+
+    #[test]
+    fn canonical_form_dedups() {
+        // 2x + 2y = 4  ==  x + y = 2  ==  -x - y = -2.
+        let a = Hyperplane::new(v(&[2, 2]), int(4));
+        let b = Hyperplane::new(v(&[1, 1]), int(2));
+        let c = Hyperplane::new(v(&[-1, -1]), int(-2));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        // Fractions scale to integers.
+        let d = Hyperplane::new(vec![rat(1, 2), rat(1, 2)], int(1));
+        assert_eq!(d, b);
+    }
+
+    #[test]
+    fn side_of_matches_definition() {
+        // x + y = 2: (2,2) above, (1,1) on, (0,0) below.
+        let h = Hyperplane::new(v(&[1, 1]), int(2));
+        assert_eq!(h.side_of(&v(&[2, 2])), Sign::Positive);
+        assert_eq!(h.side_of(&v(&[1, 1])), Sign::Zero);
+        assert_eq!(h.side_of(&v(&[0, 0])), Sign::Negative);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_normal_rejected() {
+        let _ = Hyperplane::new(v(&[0, 0]), int(1));
+    }
+
+    #[test]
+    fn extraction_dedups_and_skips_constants() {
+        // Both disjuncts mention (scaled copies of) the same two hyperplanes.
+        let f = parse_formula("(x < 1 and 2*x < 2 and y >= x) or (y = x and 0 < 1)").unwrap();
+        let r = Relation::new(vec!["x".into(), "y".into()], &f);
+        let hs = extract_hyperplanes(&r);
+        assert_eq!(hs.len(), 2); // x = 1 and y - x = 0 (sign-canonical)
+    }
+
+    #[test]
+    fn from_atom_orientation() {
+        // Atom `x - y < 0` induces hyperplane x - y = 0 with positive leading.
+        let f = parse_formula("x - y < 0").unwrap();
+        let r = Relation::new(vec!["x".into(), "y".into()], &f);
+        let hs = extract_hyperplanes(&r);
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].coeffs()[0], int(1));
+        assert_eq!(hs[0].coeffs()[1], int(-1));
+    }
+
+    #[test]
+    fn display_readable() {
+        let h = Hyperplane::new(v(&[1, -2]), int(3));
+        assert_eq!(h.to_string(), "x1 - 2*x2 = 3");
+    }
+}

@@ -1,0 +1,660 @@
+//! The Appendix-A decomposition: `regions(ψ)` per disjunct, computable in
+//! NC¹ (Lemma A.1).
+//!
+//! For each disjunct `ψ` of the relation's DNF representation:
+//!
+//! 1. compute the vertex set `vert(ψ)` from `d`-subsets of the bounding
+//!    hyperplanes `𝔥(ψ)` (keeping intersection points in `closure(ψ)`),
+//! 2. decide boundedness with the `cube(ψ)` test at coordinate `±2(c+1)`,
+//! 3. bounded: *inner* regions fan out from the lexicographically smallest
+//!    vertex `p_low` (open hulls of `p_low` plus `d` vertices, with the
+//!    empty-segment condition), *outer* regions are open hulls of at most `d`
+//!    vertices whose pairwise segments avoid the interior of `ψ`,
+//! 4. unbounded: vertices of `ψ ∩ icube(ψ)` give the bounded regions; the
+//!    `up(ψ)` pairs `(p, p−q)` give ray regions and their open hulls.
+//!
+//! Unlike the arrangement of §3, these regions may overlap across disjuncts
+//! and do not cover all of `ℝ^d` — but every point of `S` lies in at least
+//! one region (tested in the integration suite).
+
+use crate::{Hyperplane, VPolyhedron};
+use lcdb_arith::Rational;
+use lcdb_linalg::{vec_sub, Flat, QVector};
+use lcdb_logic::{dnf::Conjunct, Relation};
+use lcdb_lp::{LinConstraint, Rel};
+use std::collections::HashSet;
+
+/// How a region was produced (the paper's terminology).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// An open hull of at most `d` vertices on the boundary of `ψ`.
+    Outer,
+    /// A fan region from `p_low` (open hull of `d+1` vertices).
+    Inner,
+    /// An unbounded ray region `{p + a(p−q) : a > 0}` from `up(ψ)`.
+    Ray,
+    /// An open hull of several ray regions.
+    UnboundedHull,
+}
+
+/// One region of the decomposition.
+#[derive(Clone, Debug)]
+pub struct Nc1Region {
+    /// The region's point set.
+    pub set: VPolyhedron,
+    /// Index of the disjunct of `φ_S` this region was computed from.
+    pub disjunct: usize,
+    /// Construction kind.
+    pub kind: RegionKind,
+    /// Dimension of the region.
+    pub dim: usize,
+}
+
+/// The full decomposition of a relation: the union of `regions(ψᵢ)`.
+#[derive(Clone, Debug)]
+pub struct Nc1Decomposition {
+    /// Ambient dimension.
+    pub dim: usize,
+    /// All regions across disjuncts.
+    pub regions: Vec<Nc1Region>,
+}
+
+impl Nc1Decomposition {
+    /// Region counts indexed by dimension.
+    pub fn counts_by_dim(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.dim + 1];
+        for r in &self.regions {
+            counts[r.dim] += 1;
+        }
+        counts
+    }
+
+    /// Does any region contain the point?
+    pub fn covers(&self, x: &[Rational]) -> bool {
+        self.regions.iter().any(|r| r.set.contains(x))
+    }
+
+    /// Ids of all regions containing the point.
+    pub fn locate_all(&self, x: &[Rational]) -> Vec<usize> {
+        self.regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.set.contains(x))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Decompose a relation: the union of the per-disjunct decompositions.
+pub fn decompose_relation(relation: &Relation) -> Nc1Decomposition {
+    let d = relation.arity();
+    let order: Vec<String> = relation.var_names().to_vec();
+    let mut regions = Vec::new();
+    for (i, conj) in relation.dnf().disjuncts.iter().enumerate() {
+        for (set, kind) in decompose_conjunct(d, conj, &order) {
+            let dim = set.dim();
+            regions.push(Nc1Region {
+                set,
+                disjunct: i,
+                kind,
+                dim,
+            });
+        }
+    }
+    Nc1Decomposition { dim: d, regions }
+}
+
+/// Decompose a single disjunct `ψ` into its regions.
+pub fn decompose_conjunct(
+    d: usize,
+    conj: &Conjunct,
+    var_order: &[String],
+) -> Vec<(VPolyhedron, RegionKind)> {
+    let original: Vec<LinConstraint> =
+        conj.iter().map(|a| a.to_constraint(var_order)).collect();
+    // Empty polyhedron: no regions.
+    if lcdb_lp::feasible(d, &original).is_none() {
+        return Vec::new();
+    }
+    let closed: Vec<LinConstraint> = original.iter().map(|c| c.closed()).collect();
+    // Relative interior of ψ: strict inequalities, equalities kept.
+    let interior: Vec<LinConstraint> = original
+        .iter()
+        .map(|c| LinConstraint::new(c.coeffs.clone(), c.rel.interior(), c.rhs.clone()))
+        .collect();
+    let mut hyperplanes: Vec<Hyperplane> = Vec::new();
+    let mut seen = HashSet::new();
+    for a in conj {
+        if let Some(h) = Hyperplane::from_atom(a, var_order) {
+            if seen.insert(h.clone()) {
+                hyperplanes.push(h);
+            }
+        }
+    }
+
+    // Step 1: vertices of ψ.
+    let vertices = vertex_set(d, &hyperplanes, &closed);
+
+    // Step 2: boundedness via the cube test.
+    let c = max_abs_coordinate(d, &hyperplanes, &vertices);
+    let bound = (&c + &Rational::one()) * Rational::from(2);
+    let bounded = is_bounded_by_cube(d, &closed, &bound);
+
+    if bounded {
+        bounded_regions(d, &vertices, &interior)
+    } else {
+        unbounded_regions(d, &hyperplanes, &interior, &closed, &bound)
+    }
+}
+
+/// Vertices: `d`-subsets of hyperplanes meeting in a single point inside the
+/// closure.
+fn vertex_set(
+    d: usize,
+    hyperplanes: &[Hyperplane],
+    closed: &[LinConstraint],
+) -> Vec<QVector> {
+    let mut vertices: Vec<QVector> = Vec::new();
+    for combo in subsets_of_size(hyperplanes.len(), d) {
+        let eqs: Vec<(QVector, Rational)> = combo
+            .iter()
+            .map(|&i| (hyperplanes[i].coeffs().to_vec(), hyperplanes[i].rhs().clone()))
+            .collect();
+        let Some(flat) = Flat::from_equations(d, &eqs) else {
+            continue;
+        };
+        if flat.dim() != 0 {
+            continue;
+        }
+        let p = flat.point();
+        if closed.iter().all(|con| con.satisfied_by(&p)) && !vertices.contains(&p) {
+            vertices.push(p);
+        }
+    }
+    vertices.sort();
+    vertices
+}
+
+/// The constant `c` of Appendix A: max |coordinate| over `vert(ψ)`, falling
+/// back to `vert'(ψ)` (adding the coordinate hyperplanes, no closure check)
+/// when there are no vertices.
+fn max_abs_coordinate(
+    d: usize,
+    hyperplanes: &[Hyperplane],
+    vertices: &[QVector],
+) -> Rational {
+    let mut c = Rational::zero();
+    if !vertices.is_empty() {
+        for v in vertices {
+            for coord in v {
+                c = Rational::max_val(&c, &coord.abs());
+            }
+        }
+        return c;
+    }
+    // vert'(ψ): add the axis hyperplanes x_i = 0.
+    let mut augmented: Vec<Hyperplane> = hyperplanes.to_vec();
+    for i in 0..d {
+        let mut coeffs = vec![Rational::zero(); d];
+        coeffs[i] = Rational::one();
+        let h = Hyperplane::new(coeffs, Rational::zero());
+        if !augmented.contains(&h) {
+            augmented.push(h);
+        }
+    }
+    for combo in subsets_of_size(augmented.len(), d) {
+        let eqs: Vec<(QVector, Rational)> = combo
+            .iter()
+            .map(|&i| (augmented[i].coeffs().to_vec(), augmented[i].rhs().clone()))
+            .collect();
+        if let Some(flat) = Flat::from_equations(d, &eqs) {
+            if flat.dim() == 0 {
+                for coord in flat.point() {
+                    c = Rational::max_val(&c, &coord.abs());
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Cube test: ψ is bounded iff every cube hyperplane `x_i = ±bound` misses ψ.
+fn is_bounded_by_cube(d: usize, closed: &[LinConstraint], bound: &Rational) -> bool {
+    for i in 0..d {
+        for sign in [1i64, -1] {
+            let mut coeffs = vec![Rational::zero(); d];
+            coeffs[i] = Rational::one();
+            let rhs = if sign > 0 { bound.clone() } else { -bound };
+            let mut cons = closed.to_vec();
+            cons.push(LinConstraint::new(coeffs, Rel::Eq, rhs));
+            if lcdb_lp::feasible(d, &cons).is_some() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Inner and outer regions for a bounded vertex set. `interior` is the
+/// strict constraint system whose relative interior outer segments must
+/// avoid (the interior of `ψ` — the *original* ψ also in the unbounded case).
+fn bounded_regions(
+    d: usize,
+    vertices: &[QVector],
+    interior: &[LinConstraint],
+) -> Vec<(VPolyhedron, RegionKind)> {
+    let mut out: Vec<(VPolyhedron, RegionKind)> = Vec::new();
+    if vertices.is_empty() {
+        return out;
+    }
+    let push_unique = |cand: VPolyhedron, kind: RegionKind, out: &mut Vec<(VPolyhedron, RegionKind)>| {
+        if !out.iter().any(|(r, _)| r.same_set(&cand)) {
+            out.push((cand, kind));
+        }
+    };
+
+    // Outer regions: open hulls of at most d vertices whose pairwise open
+    // segments avoid the interior of ψ.
+    for size in 1..=d.min(vertices.len()) {
+        for combo in subsets_of_size(vertices.len(), size) {
+            let pts: Vec<QVector> = combo.iter().map(|&i| vertices[i].clone()).collect();
+            let ok = combo.iter().enumerate().all(|(ii, &i)| {
+                combo[ii + 1..].iter().all(|&j| {
+                    !open_segment_meets(d, &vertices[i], &vertices[j], interior)
+                })
+            });
+            if ok {
+                push_unique(VPolyhedron::open_hull(pts), RegionKind::Outer, &mut out);
+            }
+        }
+    }
+
+    // Inner regions: p_low is the lexicographically smallest vertex; take
+    // open hulls of p_low with d further vertices (repetitions allowed) such
+    // that segments from p_low to every *other* vertex avoid the hull.
+    let p_low = vertices[0].clone(); // sorted lexicographically
+    for tuple in multisets_of_size(vertices.len(), d) {
+        let mut pts: Vec<QVector> = vec![p_low.clone()];
+        pts.extend(tuple.iter().map(|&i| vertices[i].clone()));
+        let cand = VPolyhedron::open_hull(pts);
+        let excluded: HashSet<usize> = tuple.iter().copied().collect();
+        let ok = vertices.iter().enumerate().all(|(j, q)| {
+            if excluded.contains(&j) || *q == p_low {
+                return true;
+            }
+            !open_segment_meets_vpoly(d, &p_low, q, &cand)
+        });
+        if ok {
+            push_unique(cand, RegionKind::Inner, &mut out);
+        }
+    }
+    out
+}
+
+/// Regions for an unbounded disjunct: bounded regions of `ψ ∩ icube(ψ)` plus
+/// ray regions from `up(ψ)` and their open hulls.
+fn unbounded_regions(
+    d: usize,
+    hyperplanes: &[Hyperplane],
+    interior: &[LinConstraint],
+    closed: &[LinConstraint],
+    bound: &Rational,
+) -> Vec<(VPolyhedron, RegionKind)> {
+    // Hyperplane set of ψ ∩ icube: add the cube sides.
+    let mut augmented = hyperplanes.to_vec();
+    let mut cube_closed = closed.to_vec();
+    for i in 0..d {
+        for sign in [1i64, -1] {
+            let mut coeffs = vec![Rational::zero(); d];
+            coeffs[i] = Rational::one();
+            let rhs = if sign > 0 { bound.clone() } else { -bound };
+            let h = Hyperplane::new(coeffs.clone(), rhs.clone());
+            if !augmented.contains(&h) {
+                augmented.push(h);
+            }
+            let rel = if sign > 0 { Rel::Le } else { Rel::Ge };
+            cube_closed.push(LinConstraint::new(coeffs, rel, rhs));
+        }
+    }
+    let cut_vertices = vertex_set(d, &augmented, &cube_closed);
+
+    // Bounded part: fan regions over the cut vertex set; outer segments must
+    // avoid the interior of the *original* ψ.
+    let mut out = bounded_regions(d, &cut_vertices, interior);
+
+    // up(ψ): p on the cube boundary, direction p - q staying inside closure(ψ).
+    let mut ups: Vec<(QVector, QVector)> = Vec::new();
+    for p in &cut_vertices {
+        let on_boundary = p.iter().any(|coord| coord.abs() == *bound);
+        if !on_boundary {
+            continue;
+        }
+        for q in &cut_vertices {
+            if q == p {
+                continue;
+            }
+            let dir = vec_sub(p, q);
+            if !ray_in_closure(&dir, closed) {
+                continue;
+            }
+            let canon = canonical_direction(&dir);
+            if !ups.iter().any(|(bp, bd)| bp == p && *bd == canon) {
+                ups.push((p.clone(), canon));
+            }
+        }
+    }
+
+    // Ray regions and open hulls of up to d of them.
+    for size in 1..=d.min(ups.len()) {
+        for combo in subsets_of_size(ups.len(), size) {
+            let pts: Vec<QVector> = combo.iter().map(|&i| ups[i].0.clone()).collect();
+            let rays: Vec<QVector> = combo.iter().map(|&i| ups[i].1.clone()).collect();
+            let cand = VPolyhedron::new(pts, rays);
+            let kind = if size == 1 {
+                RegionKind::Ray
+            } else {
+                RegionKind::UnboundedHull
+            };
+            if !out.iter().any(|(r, _)| r.same_set(&cand)) {
+                out.push((cand, kind));
+            }
+        }
+    }
+    out
+}
+
+/// Does the ray direction stay inside the closed polyhedron?
+fn ray_in_closure(dir: &[Rational], closed: &[LinConstraint]) -> bool {
+    closed.iter().all(|con| {
+        let v = lcdb_linalg::dot(&con.coeffs, dir);
+        match con.rel {
+            Rel::Le => !v.is_positive(),
+            Rel::Ge => !v.is_negative(),
+            Rel::Eq => v.is_zero(),
+            Rel::Lt | Rel::Gt => unreachable!("closed constraints only"),
+        }
+    })
+}
+
+/// Scale a direction to canonical primitive form for deduplication.
+fn canonical_direction(dir: &[Rational]) -> QVector {
+    let h = Hyperplane::new(dir.to_vec(), Rational::zero());
+    // `Hyperplane` canonicalizes to primitive integers with positive leading
+    // coefficient — but directions are oriented, so restore the sign.
+    let flip = dir
+        .iter()
+        .find(|c| !c.is_zero())
+        .map(|c| c.is_negative())
+        .unwrap_or(false);
+    h.coeffs()
+        .iter()
+        .map(|c| if flip { -c } else { c.clone() })
+        .collect()
+}
+
+/// Does the open segment (a, b) meet the (relative) interior given by the
+/// strict constraint system?
+fn open_segment_meets(
+    d: usize,
+    a: &QVector,
+    b: &QVector,
+    interior: &[LinConstraint],
+) -> bool {
+    // Point x = a + t (b - a), 0 < t < 1, satisfying the interior system.
+    // Variables: x (d coords) and t.
+    let mut cons: Vec<LinConstraint> = Vec::with_capacity(interior.len() + d + 2);
+    for con in interior {
+        let mut coeffs = con.coeffs.clone();
+        coeffs.push(Rational::zero());
+        cons.push(LinConstraint::new(coeffs, con.rel, con.rhs.clone()));
+    }
+    for coord in 0..d {
+        // x_coord - t*(b-a)_coord = a_coord
+        let mut coeffs = vec![Rational::zero(); d + 1];
+        coeffs[coord] = Rational::one();
+        coeffs[d] = &a[coord] - &b[coord];
+        cons.push(LinConstraint::new(coeffs, Rel::Eq, a[coord].clone()));
+    }
+    let mut t_low = vec![Rational::zero(); d + 1];
+    t_low[d] = Rational::one();
+    cons.push(LinConstraint::new(t_low.clone(), Rel::Gt, Rational::zero()));
+    cons.push(LinConstraint::new(t_low, Rel::Lt, Rational::one()));
+    lcdb_lp::feasible(d + 1, &cons).is_some()
+}
+
+/// Does the open segment (a, b) meet the open hull `cand`?
+fn open_segment_meets_vpoly(d: usize, a: &QVector, b: &QVector, cand: &VPolyhedron) -> bool {
+    // x = a + t(b-a) with 0 < t < 1 and x = Σ c_i p_i, Σ c_i = 1, c_i > 0.
+    // Variables: t, c_1..c_k.
+    let k = cand.points().len();
+    let nv = 1 + k;
+    let mut cons = Vec::with_capacity(d + k + 3);
+    for coord in 0..d {
+        // a_coord + t (b-a)_coord = Σ c_i p_i[coord]
+        // =>  t (b-a)_coord - Σ c_i p_i[coord] = -a_coord
+        let mut coeffs = vec![Rational::zero(); nv];
+        coeffs[0] = &b[coord] - &a[coord];
+        for (i, p) in cand.points().iter().enumerate() {
+            coeffs[1 + i] = -p[coord].clone();
+        }
+        cons.push(LinConstraint::new(coeffs, Rel::Eq, -a[coord].clone()));
+    }
+    let mut conv = vec![Rational::zero(); nv];
+    for c in conv.iter_mut().skip(1) {
+        *c = Rational::one();
+    }
+    cons.push(LinConstraint::new(conv, Rel::Eq, Rational::one()));
+    let mut t_sel = vec![Rational::zero(); nv];
+    t_sel[0] = Rational::one();
+    cons.push(LinConstraint::new(t_sel.clone(), Rel::Gt, Rational::zero()));
+    cons.push(LinConstraint::new(t_sel, Rel::Lt, Rational::one()));
+    for i in 0..k {
+        let mut e = vec![Rational::zero(); nv];
+        e[1 + i] = Rational::one();
+        cons.push(LinConstraint::new(e, Rel::Gt, Rational::zero()));
+    }
+    lcdb_lp::feasible(nv, &cons).is_some()
+}
+
+/// All subsets of `{0..n}` of exactly `size` elements.
+fn subsets_of_size(n: usize, size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if size > n {
+        return out;
+    }
+    let mut cur = Vec::with_capacity(size);
+    fn rec(start: usize, n: usize, size: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == size {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, size, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, size, &mut cur, &mut out);
+    out
+}
+
+/// All multisets of `{0..n}` of exactly `size` elements (non-decreasing).
+fn multisets_of_size(n: usize, size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    let mut cur = Vec::with_capacity(size);
+    fn rec(start: usize, n: usize, size: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == size {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i, n, size, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, size, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdb_arith::{int, rat};
+    use lcdb_logic::parse_formula;
+
+    fn relation(src: &str, vars: &[&str]) -> Relation {
+        Relation::new(
+            vars.iter().map(|v| v.to_string()).collect(),
+            &parse_formula(src).unwrap(),
+        )
+    }
+
+    fn pt(vals: &[i64]) -> QVector {
+        vals.iter().map(|&v| int(v)).collect()
+    }
+
+    #[test]
+    fn interval_decomposition() {
+        // [0, 2] in 1D: vertices {0}, {2}, inner segment (0,2).
+        let r = relation("x >= 0 and x <= 2", &["x"]);
+        let d = decompose_relation(&r);
+        assert_eq!(d.counts_by_dim(), vec![2, 1]);
+        assert!(d.covers(&[int(0)]));
+        assert!(d.covers(&[int(1)]));
+        assert!(d.covers(&[int(2)]));
+        assert!(!d.covers(&[int(3)]));
+    }
+
+    #[test]
+    fn triangle_decomposition() {
+        // Closed triangle: 3 vertices, 3 edges, 1 inner triangle.
+        let r = relation("x >= 0 and y >= 0 and x + y <= 2", &["x", "y"]);
+        let d = decompose_relation(&r);
+        assert_eq!(d.counts_by_dim(), vec![3, 3, 1]);
+        // Interior, edges, vertices all covered.
+        assert!(d.covers(&vec![rat(1, 2), rat(1, 2)]));
+        assert!(d.covers(&pt(&[1, 0])));
+        assert!(d.covers(&pt(&[0, 0])));
+        assert!(!d.covers(&pt(&[2, 2])));
+    }
+
+    #[test]
+    fn paper_pentagon_census() {
+        // The polytope P of Fig. 7/8: a convex pentagon. The decomposition
+        // must have 5 vertices, 7 one-dim regions (5 outer edges + 2 inner
+        // diagonals from p_low), and 3 inner triangles.
+        // Pentagon with vertices (0,0), (3,-1), (5,1), (4,4), (1,3);
+        // p_low = (0,0) is lexicographically smallest.
+        let r = relation(
+            "x + 3*y >= 0 and x - y <= 4 and 3*x + y <= 16 and 3*y - x <= 8 and y <= 3*x",
+            &["x", "y"],
+        );
+        let d = decompose_relation(&r);
+        assert_eq!(d.counts_by_dim()[0], 5, "pentagon has five vertices");
+        assert_eq!(d.counts_by_dim()[1], 7, "five edges plus two diagonals");
+        assert_eq!(d.counts_by_dim()[2], 3, "fan of three triangles");
+        let kinds_inner = d
+            .regions
+            .iter()
+            .filter(|r| r.kind == RegionKind::Inner && r.dim == 1)
+            .count();
+        assert_eq!(kinds_inner, 2, "exactly the two diagonals are inner");
+    }
+
+    #[test]
+    fn paper_unbounded_census() {
+        // The polyhedron P' of Fig. 10: y <= x, y >= -x, x >= 1.
+        // Expected: 4 vertices, 4 bounded 1-dim (3 outer + 1 inner diagonal),
+        // 2 bounded 2-dim, 2 rays, 1 unbounded 2-dim hull. (App. A example.)
+        let r = relation("y <= x and y >= -x and x >= 1", &["x", "y"]);
+        let d = decompose_relation(&r);
+        let rays = d
+            .regions
+            .iter()
+            .filter(|r| r.kind == RegionKind::Ray)
+            .count();
+        let hulls = d
+            .regions
+            .iter()
+            .filter(|r| r.kind == RegionKind::UnboundedHull)
+            .count();
+        assert_eq!(rays, 2, "two ray regions from up(ψ)");
+        assert_eq!(hulls, 1, "one unbounded 2-dim hull");
+        assert_eq!(d.counts_by_dim()[0], 4);
+        let bounded_1d = d
+            .regions
+            .iter()
+            .filter(|r| r.dim == 1 && r.set.is_bounded())
+            .count();
+        assert_eq!(bounded_1d, 4, "three outer edges plus the inner diagonal");
+        let bounded_2d = d
+            .regions
+            .iter()
+            .filter(|r| r.dim == 2 && r.set.is_bounded())
+            .count();
+        assert_eq!(bounded_2d, 2);
+        assert_eq!(d.regions.len(), 13);
+        // Far away points inside ψ are covered by unbounded regions.
+        assert!(d.covers(&pt(&[100, 0])));
+        assert!(d.covers(&pt(&[100, 100])));
+        assert!(!d.covers(&pt(&[0, 0])));
+    }
+
+    #[test]
+    fn empty_disjunct_no_regions() {
+        let r = relation("x > 1 and x < 0", &["x"]);
+        let d = decompose_relation(&r);
+        assert!(d.regions.is_empty());
+    }
+
+    #[test]
+    fn multiple_disjuncts_union() {
+        let r = relation("(x >= 0 and x <= 1) or (x >= 5 and x <= 6)", &["x"]);
+        let d = decompose_relation(&r);
+        assert_eq!(d.counts_by_dim(), vec![4, 2]);
+        assert!(d.regions.iter().any(|reg| reg.disjunct == 0));
+        assert!(d.regions.iter().any(|reg| reg.disjunct == 1));
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let r = relation("x = 1 and y = 2", &["x", "y"]);
+        let d = decompose_relation(&r);
+        assert_eq!(d.counts_by_dim(), vec![1, 0, 0]);
+        assert!(d.covers(&pt(&[1, 2])));
+    }
+
+    #[test]
+    fn lower_dimensional_segment() {
+        // A segment embedded in the plane (equality constraint).
+        let r = relation("y = x and x >= 0 and x <= 2", &["x", "y"]);
+        let d = decompose_relation(&r);
+        assert_eq!(d.counts_by_dim()[0], 2);
+        assert!(d.covers(&pt(&[1, 1])));
+        assert!(!d.covers(&pt(&[1, 0])));
+    }
+
+    #[test]
+    fn halfplane_no_vertices_uses_vert_prime() {
+        // A single halfplane has no vertices; vert'(ψ) supplies the constant.
+        let r = relation("x + y >= 3", &["x", "y"]);
+        let d = decompose_relation(&r);
+        assert!(!d.regions.is_empty());
+        // Far interior points should be covered by unbounded regions.
+        assert!(d.covers(&pt(&[100, 100])));
+    }
+
+    #[test]
+    fn subsets_and_multisets() {
+        assert_eq!(subsets_of_size(4, 2).len(), 6);
+        assert_eq!(subsets_of_size(3, 3).len(), 1);
+        assert_eq!(subsets_of_size(2, 3).len(), 0);
+        assert_eq!(multisets_of_size(3, 2).len(), 6); // C(3+1,2)=6
+        assert_eq!(multisets_of_size(1, 3).len(), 1);
+        assert_eq!(multisets_of_size(0, 2).len(), 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! V-represented relatively open convex polyhedra.
+//!
+//! The Appendix-A decomposition builds regions as *open convex hulls* of
+//! vertex tuples, optionally extended by ray directions:
+//!
+//! `{ Σ aᵢ·pᵢ + Σ bⱼ·rⱼ : aᵢ > 0, Σ aᵢ = 1, bⱼ > 0 }`
+//!
+//! (with duplicate generators allowed, so a single point or an open segment
+//! are special cases). All predicates — membership, closure membership,
+//! closure inclusion — reduce to exact LP feasibility in coefficient space.
+
+use lcdb_arith::Rational;
+use lcdb_linalg::{vec_sub, Flat, Matrix, QVector};
+use lcdb_lp::{LinConstraint, Rel};
+
+/// A relatively open convex set given by generator points and ray directions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VPolyhedron {
+    points: Vec<QVector>,
+    rays: Vec<QVector>,
+}
+
+impl VPolyhedron {
+    /// Construct from generator points and ray directions. Duplicate
+    /// generators are removed (they do not change the set).
+    ///
+    /// # Panics
+    /// Panics if no points are given or dimensions are inconsistent.
+    pub fn new(points: Vec<QVector>, rays: Vec<QVector>) -> Self {
+        assert!(!points.is_empty(), "V-polyhedron needs at least one point");
+        let d = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == d) && rays.iter().all(|r| r.len() == d),
+            "inconsistent dimensions"
+        );
+        let mut up = Vec::new();
+        for p in points {
+            if !up.contains(&p) {
+                up.push(p);
+            }
+        }
+        let mut ur = Vec::new();
+        for r in rays {
+            assert!(r.iter().any(|c| !c.is_zero()), "zero ray direction");
+            if !ur.contains(&r) {
+                ur.push(r);
+            }
+        }
+        // Canonical generator order so representation equality is stable.
+        up.sort();
+        ur.sort();
+        VPolyhedron {
+            points: up,
+            rays: ur,
+        }
+    }
+
+    /// The open convex hull of a set of points (no rays).
+    pub fn open_hull(points: Vec<QVector>) -> Self {
+        VPolyhedron::new(points, Vec::new())
+    }
+
+    /// Generator points.
+    pub fn points(&self) -> &[QVector] {
+        &self.points
+    }
+
+    /// Ray directions.
+    pub fn rays(&self) -> &[QVector] {
+        &self.rays
+    }
+
+    /// Ambient dimension.
+    pub fn ambient_dim(&self) -> usize {
+        self.points[0].len()
+    }
+
+    /// Is the set bounded (no rays)?
+    pub fn is_bounded(&self) -> bool {
+        self.rays.is_empty()
+    }
+
+    /// The affine hull of the set.
+    pub fn affine_hull(&self) -> Flat {
+        let mut pts = self.points.clone();
+        // A ray direction extends the hull from the first point.
+        for r in &self.rays {
+            pts.push(
+                self.points[0]
+                    .iter()
+                    .zip(r)
+                    .map(|(p, d)| p + d)
+                    .collect(),
+            );
+        }
+        Flat::affine_hull(&pts)
+    }
+
+    /// Dimension of the set (dimension of its affine hull).
+    pub fn dim(&self) -> usize {
+        if self.points.len() == 1 && self.rays.is_empty() {
+            return 0;
+        }
+        let p0 = &self.points[0];
+        let mut dirs: Vec<QVector> = self.points[1..]
+            .iter()
+            .map(|p| vec_sub(p, p0))
+            .collect();
+        dirs.extend(self.rays.iter().cloned());
+        if dirs.is_empty() {
+            0
+        } else {
+            Matrix::from_rows(dirs).rank()
+        }
+    }
+
+    /// Membership in the relatively open set: coefficients must be strictly
+    /// positive.
+    pub fn contains(&self, x: &[Rational]) -> bool {
+        self.member(x, true)
+    }
+
+    /// Membership in the closure: coefficients may be zero.
+    pub fn closure_contains(&self, x: &[Rational]) -> bool {
+        self.member(x, false)
+    }
+
+    /// Solve `x = Σ aᵢ pᵢ + Σ bⱼ rⱼ, Σ aᵢ = 1` with positivity (strict or
+    /// non-strict) on the coefficients.
+    fn member(&self, x: &[Rational], strict: bool) -> bool {
+        let d = self.ambient_dim();
+        assert_eq!(x.len(), d);
+        let np = self.points.len();
+        let nr = self.rays.len();
+        let nv = np + nr; // LP variables: a_1..a_np, b_1..b_nr
+        let mut cons = Vec::with_capacity(d + 1 + nv);
+        // Coordinate equations.
+        for coord in 0..d {
+            let mut coeffs = Vec::with_capacity(nv);
+            for p in &self.points {
+                coeffs.push(p[coord].clone());
+            }
+            for r in &self.rays {
+                coeffs.push(r[coord].clone());
+            }
+            cons.push(LinConstraint::new(coeffs, Rel::Eq, x[coord].clone()));
+        }
+        // Convexity: Σ a = 1.
+        let mut ones = vec![Rational::zero(); nv];
+        for c in ones.iter_mut().take(np) {
+            *c = Rational::one();
+        }
+        cons.push(LinConstraint::new(ones, Rel::Eq, Rational::one()));
+        // Positivity.
+        let rel = if strict { Rel::Gt } else { Rel::Ge };
+        for j in 0..nv {
+            let mut e = vec![Rational::zero(); nv];
+            e[j] = Rational::one();
+            cons.push(LinConstraint::new(e, rel, Rational::zero()));
+        }
+        lcdb_lp::feasible(nv, &cons).is_some()
+    }
+
+    /// Is the direction `r` in the recession cone of the closure
+    /// (`r = Σ bⱼ rⱼ` with `bⱼ ≥ 0`)?
+    pub fn recession_contains(&self, r: &[Rational]) -> bool {
+        let d = self.ambient_dim();
+        assert_eq!(r.len(), d);
+        if self.rays.is_empty() {
+            return r.iter().all(|c| c.is_zero());
+        }
+        let nv = self.rays.len();
+        let mut cons = Vec::with_capacity(d + nv);
+        for coord in 0..d {
+            let coeffs: Vec<Rational> = self.rays.iter().map(|ry| ry[coord].clone()).collect();
+            cons.push(LinConstraint::new(coeffs, Rel::Eq, r[coord].clone()));
+        }
+        for j in 0..nv {
+            let mut e = vec![Rational::zero(); nv];
+            e[j] = Rational::one();
+            cons.push(LinConstraint::new(e, Rel::Ge, Rational::zero()));
+        }
+        lcdb_lp::feasible(nv, &cons).is_some()
+    }
+
+    /// Is this set contained in the closure of the other? (Sufficient and
+    /// necessary: all generator points lie in the other's closure and all ray
+    /// directions lie in its recession cone.)
+    pub fn subset_of_closure(&self, other: &VPolyhedron) -> bool {
+        self.points.iter().all(|p| other.closure_contains(p))
+            && self.rays.iter().all(|r| other.recession_contains(r))
+    }
+
+    /// The paper's adjacency: one of the two sets is contained in the closure
+    /// of the other and they are distinct as point sets. (Mutual closure
+    /// containment implies equality for relatively open convex sets, so the
+    /// both-directions case is excluded as "same region".)
+    pub fn adjacent(&self, other: &VPolyhedron) -> bool {
+        let ab = self.subset_of_closure(other);
+        let ba = other.subset_of_closure(self);
+        (ab || ba) && !(ab && ba)
+    }
+
+    /// Are the two representations the same point set?
+    pub fn same_set(&self, other: &VPolyhedron) -> bool {
+        self.subset_of_closure(other) && other.subset_of_closure(self)
+    }
+
+    /// A point inside the relatively open set (the generator average, pushed
+    /// along the ray sum when rays are present).
+    pub fn interior_point(&self) -> QVector {
+        let d = self.ambient_dim();
+        let n = Rational::from(self.points.len() as i64);
+        let mut acc = vec![Rational::zero(); d];
+        for p in &self.points {
+            for i in 0..d {
+                acc[i] += &p[i];
+            }
+        }
+        for a in acc.iter_mut() {
+            *a = &*a / &n;
+        }
+        for r in &self.rays {
+            for i in 0..d {
+                acc[i] += &r[i];
+            }
+        }
+        debug_assert!(self.contains(&acc));
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdb_arith::{int, rat};
+
+    fn pt(vals: &[i64]) -> QVector {
+        vals.iter().map(|&v| int(v)).collect()
+    }
+
+    #[test]
+    fn single_point() {
+        let p = VPolyhedron::open_hull(vec![pt(&[1, 2])]);
+        assert_eq!(p.dim(), 0);
+        assert!(p.is_bounded());
+        assert!(p.contains(&pt(&[1, 2])));
+        assert!(!p.contains(&pt(&[1, 3])));
+        assert_eq!(p.interior_point(), pt(&[1, 2]));
+    }
+
+    #[test]
+    fn open_segment() {
+        let s = VPolyhedron::open_hull(vec![pt(&[0, 0]), pt(&[2, 2])]);
+        assert_eq!(s.dim(), 1);
+        assert!(s.contains(&pt(&[1, 1])));
+        // Endpoints are excluded from the open set but in the closure.
+        assert!(!s.contains(&pt(&[0, 0])));
+        assert!(s.closure_contains(&pt(&[0, 0])));
+        assert!(!s.contains(&pt(&[3, 3])));
+        assert!(!s.closure_contains(&pt(&[3, 3])));
+        assert!(!s.contains(&pt(&[1, 0])));
+    }
+
+    #[test]
+    fn open_triangle() {
+        let t = VPolyhedron::open_hull(vec![pt(&[0, 0]), pt(&[2, 0]), pt(&[0, 2])]);
+        assert_eq!(t.dim(), 2);
+        assert!(t.contains(&vec![rat(1, 2), rat(1, 2)]));
+        // Boundary excluded.
+        assert!(!t.contains(&pt(&[1, 0])));
+        assert!(t.closure_contains(&pt(&[1, 0])));
+        assert!(t.contains(&t.interior_point()));
+    }
+
+    #[test]
+    fn duplicate_generators_collapse() {
+        let a = VPolyhedron::open_hull(vec![pt(&[0, 0]), pt(&[0, 0]), pt(&[2, 2])]);
+        let b = VPolyhedron::open_hull(vec![pt(&[0, 0]), pt(&[2, 2])]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ray_region() {
+        // {(1,1) + a(1,0) : a > 0} — open horizontal ray.
+        let r = VPolyhedron::new(vec![pt(&[1, 1])], vec![pt(&[1, 0])]);
+        assert_eq!(r.dim(), 1);
+        assert!(!r.is_bounded());
+        assert!(r.contains(&pt(&[5, 1])));
+        assert!(!r.contains(&pt(&[1, 1]))); // base point needs b > 0
+        assert!(r.closure_contains(&pt(&[1, 1])));
+        assert!(!r.contains(&pt(&[0, 1])));
+        assert!(r.recession_contains(&pt(&[3, 0])));
+        assert!(!r.recession_contains(&pt(&[-1, 0])));
+        assert!(r.recession_contains(&pt(&[0, 0])));
+    }
+
+    #[test]
+    fn two_ray_wedge() {
+        // Hull of two ray regions: base points (4,4),(4,-4), rays (1,1),(1,-1).
+        let w = VPolyhedron::new(
+            vec![pt(&[4, 4]), pt(&[4, -4])],
+            vec![pt(&[1, 1]), pt(&[1, -1])],
+        );
+        assert_eq!(w.dim(), 2);
+        assert!(w.contains(&pt(&[10, 0])));
+        assert!(!w.contains(&pt(&[4, 0]))); // needs strictly positive ray weight
+        assert!(w.closure_contains(&pt(&[4, 0])));
+        assert!(!w.contains(&pt(&[0, 0])));
+        assert!(w.contains(&w.interior_point()));
+    }
+
+    #[test]
+    fn closure_inclusion_and_adjacency() {
+        let tri = VPolyhedron::open_hull(vec![pt(&[0, 0]), pt(&[2, 0]), pt(&[0, 2])]);
+        let edge = VPolyhedron::open_hull(vec![pt(&[0, 0]), pt(&[2, 0])]);
+        let vertex = VPolyhedron::open_hull(vec![pt(&[0, 0])]);
+        let far = VPolyhedron::open_hull(vec![pt(&[10, 10])]);
+        assert!(edge.subset_of_closure(&tri));
+        assert!(vertex.subset_of_closure(&edge));
+        assert!(vertex.subset_of_closure(&tri));
+        assert!(!tri.subset_of_closure(&edge));
+        assert!(!far.subset_of_closure(&tri));
+        assert!(edge.adjacent(&tri));
+        assert!(tri.adjacent(&edge));
+        assert!(!far.adjacent(&tri));
+        assert!(!tri.adjacent(&tri));
+    }
+
+    #[test]
+    fn ray_closure_inclusion() {
+        let wedge = VPolyhedron::new(vec![pt(&[0, 0])], vec![pt(&[1, 0]), pt(&[0, 1])]);
+        let ray = VPolyhedron::new(vec![pt(&[0, 0])], vec![pt(&[1, 1])]);
+        assert!(ray.subset_of_closure(&wedge));
+        let down_ray = VPolyhedron::new(vec![pt(&[0, 0])], vec![pt(&[-1, 0])]);
+        assert!(!down_ray.subset_of_closure(&wedge));
+    }
+
+    #[test]
+    fn affine_hull_dimensions() {
+        let seg = VPolyhedron::open_hull(vec![pt(&[0, 0]), pt(&[1, 1])]);
+        assert_eq!(seg.affine_hull().dim(), 1);
+        let ray = VPolyhedron::new(vec![pt(&[0, 0])], vec![pt(&[1, 1])]);
+        assert_eq!(ray.affine_hull().dim(), 1);
+        assert_eq!(seg.affine_hull(), ray.affine_hull());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_generators_rejected() {
+        let _ = VPolyhedron::open_hull(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero ray")]
+    fn zero_ray_rejected() {
+        let _ = VPolyhedron::new(vec![pt(&[0, 0])], vec![pt(&[0, 0])]);
+    }
+}

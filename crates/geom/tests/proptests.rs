@@ -1,0 +1,101 @@
+//! Property tests for arrangements: combinatorial invariants that any
+//! correct face enumeration must satisfy.
+
+use lcdb_arith::int;
+use lcdb_geom::{Arrangement, Hyperplane};
+use proptest::prelude::*;
+
+fn arb_hyperplanes(d: usize) -> impl Strategy<Value = Vec<Hyperplane>> {
+    proptest::collection::vec(
+        (proptest::collection::vec(-3i64..=3, d), -4i64..=4),
+        1..5,
+    )
+    .prop_map(move |raw| {
+        let mut out: Vec<Hyperplane> = Vec::new();
+        for (coeffs, rhs) in raw {
+            if coeffs.iter().all(|&c| c == 0) {
+                continue;
+            }
+            let h = Hyperplane::new(coeffs.into_iter().map(int).collect(), int(rhs));
+            if !out.contains(&h) {
+                out.push(h);
+            }
+        }
+        out
+    })
+    .prop_filter("need at least one hyperplane", |hs| !hs.is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The combinatorial Euler characteristic of any hyperplane arrangement
+    /// of ℝ^d is (−1)^d: Σ_i (−1)^i f_i where f_i counts i-faces.
+    #[test]
+    fn euler_characteristic_2d(hs in arb_hyperplanes(2)) {
+        let arr = Arrangement::build(2, hs);
+        let counts = arr.face_counts_by_dim();
+        let chi: i64 = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i % 2 == 0 { c as i64 } else { -(c as i64) })
+            .sum();
+        prop_assert_eq!(chi, 1, "counts {:?}", counts);
+    }
+
+    #[test]
+    fn euler_characteristic_3d(hs in arb_hyperplanes(3)) {
+        let arr = Arrangement::build(3, hs);
+        let counts = arr.face_counts_by_dim();
+        let chi: i64 = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i % 2 == 0 { c as i64 } else { -(c as i64) })
+            .sum();
+        prop_assert_eq!(chi, -1, "counts {:?}", counts);
+    }
+
+    /// The face poset is graded: every non-maximal face is below some face
+    /// exactly one dimension higher; `leq` is reflexive and antisymmetric.
+    #[test]
+    fn face_poset_graded_and_ordered(hs in arb_hyperplanes(2)) {
+        let arr = Arrangement::build(2, hs);
+        for f in arr.faces() {
+            prop_assert!(arr.leq(f.id, f.id), "reflexive");
+            if f.dim < 2 {
+                let has_cover = arr
+                    .faces()
+                    .iter()
+                    .any(|g| g.dim == f.dim + 1 && arr.leq(f.id, g.id));
+                prop_assert!(has_cover, "face {} has no cover", f.id);
+            }
+        }
+        for a in arr.faces() {
+            for b in arr.faces() {
+                if a.id != b.id {
+                    prop_assert!(
+                        !(arr.leq(a.id, b.id) && arr.leq(b.id, a.id)),
+                        "distinct faces mutually below each other"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Witness points locate back to their own face.
+    #[test]
+    fn witnesses_locate_back(hs in arb_hyperplanes(2)) {
+        let arr = Arrangement::build(2, hs);
+        for f in arr.faces() {
+            prop_assert_eq!(arr.locate(&f.witness), f.id);
+        }
+    }
+
+    /// With at least one hyperplane there are at least two cells.
+    #[test]
+    fn cells_exist(hs in arb_hyperplanes(2)) {
+        let arr = Arrangement::build(2, hs);
+        let counts = arr.face_counts_by_dim();
+        prop_assert!(counts[2] >= 2, "at least two cells with ≥1 hyperplane");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for exact rational linear algebra.
+
+use lcdb_arith::{int, Rational};
+use lcdb_linalg::{dot, Flat, Matrix, QVector};
+use proptest::prelude::*;
+
+fn arb_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(proptest::collection::vec(-5i64..=5, n), n).prop_map(|rows| {
+        Matrix::from_rows(
+            rows.into_iter()
+                .map(|r| r.into_iter().map(int).collect())
+                .collect(),
+        )
+    })
+}
+
+fn arb_vector(n: usize) -> impl Strategy<Value = QVector> {
+    proptest::collection::vec(-5i64..=5, n).prop_map(|v| v.into_iter().map(int).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// det(AB) = det(A)·det(B).
+    #[test]
+    fn determinant_multiplicative(a in arb_matrix(3), b in arb_matrix(3)) {
+        let lhs = a.mul_mat(&b).determinant();
+        let rhs = a.determinant() * b.determinant();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// det(Aᵀ) = det(A).
+    #[test]
+    fn determinant_transpose(a in arb_matrix(3)) {
+        prop_assert_eq!(a.determinant(), a.transpose().determinant());
+    }
+
+    /// If `solve` returns a solution it satisfies the system; if the matrix
+    /// is nonsingular the solution is unique and reproduces b exactly.
+    #[test]
+    fn solve_satisfies(a in arb_matrix(3), b in arb_vector(3)) {
+        if let Some(x) = a.solve(&b) {
+            prop_assert_eq!(a.mul_vec(&x), b);
+        } else {
+            // Inconsistent: the determinant must vanish (a square system
+            // with nonzero determinant is always solvable).
+            prop_assert_eq!(a.determinant(), Rational::zero());
+        }
+    }
+
+    /// Inverse (when it exists) is a two-sided inverse, and existence
+    /// coincides with nonzero determinant.
+    #[test]
+    fn inverse_two_sided(a in arb_matrix(3)) {
+        match a.inverse() {
+            Some(inv) => {
+                prop_assert_eq!(a.mul_mat(&inv), Matrix::identity(3));
+                prop_assert_eq!(inv.mul_mat(&a), Matrix::identity(3));
+                prop_assert!(a.determinant() != Rational::zero());
+            }
+            None => prop_assert_eq!(a.determinant(), Rational::zero()),
+        }
+    }
+
+    /// Rank bounds and rank of the transpose.
+    #[test]
+    fn rank_properties(a in arb_matrix(3)) {
+        let r = a.rank();
+        prop_assert!(r <= 3);
+        prop_assert_eq!(r, a.transpose().rank());
+        // rank + nullity = n.
+        prop_assert_eq!(r + a.nullspace().len(), 3);
+        for v in a.nullspace() {
+            prop_assert!(a.mul_vec(&v).iter().all(|c| c.is_zero()));
+        }
+    }
+
+    /// The affine hull of points contains all of them and has the dimension
+    /// of their span.
+    #[test]
+    fn affine_hull_contains_points(pts in proptest::collection::vec(arb_vector(2), 1..5)) {
+        let hull = Flat::affine_hull(&pts);
+        for p in &pts {
+            prop_assert!(hull.contains(p));
+        }
+        prop_assert!(hull.dim() < pts.len().min(3));
+        // An anchor point and basis reconstruct membership.
+        let anchor = hull.point();
+        prop_assert!(hull.contains(&anchor));
+    }
+
+    /// Flats intersected with their own defining hyperplanes are unchanged.
+    #[test]
+    fn flat_intersection_idempotent(a in -3i64..=3, b in -3i64..=3, c in -5i64..=5) {
+        prop_assume!(a != 0 || b != 0);
+        let coeffs: QVector = vec![int(a), int(b)];
+        let flat = Flat::from_equations(2, &[(coeffs.clone(), int(c))]).unwrap();
+        let again = flat.intersect_hyperplane(&coeffs, &int(c)).unwrap();
+        prop_assert_eq!(flat, again);
+    }
+
+    /// Cauchy–Schwarz-flavoured sanity for dot products over rationals:
+    /// (a·b)² ≤ (a·a)(b·b).
+    #[test]
+    fn dot_cauchy_schwarz(a in arb_vector(3), b in arb_vector(3)) {
+        let ab = dot(&a, &b);
+        let aa = dot(&a, &a);
+        let bb = dot(&b, &b);
+        prop_assert!(&ab * &ab <= &aa * &bb);
+    }
+}

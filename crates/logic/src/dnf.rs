@@ -1,0 +1,727 @@
+//! Disjunctive normal form for quantifier-free, predicate-free formulas.
+//!
+//! The paper requires database relations in DNF (§2); the quantifier
+//! elimination of [`crate::qe`] also works disjunct by disjunct.
+
+use crate::{Atom, Formula, Var};
+use lcdb_arith::Rational;
+use lcdb_lp::{LinConstraint, Rel};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// A conjunction of atoms.
+pub type Conjunct = Vec<Atom>;
+
+/// A formula in disjunctive normal form: a disjunction of conjunctions of
+/// atoms. No disjuncts means *false*; an empty conjunct means *true*.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Dnf {
+    /// The disjuncts.
+    pub disjuncts: Vec<Conjunct>,
+}
+
+impl Dnf {
+    /// The false DNF.
+    pub fn falsity() -> Dnf {
+        Dnf {
+            disjuncts: Vec::new(),
+        }
+    }
+
+    /// The true DNF.
+    pub fn truth() -> Dnf {
+        Dnf {
+            disjuncts: vec![Vec::new()],
+        }
+    }
+
+    /// Is this syntactically false (no disjuncts)?
+    pub fn is_false(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Convert back into a [`Formula`].
+    pub fn to_formula(&self) -> Formula {
+        Formula::or(
+            self.disjuncts
+                .iter()
+                .map(|c| Formula::and(c.iter().cloned().map(Formula::Atom).collect()))
+                .collect(),
+        )
+    }
+
+    /// Evaluate at a point.
+    pub fn eval(&self, env: &BTreeMap<Var, Rational>) -> bool {
+        self.disjuncts
+            .iter()
+            .any(|c| c.iter().all(|a| a.eval(env)))
+    }
+
+    /// All variables mentioned.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut s = BTreeSet::new();
+        for c in &self.disjuncts {
+            for a in c {
+                s.extend(a.expr.vars());
+            }
+        }
+        s
+    }
+
+    /// Is some disjunct satisfiable over the reals? (Exact, via LP.)
+    pub fn is_satisfiable(&self) -> bool {
+        self.disjuncts.iter().any(|c| conjunct_satisfiable(c))
+    }
+
+    /// A satisfying point, if any, together with the variable order used.
+    pub fn witness(&self) -> Option<(Vec<Var>, Vec<Rational>)> {
+        let order: Vec<Var> = self.vars().into_iter().collect();
+        for c in &self.disjuncts {
+            let cons = conjunct_to_constraints(c, &order);
+            if let Some(w) = lcdb_lp::feasible(order.len(), &cons) {
+                return Some((order, w));
+            }
+        }
+        None
+    }
+
+    /// Light simplification: canonicalize and deduplicate atoms, drop
+    /// constant-true atoms, drop disjuncts with constant-false atoms, drop
+    /// LP-infeasible disjuncts, deduplicate disjuncts.
+    pub fn simplify(&self) -> Dnf {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        'disjunct: for c in &self.disjuncts {
+            let mut atoms = Vec::new();
+            let mut atom_seen = BTreeSet::new();
+            for a in c {
+                let a = a.canonicalize();
+                match a.constant_truth() {
+                    Some(true) => continue,
+                    Some(false) => continue 'disjunct,
+                    None => {}
+                }
+                let key = format!("{:?}", a);
+                if atom_seen.insert(key) {
+                    atoms.push(a);
+                }
+            }
+            if !conjunct_satisfiable(&atoms) {
+                continue;
+            }
+            let key = format!("{:?}", atoms);
+            if seen.insert(key) {
+                out.push(atoms);
+            }
+        }
+        Dnf { disjuncts: out }
+    }
+}
+
+impl Dnf {
+    /// Strong simplification: [`Dnf::simplify`] plus removal of redundant
+    /// atoms within each disjunct (an atom is redundant if the rest of the
+    /// conjunct already implies it — decided exactly by LP: `rest ∧ ¬atom`
+    /// must be unsatisfiable) and removal of disjuncts absorbed by another
+    /// disjunct. Quadratic in the representation size but produces minimal,
+    /// human-readable output formulas.
+    pub fn simplify_strong(&self) -> Dnf {
+        let base = self.simplify();
+        let mut disjuncts: Vec<Conjunct> = Vec::new();
+        for c in &base.disjuncts {
+            let mut atoms = c.clone();
+            let mut i = 0;
+            while i < atoms.len() {
+                let mut rest = atoms.clone();
+                let atom = rest.remove(i);
+                // atom redundant ⟺ rest ∧ ¬atom unsatisfiable (for every
+                // branch of the negation).
+                let redundant = atom.negate().into_iter().all(|neg| {
+                    let mut test = rest.clone();
+                    test.push(neg);
+                    !conjunct_satisfiable(&test)
+                });
+                if redundant {
+                    atoms = rest;
+                } else {
+                    i += 1;
+                }
+            }
+            disjuncts.push(atoms);
+        }
+        // Absorption: drop disjunct i if some other disjunct j contains it
+        // semantically (every point of i satisfies j).
+        let mut keep = vec![true; disjuncts.len()];
+        for i in 0..disjuncts.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..disjuncts.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if conjunct_implies(&disjuncts[i], &disjuncts[j]) {
+                    // Break ties towards the shorter representation.
+                    if !(conjunct_implies(&disjuncts[j], &disjuncts[i]) && j > i) {
+                        keep[i] = false;
+                        break;
+                    }
+                }
+            }
+        }
+        Dnf {
+            disjuncts: disjuncts
+                .into_iter()
+                .zip(keep)
+                .filter(|(_, k)| *k)
+                .map(|(c, _)| c)
+                .collect(),
+        }
+    }
+}
+
+/// Does conjunct `a` imply conjunct `b` (as point sets, `a ⊆ b`)?
+pub fn conjunct_implies(a: &Conjunct, b: &Conjunct) -> bool {
+    b.iter().all(|atom| {
+        atom.negate().into_iter().all(|neg| {
+            let mut test = a.clone();
+            test.push(neg);
+            !conjunct_satisfiable(&test)
+        })
+    })
+}
+
+/// Is a single conjunct satisfiable over the reals?
+pub fn conjunct_satisfiable(c: &Conjunct) -> bool {
+    let order: Vec<Var> = {
+        let mut s = BTreeSet::new();
+        for a in c {
+            s.extend(a.expr.vars());
+        }
+        s.into_iter().collect()
+    };
+    let cons = conjunct_to_constraints(c, &order);
+    lcdb_lp::feasible(order.len(), &cons).is_some()
+}
+
+/// Translate a conjunct to LP constraints over an explicit variable order.
+pub fn conjunct_to_constraints(c: &Conjunct, order: &[Var]) -> Vec<LinConstraint> {
+    c.iter().map(|a| a.to_constraint(order)).collect()
+}
+
+/// Convert a quantifier-free, predicate-free formula to DNF.
+///
+/// Negations are pushed to the atoms first (`¬(e = 0)` splits into two
+/// strict atoms), then conjunctions distribute over disjunctions.
+///
+/// # Panics
+/// Panics if the formula contains quantifiers or relation symbols.
+pub fn to_dnf(f: &Formula) -> Dnf {
+    assert!(
+        f.is_quantifier_free(),
+        "to_dnf requires a quantifier-free formula"
+    );
+    assert!(!f.has_predicates(), "expand predicates before DNF");
+    nnf_to_dnf(f, false)
+}
+
+/// DNF conversion with *feasibility pruning*: partial conjuncts that are
+/// unsatisfiable over the reals are discarded as soon as they arise, so the
+/// number of live disjuncts never exceeds the number of realizable sign
+/// cells of the formula's atoms. This is what keeps the quantifier
+/// elimination underlying Theorem 4.3 polynomial in the database size — a
+/// naive distribution of `⋀ᵢ ⋁ⱼ` shapes is exponential in the number of
+/// clauses, almost all branches being empty cells.
+pub fn to_dnf_pruned(f: &Formula) -> Dnf {
+    assert!(
+        f.is_quantifier_free(),
+        "to_dnf_pruned requires a quantifier-free formula"
+    );
+    assert!(!f.has_predicates(), "expand predicates before DNF");
+    let disjuncts = dist_pruned(f, false, Vec::new());
+    Dnf { disjuncts }
+}
+
+/// DNF conversion by *cell enumeration*: compute the canonical hyperplanes of
+/// all atoms in the formula, enumerate the realizable sign cells of their
+/// arrangement (in the spirit of §3 of the paper), and keep the cells whose
+/// witness point satisfies the formula. Every atom has constant sign on every
+/// cell, so witness evaluation is exact.
+///
+/// The disjunct count is bounded by the number of faces of the atom
+/// arrangement — `O(m^k)` for `m` hyperplanes and `k` variables — which is
+/// *independent of the formula's boolean structure*. Use this instead of
+/// [`to_dnf_pruned`] for deeply redundant formulas (e.g. the expansions of
+/// region quantifiers), where path-based distribution explodes even with
+/// feasibility pruning.
+pub fn to_dnf_cells(f: &Formula) -> Dnf {
+    assert!(f.is_quantifier_free() && !f.has_predicates());
+    let vars: Vec<Var> = {
+        let mut s = BTreeSet::new();
+        collect_vars(f, &mut s);
+        s.into_iter().collect()
+    };
+    // Canonical hyperplanes: each atom's expression as a sign-normalized
+    // equality, deduplicated.
+    let mut hyperplanes: Vec<Atom> = Vec::new();
+    {
+        let mut seen = BTreeSet::new();
+        collect_hyperplanes(f, &mut hyperplanes, &mut seen);
+    }
+
+    // Incremental sign-vector enumeration with witnesses.
+    let origin: Vec<Rational> = vars.iter().map(|_| Rational::zero()).collect();
+    let mut cells: Vec<(Conjunct, Vec<Rational>)> = vec![(Vec::new(), origin)];
+    for h in &hyperplanes {
+        let mut next = Vec::with_capacity(cells.len() * 2);
+        for (conj, witness) in &cells {
+            let env: BTreeMap<Var, Rational> = vars
+                .iter()
+                .cloned()
+                .zip(witness.iter().cloned())
+                .collect();
+            let val = h.expr.eval(&env);
+            let carried_rel = match val.sign() {
+                lcdb_arith::Sign::Negative => Rel::Lt,
+                lcdb_arith::Sign::Zero => Rel::Eq,
+                lcdb_arith::Sign::Positive => Rel::Gt,
+            };
+            for rel in [Rel::Lt, Rel::Eq, Rel::Gt] {
+                let mut ext = conj.clone();
+                ext.push(Atom {
+                    expr: h.expr.clone(),
+                    rel,
+                });
+                if rel == carried_rel {
+                    next.push((ext, witness.clone()));
+                } else {
+                    let cons = conjunct_to_constraints(&ext, &vars);
+                    if let Some(w) = lcdb_lp::feasible(vars.len(), &cons) {
+                        next.push((ext, w));
+                    }
+                }
+            }
+        }
+        cells = next;
+    }
+
+    let mut out = Vec::new();
+    for (conj, witness) in cells {
+        let env: BTreeMap<Var, Rational> = vars
+            .iter()
+            .cloned()
+            .zip(witness.into_iter())
+            .collect();
+        if f.eval(&env) {
+            out.push(conj);
+        }
+    }
+    Dnf { disjuncts: out }
+}
+
+/// Upper-bound estimate of the number of DNF disjuncts a structural
+/// conversion would produce (saturating at `cap`). Used to pick a strategy.
+pub fn branching_estimate(f: &Formula, negated: bool, cap: usize) -> usize {
+    match f {
+        Formula::True | Formula::False => 1,
+        Formula::Atom(a) => {
+            if negated && a.rel == Rel::Eq {
+                2
+            } else {
+                1
+            }
+        }
+        Formula::Not(g) => branching_estimate(g, !negated, cap),
+        Formula::And(fs) if !negated => fs
+            .iter()
+            .map(|g| branching_estimate(g, false, cap))
+            .fold(1usize, |a, b| a.saturating_mul(b).min(cap)),
+        Formula::Or(fs) if negated => fs
+            .iter()
+            .map(|g| branching_estimate(g, true, cap))
+            .fold(1usize, |a, b| a.saturating_mul(b).min(cap)),
+        Formula::Or(fs) => fs
+            .iter()
+            .map(|g| branching_estimate(g, false, cap))
+            .fold(0usize, |a, b| a.saturating_add(b).min(cap)),
+        Formula::And(fs) => fs
+            .iter()
+            .map(|g| branching_estimate(g, true, cap))
+            .fold(0usize, |a, b| a.saturating_add(b).min(cap)),
+        Formula::Pred(..) | Formula::Exists(..) | Formula::Forall(..) => cap,
+    }
+}
+
+/// Adaptive DNF conversion: purely structural (no LP) for low-branching
+/// formulas, feasibility-pruned distribution for medium ones, and cell
+/// enumeration for deeply redundant formulas where only the number of
+/// realizable sign cells keeps the size polynomial.
+pub fn to_dnf_auto(f: &Formula) -> Dnf {
+    let est = branching_estimate(f, false, 1 << 20);
+    if est <= 32 {
+        to_dnf(f)
+    } else if est <= 2048 {
+        to_dnf_pruned(f)
+    } else {
+        to_dnf_cells(f)
+    }
+}
+
+fn collect_vars(f: &Formula, out: &mut BTreeSet<Var>) {
+    match f {
+        Formula::Atom(a) => out.extend(a.expr.vars()),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| collect_vars(g, out)),
+        Formula::Not(g) => collect_vars(g, out),
+        _ => {}
+    }
+}
+
+fn collect_hyperplanes(f: &Formula, out: &mut Vec<Atom>, seen: &mut BTreeSet<String>) {
+    match f {
+        Formula::Atom(a) => {
+            if a.expr.is_constant() {
+                return;
+            }
+            let h = Atom {
+                expr: a.expr.clone(),
+                rel: Rel::Eq,
+            }
+            .canonicalize();
+            let key = format!("{:?}", h);
+            if seen.insert(key) {
+                out.push(h);
+            }
+        }
+        Formula::And(fs) | Formula::Or(fs) => {
+            fs.iter().for_each(|g| collect_hyperplanes(g, out, seen))
+        }
+        Formula::Not(g) => collect_hyperplanes(g, out, seen),
+        _ => {}
+    }
+}
+
+/// All feasible DNF disjuncts of `partial ∧ (¬)f`.
+fn dist_pruned(f: &Formula, negated: bool, partial: Conjunct) -> Vec<Conjunct> {
+    match f {
+        Formula::True => {
+            if negated {
+                Vec::new()
+            } else {
+                vec![partial]
+            }
+        }
+        Formula::False => {
+            if negated {
+                vec![partial]
+            } else {
+                Vec::new()
+            }
+        }
+        Formula::Atom(a) => {
+            let candidates: Vec<Atom> = if negated { a.negate() } else { vec![a.clone()] };
+            let mut out = Vec::new();
+            for atom in candidates {
+                match atom.constant_truth() {
+                    Some(true) => {
+                        out.push(partial.clone());
+                        continue;
+                    }
+                    Some(false) => continue,
+                    None => {}
+                }
+                let mut ext = partial.clone();
+                ext.push(atom);
+                if conjunct_satisfiable(&ext) {
+                    out.push(ext);
+                }
+            }
+            out
+        }
+        Formula::Not(inner) => dist_pruned(inner, !negated, partial),
+        Formula::And(fs) if !negated => {
+            let mut acc = vec![partial];
+            for sub in fs {
+                let mut next = Vec::new();
+                for c in acc {
+                    next.extend(dist_pruned(sub, false, c));
+                }
+                acc = next;
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+        Formula::Or(fs) if negated => {
+            // ¬(⋁ᵢ φᵢ) = ⋀ᵢ ¬φᵢ: same sequential conjunction path.
+            let mut acc = vec![partial];
+            for sub in fs {
+                let mut next = Vec::new();
+                for c in acc {
+                    next.extend(dist_pruned(sub, true, c));
+                }
+                acc = next;
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+        Formula::Or(fs) => {
+            let mut out = Vec::new();
+            for sub in fs {
+                out.extend(dist_pruned(sub, false, partial.clone()));
+            }
+            out
+        }
+        Formula::And(fs) => {
+            let mut out = Vec::new();
+            for sub in fs {
+                out.extend(dist_pruned(sub, true, partial.clone()));
+            }
+            out
+        }
+        Formula::Pred(..) | Formula::Exists(..) | Formula::Forall(..) => {
+            unreachable!("checked in to_dnf_pruned")
+        }
+    }
+}
+
+fn nnf_to_dnf(f: &Formula, negated: bool) -> Dnf {
+    match f {
+        Formula::True => {
+            if negated {
+                Dnf::falsity()
+            } else {
+                Dnf::truth()
+            }
+        }
+        Formula::False => {
+            if negated {
+                Dnf::truth()
+            } else {
+                Dnf::falsity()
+            }
+        }
+        Formula::Atom(a) => {
+            if negated {
+                Dnf {
+                    disjuncts: a.negate().into_iter().map(|n| vec![n]).collect(),
+                }
+            } else {
+                Dnf {
+                    disjuncts: vec![vec![a.clone()]],
+                }
+            }
+        }
+        Formula::Not(inner) => nnf_to_dnf(inner, !negated),
+        Formula::And(fs) if !negated => conjoin_all(fs, false),
+        Formula::Or(fs) if negated => conjoin_all(fs, true),
+        Formula::Or(fs) => {
+            let mut out = Vec::new();
+            for sub in fs {
+                out.extend(nnf_to_dnf(sub, false).disjuncts);
+            }
+            Dnf { disjuncts: out }
+        }
+        Formula::And(fs) => {
+            // negated conjunction = disjunction of negations
+            let mut out = Vec::new();
+            for sub in fs {
+                out.extend(nnf_to_dnf(sub, true).disjuncts);
+            }
+            Dnf { disjuncts: out }
+        }
+        Formula::Pred(..) | Formula::Exists(..) | Formula::Forall(..) => {
+            unreachable!("checked in to_dnf")
+        }
+    }
+}
+
+/// Distribute: DNF of a conjunction of subformulas (each possibly negated).
+fn conjoin_all(fs: &[Formula], negated: bool) -> Dnf {
+    let mut acc = Dnf::truth();
+    for sub in fs {
+        let d = nnf_to_dnf(sub, negated);
+        let mut next = Vec::with_capacity(acc.disjuncts.len() * d.disjuncts.len());
+        for left in &acc.disjuncts {
+            for right in &d.disjuncts {
+                let mut merged = left.clone();
+                merged.extend(right.iter().cloned());
+                next.push(merged);
+            }
+        }
+        acc = Dnf { disjuncts: next };
+        if acc.is_false() {
+            return acc;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinExpr;
+    use lcdb_arith::int;
+
+    fn atom(var: &str, rel: Rel, c: i64) -> Formula {
+        Formula::Atom(Atom::new(
+            LinExpr::var(var),
+            rel,
+            LinExpr::constant(int(c)),
+        ))
+    }
+
+    fn env(pairs: &[(&str, i64)]) -> BTreeMap<Var, Rational> {
+        pairs
+            .iter()
+            .map(|&(v, val)| (v.to_string(), int(val)))
+            .collect()
+    }
+
+    #[test]
+    fn dnf_of_disjunction_of_conjunctions_is_identity_shape() {
+        let f = Formula::or(vec![
+            Formula::and(vec![atom("x", Rel::Gt, 0), atom("x", Rel::Lt, 1)]),
+            atom("x", Rel::Eq, 5),
+        ]);
+        let d = to_dnf(&f);
+        assert_eq!(d.disjuncts.len(), 2);
+        assert_eq!(d.disjuncts[0].len(), 2);
+        assert_eq!(d.disjuncts[1].len(), 1);
+    }
+
+    #[test]
+    fn dnf_distributes() {
+        // (a or b) and (c or d) has four disjuncts.
+        let f = Formula::and(vec![
+            Formula::or(vec![atom("x", Rel::Lt, 0), atom("x", Rel::Gt, 1)]),
+            Formula::or(vec![atom("y", Rel::Lt, 0), atom("y", Rel::Gt, 1)]),
+        ]);
+        let d = to_dnf(&f);
+        assert_eq!(d.disjuncts.len(), 4);
+        for (vx, vy, expect) in [(-1, -1, true), (-1, 2, true), (0, 0, false), (2, 2, true)] {
+            assert_eq!(d.eval(&env(&[("x", vx), ("y", vy)])), expect);
+        }
+    }
+
+    #[test]
+    fn negation_of_equality_splits() {
+        let f = Formula::not(atom("x", Rel::Eq, 3));
+        let d = to_dnf(&f);
+        assert_eq!(d.disjuncts.len(), 2);
+        assert!(d.eval(&env(&[("x", 2)])));
+        assert!(d.eval(&env(&[("x", 4)])));
+        assert!(!d.eval(&env(&[("x", 3)])));
+    }
+
+    #[test]
+    fn de_morgan() {
+        // not (x < 0 and y < 0) == x >= 0 or y >= 0.
+        let f = Formula::not(Formula::and(vec![
+            atom("x", Rel::Lt, 0),
+            atom("y", Rel::Lt, 0),
+        ]));
+        let d = to_dnf(&f);
+        assert!(d.eval(&env(&[("x", 1), ("y", -1)])));
+        assert!(d.eval(&env(&[("x", -1), ("y", 1)])));
+        assert!(!d.eval(&env(&[("x", -1), ("y", -1)])));
+    }
+
+    #[test]
+    fn satisfiability_checks() {
+        let sat = to_dnf(&Formula::and(vec![
+            atom("x", Rel::Gt, 0),
+            atom("x", Rel::Lt, 1),
+        ]));
+        assert!(sat.is_satisfiable());
+        let unsat = to_dnf(&Formula::and(vec![
+            atom("x", Rel::Lt, 0),
+            atom("x", Rel::Gt, 0),
+        ]));
+        assert!(!unsat.is_satisfiable());
+        let (order, w) = sat.witness().unwrap();
+        assert_eq!(order, vec!["x".to_string()]);
+        assert!(w[0] > int(0) && w[0] < int(1));
+        assert!(unsat.witness().is_none());
+    }
+
+    #[test]
+    fn simplify_prunes_and_dedups() {
+        let f = Formula::or(vec![
+            // Unsatisfiable disjunct.
+            Formula::and(vec![atom("x", Rel::Lt, 0), atom("x", Rel::Gt, 1)]),
+            // Two copies of the same satisfiable disjunct (different scaling).
+            atom("x", Rel::Lt, 2),
+            Formula::Atom(Atom::new(
+                LinExpr::var("x").scale(&int(3)),
+                Rel::Lt,
+                LinExpr::constant(int(6)),
+            )),
+        ]);
+        let d = to_dnf(&f).simplify();
+        assert_eq!(d.disjuncts.len(), 1);
+        assert_eq!(d.disjuncts[0].len(), 1);
+    }
+
+    #[test]
+    fn simplify_strong_removes_redundant_atoms() {
+        // x > 0 and x > 1 and x < 5 and x < 9: two atoms are redundant.
+        let f = Formula::and(vec![
+            atom("x", Rel::Gt, 0),
+            atom("x", Rel::Gt, 1),
+            atom("x", Rel::Lt, 5),
+            atom("x", Rel::Lt, 9),
+        ]);
+        let d = to_dnf(&f).simplify_strong();
+        assert_eq!(d.disjuncts.len(), 1);
+        assert_eq!(d.disjuncts[0].len(), 2, "{:?}", d);
+        // Semantics preserved.
+        for v in [0i64, 1, 2, 5, 7, 10] {
+            assert_eq!(
+                d.eval(&env(&[("x", v)])),
+                f.eval(&env(&[("x", v)])),
+                "at {}",
+                v
+            );
+        }
+    }
+
+    #[test]
+    fn simplify_strong_absorbs_disjuncts() {
+        // (0 < x < 5) or (1 < x < 2): the second is contained in the first.
+        let f = Formula::or(vec![
+            Formula::and(vec![atom("x", Rel::Gt, 0), atom("x", Rel::Lt, 5)]),
+            Formula::and(vec![atom("x", Rel::Gt, 1), atom("x", Rel::Lt, 2)]),
+        ]);
+        let d = to_dnf(&f).simplify_strong();
+        assert_eq!(d.disjuncts.len(), 1, "{:?}", d);
+    }
+
+    #[test]
+    fn conjunct_implication() {
+        let narrow = to_dnf(&Formula::and(vec![
+            atom("x", Rel::Gt, 1),
+            atom("x", Rel::Lt, 2),
+        ]))
+        .disjuncts[0]
+            .clone();
+        let wide = to_dnf(&Formula::and(vec![
+            atom("x", Rel::Gt, 0),
+            atom("x", Rel::Lt, 5),
+        ]))
+        .disjuncts[0]
+            .clone();
+        assert!(conjunct_implies(&narrow, &wide));
+        assert!(!conjunct_implies(&wide, &narrow));
+        assert!(conjunct_implies(&narrow, &narrow));
+    }
+
+    #[test]
+    fn truth_and_falsity() {
+        assert!(to_dnf(&Formula::True).eval(&BTreeMap::new()));
+        assert!(!to_dnf(&Formula::False).eval(&BTreeMap::new()));
+        assert!(to_dnf(&Formula::not(Formula::False)).eval(&BTreeMap::new()));
+    }
+}

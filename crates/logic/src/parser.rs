@@ -1,0 +1,605 @@
+//! Concrete syntax for FO+LIN formulas.
+//!
+//! ```text
+//! formula  := or ( "->" or )*                  (implication, right assoc.)
+//! or       := and ( "or" and )*
+//! and      := unary ( "and" unary )*
+//! unary    := "not" unary
+//!           | ("exists" | "forall") ident ("," ident)* "." formula
+//!           | "(" formula ")"
+//!           | "true" | "false"
+//!           | ident "(" expr ("," expr)* ")"   (relation application)
+//!           | expr (REL expr)+                 (comparison chains allowed)
+//! REL      := "<" | "<=" | "=" | ">=" | ">" | "!="
+//! expr     := ["-"] term ( ("+" | "-") term )*
+//! term     := number [ "*" ident ] | ident
+//! number   := digits [ "/" digits | "." digits ]
+//! ```
+//!
+//! Example: `exists x. S(x, y) and 0 < x < 10 and 2*x - y <= 1/2`.
+
+use crate::{Atom, Formula, LinExpr};
+use lcdb_arith::Rational;
+use lcdb_lp::Rel;
+use std::fmt;
+
+/// Error produced when parsing a formula fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(Rational),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Plus,
+    Minus,
+    Star,
+    Rel(Rel),
+    NotEqual,
+    Arrow,
+    And,
+    Or,
+    Not,
+    Exists,
+    Forall,
+    True,
+    False,
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '(' => {
+                out.push((Tok::LParen, start));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, start));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, start));
+                i += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, start));
+                i += 1;
+            }
+            '+' => {
+                out.push((Tok::Plus, start));
+                i += 1;
+            }
+            '*' => {
+                out.push((Tok::Star, start));
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((Tok::Arrow, start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Minus, start));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Rel(Rel::Le), start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Rel(Rel::Lt), start));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Rel(Rel::Ge), start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Rel(Rel::Gt), start));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push((Tok::Rel(Rel::Eq), start));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::NotEqual, start));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected '=' after '!'".into(),
+                        position: start,
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                // Optional "/digits" (fraction) or ".digits" (decimal). A dot
+                // only counts as part of the number if followed by a digit —
+                // otherwise it is the quantifier dot.
+                if j < bytes.len() && bytes[j] == b'/' {
+                    let mut k = j + 1;
+                    while k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
+                        k += 1;
+                    }
+                    if k == j + 1 {
+                        return Err(ParseError {
+                            message: "expected digits after '/'".into(),
+                            position: j,
+                        });
+                    }
+                    j = k;
+                } else if j + 1 < bytes.len()
+                    && bytes[j] == b'.'
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    let mut k = j + 1;
+                    while k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
+                        k += 1;
+                    }
+                    j = k;
+                }
+                let text = &input[i..j];
+                let value: Rational = text.parse().map_err(|e| ParseError {
+                    message: format!("bad number '{}': {}", text, e),
+                    position: start,
+                })?;
+                out.push((Tok::Number(value), start));
+                i = j;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                let tok = match word {
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    "exists" => Tok::Exists,
+                    "forall" => Tok::Forall,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push((tok, start));
+                i = j;
+            }
+            _ => {
+                return Err(ParseError {
+                    message: format!("unexpected character '{}'", c),
+                    position: start,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}", what)))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            position: self.here(),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or_formula()?;
+        if self.peek() == Some(&Tok::Arrow) {
+            self.bump();
+            let rhs = self.formula()?; // right associative
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or_formula(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.and_formula()?];
+        while self.peek() == Some(&Tok::Or) {
+            self.bump();
+            parts.push(self.and_formula()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::or(parts)
+        })
+    }
+
+    fn and_formula(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        while self.peek() == Some(&Tok::And) {
+            self.bump();
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::and(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.bump();
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Tok::Exists) | Some(Tok::Forall) => {
+                let is_exists = matches!(self.peek(), Some(Tok::Exists));
+                self.bump();
+                let mut vars = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(Tok::Ident(v)) => vars.push(v),
+                        _ => return Err(self.err("expected variable name".into())),
+                    }
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::Dot, "'.' after quantified variables")?;
+                let mut body = self.formula()?;
+                for v in vars.into_iter().rev() {
+                    body = if is_exists {
+                        Formula::Exists(v, Box::new(body))
+                    } else {
+                        Formula::Forall(v, Box::new(body))
+                    };
+                }
+                Ok(body)
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let f = self.formula()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(f)
+            }
+            Some(Tok::True) => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Some(Tok::False) => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Some(Tok::Ident(_)) if self.peek2() == Some(&Tok::LParen) => {
+                let Some(Tok::Ident(name)) = self.bump() else {
+                    unreachable!()
+                };
+                self.bump(); // '('
+                let mut args = vec![self.expr()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                    args.push(self.expr()?);
+                }
+                self.expect(&Tok::RParen, "')' after relation arguments")?;
+                Ok(Formula::Pred(name, args))
+            }
+            Some(_) => self.comparison(),
+            None => Err(self.err("unexpected end of input".into())),
+        }
+    }
+
+    /// A chain `e1 REL e2 REL e3 …` becomes the conjunction of adjacent
+    /// comparisons (e.g. `0 < x < 10`).
+    fn comparison(&mut self) -> Result<Formula, ParseError> {
+        let first = self.expr()?;
+        let mut parts = Vec::new();
+        let mut lhs = first;
+        let mut any = false;
+        loop {
+            let rel = match self.peek() {
+                Some(Tok::Rel(r)) => {
+                    let r = *r;
+                    self.bump();
+                    Some(Ok(r))
+                }
+                Some(Tok::NotEqual) => {
+                    self.bump();
+                    Some(Err(())) // marker for !=
+                }
+                _ => None,
+            };
+            let Some(rel) = rel else { break };
+            any = true;
+            let rhs = self.expr()?;
+            match rel {
+                Ok(r) => parts.push(Formula::Atom(Atom::new(lhs.clone(), r, rhs.clone()))),
+                Err(()) => parts.push(Formula::or(vec![
+                    Formula::Atom(Atom::new(lhs.clone(), Rel::Lt, rhs.clone())),
+                    Formula::Atom(Atom::new(lhs.clone(), Rel::Gt, rhs.clone())),
+                ])),
+            }
+            lhs = rhs;
+        }
+        if !any {
+            return Err(self.err("expected a comparison operator".into()));
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn expr(&mut self) -> Result<LinExpr, ParseError> {
+        let mut negate_first = false;
+        if self.peek() == Some(&Tok::Minus) {
+            self.bump();
+            negate_first = true;
+        }
+        let mut acc = self.term()?;
+        if negate_first {
+            acc = acc.scale(&-Rational::one());
+        }
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.bump();
+                    let t = self.term()?;
+                    acc = acc.add(&t);
+                }
+                Some(Tok::Minus) => {
+                    self.bump();
+                    let t = self.term()?;
+                    acc = acc.sub(&t);
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self) -> Result<LinExpr, ParseError> {
+        match self.bump() {
+            Some(Tok::Number(n)) => {
+                if self.peek() == Some(&Tok::Star) {
+                    self.bump();
+                    match self.bump() {
+                        Some(Tok::Ident(v)) => Ok(LinExpr::var(v).scale(&n)),
+                        _ => Err(self.err("expected variable after '*'".into())),
+                    }
+                } else {
+                    Ok(LinExpr::constant(n))
+                }
+            }
+            Some(Tok::Ident(v)) => Ok(LinExpr::var(v)),
+            _ => Err(self.err("expected a number or variable".into())),
+        }
+    }
+}
+
+/// Parse a formula from its concrete syntax.
+pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let f = p.formula()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing input after formula".into()));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdb_arith::{int, rat};
+    use std::collections::BTreeMap;
+
+    fn env(pairs: &[(&str, Rational)]) -> BTreeMap<String, Rational> {
+        pairs
+            .iter()
+            .map(|(v, val)| (v.to_string(), val.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_simple_atom() {
+        let f = parse_formula("x < 1").unwrap();
+        assert!(f.eval(&env(&[("x", int(0))])));
+        assert!(!f.eval(&env(&[("x", int(1))])));
+    }
+
+    #[test]
+    fn parse_comparison_chain() {
+        let f = parse_formula("0 < x < 10").unwrap();
+        assert!(f.eval(&env(&[("x", int(5))])));
+        assert!(!f.eval(&env(&[("x", int(0))])));
+        assert!(!f.eval(&env(&[("x", int(10))])));
+    }
+
+    #[test]
+    fn parse_arithmetic() {
+        let f = parse_formula("2*x - y + 1/2 <= 3").unwrap();
+        assert!(f.eval(&env(&[("x", int(1)), ("y", int(0))])));
+        assert!(!f.eval(&env(&[("x", int(2)), ("y", int(0))])));
+        let g = parse_formula("-x + 0.5 = 0").unwrap();
+        assert!(g.eval(&env(&[("x", rat(1, 2))])));
+    }
+
+    #[test]
+    fn parse_boolean_connectives() {
+        let f = parse_formula("x < 0 or (x > 1 and not x > 2)").unwrap();
+        assert!(f.eval(&env(&[("x", int(-1))])));
+        assert!(f.eval(&env(&[("x", rat(3, 2))])));
+        assert!(!f.eval(&env(&[("x", rat(1, 2))])));
+        assert!(!f.eval(&env(&[("x", int(3))])));
+    }
+
+    #[test]
+    fn parse_implication() {
+        let f = parse_formula("x > 0 -> x > 1").unwrap();
+        assert!(f.eval(&env(&[("x", int(-1))]))); // vacuous
+        assert!(f.eval(&env(&[("x", int(2))])));
+        assert!(!f.eval(&env(&[("x", rat(1, 2))])));
+    }
+
+    #[test]
+    fn parse_quantifiers() {
+        let f = parse_formula("exists y. y > x and y < x + 1").unwrap();
+        assert!(f.eval(&env(&[("x", int(7))])));
+        let g = parse_formula("forall y. y >= x -> y + 1 > x").unwrap();
+        assert!(g.eval(&env(&[("x", int(0))])));
+        // Multi-variable binder.
+        let h = parse_formula("exists a, b. a < x and x < b").unwrap();
+        assert!(h.eval(&env(&[("x", int(0))])));
+    }
+
+    #[test]
+    fn parse_predicates() {
+        let f = parse_formula("S(x, y + 1)").unwrap();
+        match &f {
+            Formula::Pred(name, args) => {
+                assert_eq!(name, "S");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected predicate, got {}", other),
+        }
+    }
+
+    #[test]
+    fn parse_not_equal() {
+        let f = parse_formula("x != 1").unwrap();
+        assert!(f.eval(&env(&[("x", int(0))])));
+        assert!(!f.eval(&env(&[("x", int(1))])));
+    }
+
+    #[test]
+    fn quantifier_dot_vs_decimal_dot() {
+        // `exists x. x > 1.5` must lex `.` and `1.5` correctly.
+        let f = parse_formula("exists x. x > 1.5 and x < 2").unwrap();
+        assert!(f.eval(&BTreeMap::new()));
+    }
+
+    #[test]
+    fn parse_true_false() {
+        assert_eq!(parse_formula("true").unwrap(), Formula::True);
+        assert_eq!(parse_formula("false and x < 1").unwrap(), Formula::False);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_formula("").is_err());
+        assert!(parse_formula("x <").is_err());
+        assert!(parse_formula("x ! 1").is_err());
+        assert!(parse_formula("exists . x < 1").is_err());
+        assert!(parse_formula("x < 1 )").is_err());
+        assert!(parse_formula("1/").is_err());
+        assert!(parse_formula("@").is_err());
+        assert!(parse_formula("x").is_err()); // bare expression is not a formula
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        // Display may re-orient atoms (e.g. `-x < 0` prints as `x > 0`), so
+        // round-trips are checked semantically on a sample grid rather than
+        // structurally.
+        for src in [
+            "x < 1",
+            "0 < x and x < 10",
+            "2*x - 3*y <= 1/2",
+            "x = 1 or x > 3",
+            "not (x <= 2 and y >= 0)",
+        ] {
+            let f = parse_formula(src).unwrap();
+            let printed = f.to_string();
+            let g = parse_formula(&printed)
+                .unwrap_or_else(|e| panic!("reparse of '{}' failed: {}", printed, e));
+            for vx in -2i64..=11 {
+                for vy in -2i64..=2 {
+                    let e = env(&[("x", int(vx)), ("y", int(vy))]);
+                    assert_eq!(
+                        f.eval(&e),
+                        g.eval(&e),
+                        "roundtrip mismatch for '{}' -> '{}' at ({}, {})",
+                        src,
+                        printed,
+                        vx,
+                        vy
+                    );
+                }
+            }
+        }
+        // Quantified formulas re-parse too.
+        let q = parse_formula("exists y. y > x and y < x + 1").unwrap();
+        let q2 = parse_formula(&q.to_string()).unwrap();
+        let e = env(&[("x", int(3)), ("y", int(0))]);
+        assert_eq!(q.eval(&e), q2.eval(&e));
+    }
+}

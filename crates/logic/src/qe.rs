@@ -1,0 +1,381 @@
+//! Quantifier elimination for `(ℝ, <, +)` by Fourier–Motzkin elimination.
+//!
+//! This is what makes FO+LIN *closed* (§2 of the paper): the result of any
+//! first-order query on a linear constraint database is again representable
+//! by a quantifier-free formula. Equalities eliminate by substitution;
+//! inequalities by pairing lower with upper bounds, with strictness
+//! propagated (`l < u` when either bound is strict, `l ≤ u` otherwise).
+
+use crate::dnf::{Conjunct, Dnf};
+#[cfg(test)]
+use crate::dnf::to_dnf;
+use crate::{Atom, Formula, LinExpr};
+use lcdb_lp::Rel;
+
+/// Eliminate all quantifiers from a predicate-free formula, returning an
+/// equivalent quantifier-free formula (in simplified DNF shape).
+///
+/// # Panics
+/// Panics if the formula mentions relation symbols.
+pub fn eliminate_quantifiers(f: &Formula) -> Formula {
+    assert!(
+        !f.has_predicates(),
+        "expand predicates against a database before quantifier elimination"
+    );
+    let qf = eliminate_rec(f);
+    debug_assert!(qf.is_quantifier_free());
+    qf
+}
+
+fn eliminate_rec(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_) => f.clone(),
+        Formula::And(fs) => Formula::and(fs.iter().map(eliminate_rec).collect()),
+        Formula::Or(fs) => Formula::or(fs.iter().map(eliminate_rec).collect()),
+        Formula::Not(inner) => Formula::not(eliminate_rec(inner)),
+        Formula::Exists(v, inner) => {
+            let qf_inner = eliminate_rec(inner);
+            let dnf = crate::dnf::to_dnf_pruned(&qf_inner);
+            eliminate_exists_dnf(&dnf, v).simplify().to_formula()
+        }
+        Formula::Forall(v, inner) => {
+            // ∀x φ ≡ ¬∃x ¬φ
+            let rewritten = Formula::not(Formula::Exists(
+                v.clone(),
+                Box::new(Formula::not((**inner).clone())),
+            ));
+            eliminate_rec(&rewritten)
+        }
+        Formula::Pred(..) => unreachable!("checked by caller"),
+    }
+}
+
+/// Eliminate a single element quantifier from a quantifier-free formula,
+/// using cell-based DNF conversion ([`crate::dnf::to_dnf_cells`]). Robust for
+/// deeply redundant formulas such as region-quantifier expansions, where the
+/// number of cells — not the boolean structure — bounds the work.
+pub fn eliminate_one_cells(f: &Formula, var: &str, exists: bool) -> Formula {
+    if exists {
+        let dnf = crate::dnf::to_dnf_auto(f);
+        eliminate_exists_dnf(&dnf, var).simplify().to_formula()
+    } else {
+        // ∀x φ ≡ ¬∃x ¬φ.
+        let neg = Formula::not(f.clone());
+        let dnf = crate::dnf::to_dnf_auto(&neg);
+        Formula::not(eliminate_exists_dnf(&dnf, var).simplify().to_formula())
+    }
+}
+
+/// Eliminate `∃ var` from a DNF: Fourier–Motzkin on each disjunct.
+pub fn eliminate_exists_dnf(dnf: &Dnf, var: &str) -> Dnf {
+    Dnf {
+        disjuncts: dnf
+            .disjuncts
+            .iter()
+            .map(|c| fm_eliminate_conjunct(c, var))
+            .collect(),
+    }
+}
+
+/// Fourier–Motzkin elimination of a variable from a conjunction of atoms.
+///
+/// Returns a conjunction equivalent (over the reals) to
+/// `∃ var. ⋀ atoms`.
+pub fn fm_eliminate_conjunct(conjunct: &Conjunct, var: &str) -> Conjunct {
+    let mut with_var = Vec::new();
+    let mut rest: Conjunct = Vec::new();
+    for a in conjunct {
+        if a.expr.mentions(var) {
+            with_var.push(a.clone());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    if with_var.is_empty() {
+        return rest;
+    }
+
+    // Equality substitution: a·x + r = 0  ⇒  x = -r/a.
+    if let Some(pos) = with_var.iter().position(|a| a.rel == Rel::Eq) {
+        let eq = with_var.remove(pos);
+        let a = eq.expr.coeff(var);
+        let r = eq.expr.substitute(var, &LinExpr::zero());
+        let replacement = r.scale(&(-a.recip()));
+        for other in with_var {
+            rest.push(other.substitute(var, &replacement));
+        }
+        return rest;
+    }
+
+    // Collect bounds: expr = a·x + r REL 0 with a ≠ 0.
+    // a > 0:  x REL -r/a  (same direction);  a < 0: direction flips.
+    let mut lowers: Vec<(LinExpr, bool)> = Vec::new(); // (bound, strict)
+    let mut uppers: Vec<(LinExpr, bool)> = Vec::new();
+    for atom in &with_var {
+        let a = atom.expr.coeff(var);
+        let r = atom.expr.substitute(var, &LinExpr::zero());
+        let bound = r.scale(&(-a.recip()));
+        let (rel, strict) = match atom.rel {
+            Rel::Lt => (Rel::Lt, true),
+            Rel::Le => (Rel::Le, false),
+            Rel::Gt => (Rel::Gt, true),
+            Rel::Ge => (Rel::Ge, false),
+            Rel::Eq => unreachable!("equalities handled above"),
+        };
+        let is_upper = match (a.is_positive(), rel) {
+            (true, Rel::Lt | Rel::Le) => true,
+            (true, Rel::Gt | Rel::Ge) => false,
+            (false, Rel::Lt | Rel::Le) => false,
+            (false, Rel::Gt | Rel::Ge) => true,
+            _ => unreachable!(),
+        };
+        if is_upper {
+            uppers.push((bound, strict));
+        } else {
+            lowers.push((bound, strict));
+        }
+    }
+
+    // One-sided bounds are always realizable over ℝ: drop them.
+    if lowers.is_empty() || uppers.is_empty() {
+        return rest;
+    }
+    for (l, sl) in &lowers {
+        for (u, su) in &uppers {
+            let rel = if *sl || *su { Rel::Lt } else { Rel::Le };
+            rest.push(Atom {
+                expr: l.sub(u),
+                rel,
+            });
+        }
+    }
+    rest
+}
+
+/// Project a DNF onto a subset of variables by eliminating all others.
+pub fn project_dnf(dnf: &Dnf, keep: &[String]) -> Dnf {
+    let mut cur = dnf.clone();
+    let all = cur.vars();
+    for v in all {
+        if !keep.contains(&v) {
+            cur = eliminate_exists_dnf(&cur, &v).simplify();
+        }
+    }
+    cur
+}
+
+/// Decide truth of a predicate-free *sentence* (no free variables).
+///
+/// # Panics
+/// Panics if the formula has free variables or relation symbols.
+pub fn decide_sentence(f: &Formula) -> bool {
+    assert!(
+        f.free_vars().is_empty(),
+        "decide_sentence requires a sentence"
+    );
+    let qf = eliminate_quantifiers(f);
+    qf.eval(&std::collections::BTreeMap::new())
+}
+
+/// Measure the maximum coefficient bit-size appearing in a DNF — used by the
+/// coefficient-growth experiment (E18).
+pub fn max_coefficient_bits(dnf: &Dnf) -> u64 {
+    let mut max = 0;
+    for c in &dnf.disjuncts {
+        for a in c {
+            for (_, coeff) in a.expr.terms() {
+                max = max.max(coeff.bit_size());
+            }
+            max = max.max(a.expr.constant_term().bit_size());
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdb_arith::{int, rat, Rational};
+    use std::collections::BTreeMap;
+
+    fn atom(var: &str, rel: Rel, c: i64) -> Formula {
+        Formula::Atom(Atom::new(
+            LinExpr::var(var),
+            rel,
+            LinExpr::constant(int(c)),
+        ))
+    }
+
+    fn env(pairs: &[(&str, Rational)]) -> BTreeMap<String, Rational> {
+        pairs
+            .iter()
+            .map(|(v, val)| (v.to_string(), val.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn exists_between() {
+        // exists x. x > 0 and x < y  ≡  y > 0.
+        let f = Formula::Exists(
+            "x".into(),
+            Box::new(Formula::and(vec![
+                atom("x", Rel::Gt, 0),
+                Formula::Atom(Atom::new(LinExpr::var("x"), Rel::Lt, LinExpr::var("y"))),
+            ])),
+        );
+        let qf = eliminate_quantifiers(&f);
+        assert!(qf.is_quantifier_free());
+        assert!(qf.eval(&env(&[("y", int(1))])));
+        assert!(!qf.eval(&env(&[("y", int(0))])));
+        assert!(!qf.eval(&env(&[("y", int(-1))])));
+    }
+
+    #[test]
+    fn strictness_propagation() {
+        // exists x. x >= y and x <= z  ≡  y <= z (non-strict).
+        let f = Formula::Exists(
+            "x".into(),
+            Box::new(Formula::and(vec![
+                Formula::Atom(Atom::new(LinExpr::var("x"), Rel::Ge, LinExpr::var("y"))),
+                Formula::Atom(Atom::new(LinExpr::var("x"), Rel::Le, LinExpr::var("z"))),
+            ])),
+        );
+        let qf = eliminate_quantifiers(&f);
+        assert!(qf.eval(&env(&[("y", int(1)), ("z", int(1))])));
+        // exists x. x > y and x < z  ≡  y < z (strict).
+        let g = Formula::Exists(
+            "x".into(),
+            Box::new(Formula::and(vec![
+                Formula::Atom(Atom::new(LinExpr::var("x"), Rel::Gt, LinExpr::var("y"))),
+                Formula::Atom(Atom::new(LinExpr::var("x"), Rel::Lt, LinExpr::var("z"))),
+            ])),
+        );
+        let qg = eliminate_quantifiers(&g);
+        assert!(!qg.eval(&env(&[("y", int(1)), ("z", int(1))])));
+        assert!(qg.eval(&env(&[("y", int(1)), ("z", int(2))])));
+    }
+
+    #[test]
+    fn equality_substitution() {
+        // exists x. 2x = y and x > 1  ≡  y > 2.
+        let f = Formula::Exists(
+            "x".into(),
+            Box::new(Formula::and(vec![
+                Formula::Atom(Atom::new(
+                    LinExpr::var("x").scale(&int(2)),
+                    Rel::Eq,
+                    LinExpr::var("y"),
+                )),
+                atom("x", Rel::Gt, 1),
+            ])),
+        );
+        let qf = eliminate_quantifiers(&f);
+        assert!(qf.eval(&env(&[("y", int(3))])));
+        assert!(!qf.eval(&env(&[("y", int(2))])));
+        assert!(qf.eval(&env(&[("y", rat(201, 100))])));
+    }
+
+    #[test]
+    fn forall_via_double_negation() {
+        // forall x. x < y or x > z: true iff z < y (covers the line).
+        let f = Formula::Forall(
+            "x".into(),
+            Box::new(Formula::or(vec![
+                Formula::Atom(Atom::new(LinExpr::var("x"), Rel::Lt, LinExpr::var("y"))),
+                Formula::Atom(Atom::new(LinExpr::var("x"), Rel::Gt, LinExpr::var("z"))),
+            ])),
+        );
+        let qf = eliminate_quantifiers(&f);
+        assert!(qf.eval(&env(&[("y", int(1)), ("z", int(0))])));
+        assert!(!qf.eval(&env(&[("y", int(0)), ("z", int(0))])));
+        assert!(!qf.eval(&env(&[("y", int(0)), ("z", int(1))])));
+    }
+
+    #[test]
+    fn one_sided_bounds_vanish() {
+        // exists x. x > y  — always true.
+        let f = Formula::Exists(
+            "x".into(),
+            Box::new(Formula::Atom(Atom::new(
+                LinExpr::var("x"),
+                Rel::Gt,
+                LinExpr::var("y"),
+            ))),
+        );
+        let qf = eliminate_quantifiers(&f);
+        assert!(qf.eval(&env(&[("y", int(1000))])));
+    }
+
+    #[test]
+    fn nested_quantifiers() {
+        // exists x. forall y. (y <= x or y >= z) — true iff z <= x for some x: always true.
+        let f = Formula::Exists(
+            "x".into(),
+            Box::new(Formula::Forall(
+                "y".into(),
+                Box::new(Formula::or(vec![
+                    Formula::Atom(Atom::new(LinExpr::var("y"), Rel::Le, LinExpr::var("x"))),
+                    Formula::Atom(Atom::new(LinExpr::var("y"), Rel::Ge, LinExpr::var("z"))),
+                ])),
+            )),
+        );
+        let qf = eliminate_quantifiers(&f);
+        assert!(qf.eval(&env(&[("z", int(5))])));
+    }
+
+    #[test]
+    fn decide_sentences() {
+        // exists x. x > 0 and x < 1: true.
+        let t = Formula::Exists(
+            "x".into(),
+            Box::new(Formula::and(vec![
+                atom("x", Rel::Gt, 0),
+                atom("x", Rel::Lt, 1),
+            ])),
+        );
+        assert!(decide_sentence(&t));
+        // exists x. x > 0 and x < 0: false.
+        let f = Formula::Exists(
+            "x".into(),
+            Box::new(Formula::and(vec![
+                atom("x", Rel::Gt, 0),
+                atom("x", Rel::Lt, 0),
+            ])),
+        );
+        assert!(!decide_sentence(&f));
+        // forall x. exists y. y > x: true.
+        let g = Formula::Forall(
+            "x".into(),
+            Box::new(Formula::Exists(
+                "y".into(),
+                Box::new(Formula::Atom(Atom::new(
+                    LinExpr::var("y"),
+                    Rel::Gt,
+                    LinExpr::var("x"),
+                ))),
+            )),
+        );
+        assert!(decide_sentence(&g));
+    }
+
+    #[test]
+    fn projection() {
+        // Triangle 0 < x, 0 < y, x + y < 1 projected to x gives 0 < x < 1.
+        let tri = to_dnf(&Formula::and(vec![
+            atom("x", Rel::Gt, 0),
+            atom("y", Rel::Gt, 0),
+            Formula::Atom(Atom::new(
+                LinExpr::var("x").add(&LinExpr::var("y")),
+                Rel::Lt,
+                LinExpr::constant(int(1)),
+            )),
+        ]));
+        let proj = project_dnf(&tri, &["x".to_string()]);
+        let check = |v: Rational| proj.eval(&env(&[("x", v)]));
+        assert!(check(rat(1, 2)));
+        assert!(check(rat(99, 100)));
+        assert!(!check(int(0)));
+        assert!(!check(int(1)));
+        assert!(!check(int(2)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the exact simplex: optima are feasible and dominate
+//! random feasible points; the strict-feasibility oracle agrees with sampling.
+
+use lcdb_arith::{int, rat, Rational};
+use lcdb_lp::{feasible, maximize, LinConstraint, LpOutcome, Rel};
+use proptest::prelude::*;
+
+fn lincon(coeffs: Vec<i64>, rel: Rel, rhs: i64) -> LinConstraint {
+    LinConstraint::new(coeffs.into_iter().map(int).collect(), rel, int(rhs))
+}
+
+/// Random constraint systems in a [-10, 10]^d box (always bounded).
+fn boxed_system(d: usize, extra: usize) -> impl Strategy<Value = Vec<LinConstraint>> {
+    let box_cons: Vec<LinConstraint> = (0..d)
+        .flat_map(|i| {
+            let mut lo = vec![0i64; d];
+            lo[i] = 1;
+            let hi = lo.clone();
+            vec![
+                lincon(lo, Rel::Ge, -10),
+                lincon(hi, Rel::Le, 10),
+            ]
+        })
+        .collect();
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(-5i64..=5, d),
+            prop_oneof![Just(Rel::Le), Just(Rel::Ge), Just(Rel::Eq)],
+            -20i64..=20,
+        ),
+        0..=extra,
+    )
+    .prop_map(move |extras| {
+        let mut cons = box_cons.clone();
+        for (coeffs, rel, rhs) in extras {
+            cons.push(lincon(coeffs, rel, rhs));
+        }
+        cons
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimum_is_feasible_and_dominant(
+        cons in boxed_system(3, 4),
+        obj in proptest::collection::vec(-5i64..=5, 3),
+        sample in proptest::collection::vec(-10i64..=10, 3),
+    ) {
+        let objective: Vec<Rational> = obj.iter().map(|&v| int(v)).collect();
+        match maximize(3, &objective, &cons) {
+            LpOutcome::Unbounded => prop_assert!(false, "boxed system cannot be unbounded"),
+            LpOutcome::Infeasible => {
+                // The sample point must violate some constraint.
+                let pt: Vec<Rational> = sample.iter().map(|&v| int(v)).collect();
+                prop_assert!(!cons.iter().all(|c| c.satisfied_by(&pt)));
+            }
+            LpOutcome::Optimal { value, point } => {
+                prop_assert!(cons.iter().all(|c| c.satisfied_by(&point)));
+                prop_assert_eq!(lcdb_linalg::dot(&objective, &point), value.clone());
+                // No feasible integer sample beats the optimum.
+                let pt: Vec<Rational> = sample.iter().map(|&v| int(v)).collect();
+                if cons.iter().all(|c| c.satisfied_by(&pt)) {
+                    prop_assert!(lcdb_linalg::dot(&objective, &pt) <= value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strict_witness_is_interior(
+        cons in boxed_system(2, 3),
+    ) {
+        // Make every inequality strict; the witness (if any) must satisfy all
+        // strict constraints strictly.
+        let strict: Vec<LinConstraint> = cons
+            .iter()
+            .map(|c| {
+                let rel = match c.rel {
+                    Rel::Le => Rel::Lt,
+                    Rel::Ge => Rel::Gt,
+                    r => r,
+                };
+                LinConstraint::new(c.coeffs.clone(), rel, c.rhs.clone())
+            })
+            .collect();
+        if let Some(w) = feasible(2, &strict) {
+            prop_assert!(strict.iter().all(|c| c.satisfied_by(&w)));
+        }
+        // Strict feasible implies closed feasible.
+        if feasible(2, &strict).is_some() {
+            prop_assert!(feasible(2, &cons).is_some());
+        }
+    }
+
+    #[test]
+    fn equality_binding(
+        a in -5i64..=5, b in -5i64..=5, c in -20i64..=20,
+    ) {
+        prop_assume!(a != 0 || b != 0);
+        let cons = vec![
+            lincon(vec![a, b], Rel::Eq, c),
+            lincon(vec![1, 0], Rel::Ge, -100),
+            lincon(vec![1, 0], Rel::Le, 100),
+            lincon(vec![0, 1], Rel::Ge, -100),
+            lincon(vec![0, 1], Rel::Le, 100),
+        ];
+        if let Some(w) = feasible(2, &cons) {
+            prop_assert_eq!(
+                int(a) * &w[0] + int(b) * &w[1],
+                int(c)
+            );
+        }
+    }
+}
+
+#[test]
+fn witness_degeneracy_regression() {
+    // A degenerate vertex (three lines through one point) used to risk
+    // cycling without Bland's rule; ensure termination and correctness.
+    let cons = vec![
+        lincon(vec![1, 0], Rel::Ge, 0),
+        lincon(vec![0, 1], Rel::Ge, 0),
+        lincon(vec![1, 1], Rel::Ge, 0),
+        lincon(vec![1, 1], Rel::Le, 2),
+    ];
+    let w = feasible(2, &cons).unwrap();
+    assert!(cons.iter().all(|c| c.satisfied_by(&w)));
+}
+
+#[test]
+fn fractional_optimum() {
+    // max x + y s.t. 2x + y <= 2, x + 2y <= 2, x,y >= 0 -> (2/3, 2/3).
+    let cons = vec![
+        lincon(vec![2, 1], Rel::Le, 2),
+        lincon(vec![1, 2], Rel::Le, 2),
+        lincon(vec![1, 0], Rel::Ge, 0),
+        lincon(vec![0, 1], Rel::Ge, 0),
+    ];
+    match maximize(2, &[int(1), int(1)], &cons) {
+        LpOutcome::Optimal { value, point } => {
+            assert_eq!(value, rat(4, 3));
+            assert_eq!(point, vec![rat(2, 3), rat(2, 3)]);
+        }
+        other => panic!("{:?}", other),
+    }
+}

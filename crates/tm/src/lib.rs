@@ -1,0 +1,25 @@
+//! Turing machines and the capture theorem machinery (Theorem 6.4).
+//!
+//! The capture direction of Theorem 6.4 encodes a database as a tape word
+//! β(B) using the definable total order on regions, then expresses the run
+//! of a polynomial-time machine as a fixed-point formula
+//! `φ_M = START ∧ COMPUTE ∧ END` over tuples of 0-dimensional regions.
+//!
+//! This crate makes both halves executable:
+//!
+//! * [`Tm`] — deterministic single-tape machines with a step simulator;
+//! * [`encode`] — the region ordering, the small coordinate property, and
+//!   the tape encoding β(B) of §6;
+//! * [`capture`] — a working compiler from *linear-time* machines to
+//!   `RegIFP` sentences (one region for each time step and tape cell), plus
+//!   the agreement harness used by experiment E10: the compiled sentence and
+//!   the direct simulation must decide every database identically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod encode;
+mod machine;
+
+pub use machine::{Move, Tm, TmOutcome};

@@ -1,0 +1,271 @@
+//! Deterministic single-tape Turing machines.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Head movement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Move {
+    /// One cell left.
+    Left,
+    /// One cell right.
+    Right,
+    /// Stay.
+    Stay,
+}
+
+/// Result of a bounded run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TmOutcome {
+    /// Reached the accepting state.
+    Accept,
+    /// Reached the rejecting state.
+    Reject,
+    /// Step budget exhausted before halting.
+    OutOfSteps,
+}
+
+/// A deterministic single-tape Turing machine over `u8` symbols.
+///
+/// States are `0..num_states` with `0` the start state. The blank symbol is
+/// `b'_'`. Missing transitions mean the machine rejects (by convention).
+#[derive(Clone, Debug)]
+pub struct Tm {
+    /// Number of states.
+    pub num_states: usize,
+    /// Accepting state.
+    pub accept: usize,
+    /// Rejecting state.
+    pub reject: usize,
+    /// Transition function `(state, read) ↦ (state', write, move)`.
+    pub delta: HashMap<(usize, u8), (usize, u8, Move)>,
+}
+
+impl Tm {
+    /// Create a machine with the given number of states; `accept` and
+    /// `reject` must be valid state indices.
+    pub fn new(num_states: usize, accept: usize, reject: usize) -> Self {
+        assert!(accept < num_states && reject < num_states);
+        assert_ne!(accept, reject);
+        Tm {
+            num_states,
+            accept,
+            reject,
+            delta: HashMap::new(),
+        }
+    }
+
+    /// Add a transition.
+    ///
+    /// # Panics
+    /// Panics on out-of-range states or duplicate transitions.
+    pub fn transition(
+        &mut self,
+        from: usize,
+        read: u8,
+        to: usize,
+        write: u8,
+        mv: Move,
+    ) -> &mut Self {
+        assert!(from < self.num_states && to < self.num_states);
+        assert!(
+            self.delta.insert((from, read), (to, write, mv)).is_none(),
+            "duplicate transition from ({}, {})",
+            from,
+            read as char
+        );
+        self
+    }
+
+    /// Run on the input, bounded by `max_steps`.
+    pub fn run(&self, input: &[u8], max_steps: usize) -> TmOutcome {
+        let (outcome, _steps) = self.run_traced(input, max_steps);
+        outcome
+    }
+
+    /// Run and report the number of steps taken.
+    pub fn run_traced(&self, input: &[u8], max_steps: usize) -> (TmOutcome, usize) {
+        let mut tape: Vec<u8> = input.to_vec();
+        if tape.is_empty() {
+            tape.push(b'_');
+        }
+        let mut head: isize = 0;
+        let mut state = 0usize;
+        for step in 0..max_steps {
+            if state == self.accept {
+                return (TmOutcome::Accept, step);
+            }
+            if state == self.reject {
+                return (TmOutcome::Reject, step);
+            }
+            let sym = if head < 0 || head as usize >= tape.len() {
+                b'_'
+            } else {
+                tape[head as usize]
+            };
+            let Some(&(to, write, mv)) = self.delta.get(&(state, sym)) else {
+                return (TmOutcome::Reject, step);
+            };
+            // Grow the tape as needed.
+            if head < 0 {
+                tape.insert(0, b'_');
+                head = 0;
+            }
+            if head as usize >= tape.len() {
+                tape.resize(head as usize + 1, b'_');
+            }
+            tape[head as usize] = write;
+            head += match mv {
+                Move::Left => -1,
+                Move::Right => 1,
+                Move::Stay => 0,
+            };
+            state = to;
+        }
+        if state == self.accept {
+            (TmOutcome::Accept, max_steps)
+        } else if state == self.reject {
+            (TmOutcome::Reject, max_steps)
+        } else {
+            (TmOutcome::OutOfSteps, max_steps)
+        }
+    }
+
+    /// A machine deciding "the input (bits terminated by `E`) contains an
+    /// odd number of `1`s". Runs in exactly `|input|` steps, deciding on the
+    /// end marker. States: 0 = even seen, 1 = odd seen, 2 = accept, 3 = reject.
+    pub fn parity() -> Tm {
+        let mut m = Tm::new(4, 2, 3);
+        m.transition(0, b'0', 0, b'0', Move::Right)
+            .transition(0, b'1', 1, b'1', Move::Right)
+            .transition(1, b'0', 1, b'0', Move::Right)
+            .transition(1, b'1', 0, b'1', Move::Right)
+            .transition(0, b'E', 3, b'E', Move::Stay)
+            .transition(1, b'E', 2, b'E', Move::Stay);
+        m
+    }
+
+    /// A machine deciding "some input bit is `1`" (bits terminated by `E`).
+    pub fn any_one() -> Tm {
+        let mut m = Tm::new(3, 1, 2);
+        m.transition(0, b'0', 0, b'0', Move::Right)
+            .transition(0, b'1', 1, b'1', Move::Stay)
+            .transition(0, b'E', 2, b'E', Move::Stay);
+        m
+    }
+
+    /// A machine deciding "all input bits are `1`" (bits terminated by `E`).
+    pub fn all_ones() -> Tm {
+        let mut m = Tm::new(3, 1, 2);
+        m.transition(0, b'1', 0, b'1', Move::Right)
+            .transition(0, b'0', 2, b'0', Move::Stay)
+            .transition(0, b'E', 1, b'E', Move::Stay);
+        m
+    }
+
+    /// A machine deciding "the input contains the substring `11`".
+    pub fn contains_11() -> Tm {
+        let mut m = Tm::new(4, 2, 3);
+        m.transition(0, b'0', 0, b'0', Move::Right)
+            .transition(0, b'1', 1, b'1', Move::Right)
+            .transition(1, b'0', 0, b'0', Move::Right)
+            .transition(1, b'1', 2, b'1', Move::Stay)
+            .transition(0, b'E', 3, b'E', Move::Stay)
+            .transition(1, b'E', 3, b'E', Move::Stay);
+        m
+    }
+}
+
+impl fmt::Display for Tm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TM: {} states, accept={}, reject={}",
+            self.num_states, self.accept, self.reject
+        )?;
+        let mut rules: Vec<_> = self.delta.iter().collect();
+        rules.sort();
+        for ((q, s), (q2, w, m)) in rules {
+            writeln!(
+                f,
+                "  δ({}, {}) = ({}, {}, {:?})",
+                q, *s as char, q2, *w as char, m
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_machine() {
+        let m = Tm::parity();
+        assert_eq!(m.run(b"110E", 100), TmOutcome::Reject);
+        assert_eq!(m.run(b"10E", 100), TmOutcome::Accept);
+        assert_eq!(m.run(b"E", 100), TmOutcome::Reject);
+        assert_eq!(m.run(b"1E", 100), TmOutcome::Accept);
+        assert_eq!(m.run(b"111E", 100), TmOutcome::Accept);
+    }
+
+    #[test]
+    fn parity_is_linear_time() {
+        let m = Tm::parity();
+        for input in [b"0110E".as_slice(), b"1E", b"000E"] {
+            let (_, steps) = m.run_traced(input, 1000);
+            assert!(steps <= input.len() + 1, "steps {} on {:?}", steps, input);
+        }
+    }
+
+    #[test]
+    fn any_and_all() {
+        assert_eq!(Tm::any_one().run(b"000E", 100), TmOutcome::Reject);
+        assert_eq!(Tm::any_one().run(b"001E", 100), TmOutcome::Accept);
+        assert_eq!(Tm::all_ones().run(b"111E", 100), TmOutcome::Accept);
+        assert_eq!(Tm::all_ones().run(b"101E", 100), TmOutcome::Reject);
+        assert_eq!(Tm::all_ones().run(b"E", 100), TmOutcome::Accept);
+    }
+
+    #[test]
+    fn substring_machine() {
+        assert_eq!(Tm::contains_11().run(b"0101E", 100), TmOutcome::Reject);
+        assert_eq!(Tm::contains_11().run(b"0110E", 100), TmOutcome::Accept);
+        assert_eq!(Tm::contains_11().run(b"11E", 100), TmOutcome::Accept);
+    }
+
+    #[test]
+    fn missing_transition_rejects() {
+        let m = Tm::new(2, 1, 0); // no transitions, start = reject? no: start 0 = reject.
+        assert_eq!(m.run(b"x", 10), TmOutcome::Reject);
+        let mut m2 = Tm::new(3, 1, 2);
+        m2.transition(0, b'a', 0, b'a', Move::Right);
+        assert_eq!(m2.run(b"ab", 10), TmOutcome::Reject); // no rule for 'b'
+    }
+
+    #[test]
+    fn out_of_steps() {
+        let mut m = Tm::new(3, 1, 2);
+        m.transition(0, b'_', 0, b'_', Move::Right); // runs forever on blanks
+        assert_eq!(m.run(b"", 50), TmOutcome::OutOfSteps);
+    }
+
+    #[test]
+    fn tape_grows_leftward() {
+        // Move left off the tape, write, come back, accept.
+        let mut m = Tm::new(4, 2, 3);
+        m.transition(0, b'a', 0, b'a', Move::Left)
+            .transition(0, b'_', 1, b'x', Move::Right)
+            .transition(1, b'a', 2, b'a', Move::Stay);
+        assert_eq!(m.run(b"a", 10), TmOutcome::Accept);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate transition")]
+    fn duplicate_transition_rejected() {
+        let mut m = Tm::new(3, 1, 2);
+        m.transition(0, b'0', 0, b'0', Move::Right)
+            .transition(0, b'0', 1, b'1', Move::Left);
+    }
+}

@@ -1,0 +1,195 @@
+//! Cross-crate property tests: random formulas and databases, with the
+//! paper's invariants as properties.
+
+use lcdb::arith::{int, Rational};
+use lcdb::geom::Arrangement;
+use lcdb::logic::{dnf, qe, Atom, Formula, LinExpr, Rel};
+use lcdb::{Relation};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Random linear atoms over `x`, `y` with small coefficients.
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (
+        -3i64..=3,
+        -3i64..=3,
+        -4i64..=4,
+        prop_oneof![
+            Just(Rel::Lt),
+            Just(Rel::Le),
+            Just(Rel::Eq),
+            Just(Rel::Ge),
+            Just(Rel::Gt)
+        ],
+    )
+        .prop_map(|(a, b, c, rel)| {
+            Atom::new(
+                LinExpr::var("x")
+                    .scale(&int(a))
+                    .add(&LinExpr::var("y").scale(&int(b))),
+                rel,
+                LinExpr::constant(int(c)),
+            )
+        })
+}
+
+/// Random quantifier-free formulas of bounded depth.
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = arb_atom().prop_map(Formula::Atom);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::and),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::or),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+fn env2(x: i64, y: i64) -> BTreeMap<String, Rational> {
+    let mut m = BTreeMap::new();
+    m.insert("x".to_string(), int(x));
+    m.insert("y".to_string(), int(y));
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three DNF strategies define the same set.
+    #[test]
+    fn dnf_strategies_agree(f in arb_formula(), px in -5i64..=5, py in -5i64..=5) {
+        let naive = dnf::to_dnf(&f);
+        let pruned = dnf::to_dnf_pruned(&f);
+        let cells = dnf::to_dnf_cells(&f);
+        let env = env2(px, py);
+        let expect = f.eval(&env);
+        prop_assert_eq!(naive.eval(&env), expect);
+        prop_assert_eq!(pruned.eval(&env), expect);
+        prop_assert_eq!(cells.eval(&env), expect);
+    }
+
+    /// Quantifier elimination preserves truth at sample points:
+    /// (∃y φ)(x) holds iff φ(x, y₀) holds for some sampled y₀ — soundness
+    /// direction checked at witnesses, completeness at a y-grid.
+    #[test]
+    fn qe_exists_sound_and_complete_on_grid(f in arb_formula(), px in -4i64..=4) {
+        let eliminated = qe::eliminate_quantifiers(
+            &Formula::Exists("y".into(), Box::new(f.clone())),
+        );
+        prop_assert!(eliminated.is_quantifier_free());
+        let mut env = BTreeMap::new();
+        env.insert("x".to_string(), int(px));
+        let projected = eliminated.eval(&env);
+        // Completeness: any grid witness forces projected = true. The grid
+        // includes half-integers to catch open intervals.
+        let mut any_grid = false;
+        for num in -12i64..=12 {
+            let mut e = env.clone();
+            e.insert("y".to_string(), Rational::from_i64s(num, 2));
+            if f.eval(&e) {
+                any_grid = true;
+                break;
+            }
+        }
+        if any_grid {
+            prop_assert!(projected, "grid witness exists but projection is false");
+        }
+        // Soundness: if the projection holds, an exact witness must exist —
+        // check with the LP-backed satisfiability of the conjunction.
+        if projected {
+            let with_pin = Formula::and(vec![
+                f.clone(),
+                Formula::Atom(Atom::new(
+                    LinExpr::var("x"),
+                    Rel::Eq,
+                    LinExpr::constant(int(px)),
+                )),
+            ]);
+            prop_assert!(
+                dnf::to_dnf_pruned(&with_pin).is_satisfiable(),
+                "projection true but no real witness exists"
+            );
+        }
+    }
+
+    /// Arrangement invariants: faces partition the plane; witnesses locate
+    /// back to their own face; adjacency is symmetric and irreflexive.
+    #[test]
+    fn arrangement_invariants(
+        atoms in proptest::collection::vec(arb_atom(), 1..5),
+        px in -6i64..=6,
+        py in -6i64..=6,
+    ) {
+        let f = Formula::and(atoms.into_iter().map(Formula::Atom).collect());
+        let rel = Relation::new(vec!["x".into(), "y".into()], &f);
+        let arr = Arrangement::from_relation(&rel);
+        let p = vec![int(px), int(py)];
+        // Partition: exactly one face contains any point.
+        let containing: Vec<usize> = arr
+            .faces()
+            .iter()
+            .filter(|face| arr.face_contains(face.id, &p))
+            .map(|face| face.id)
+            .collect();
+        prop_assert_eq!(containing.len(), 1);
+        prop_assert_eq!(containing[0], arr.locate(&p));
+        // Membership homogeneity: the face's witness and the point agree on S.
+        let face = arr.locate(&p);
+        prop_assert_eq!(
+            rel.contains(&p),
+            rel.contains(&arr.face(face).witness),
+            "face not homogeneous w.r.t. S"
+        );
+        // Witness self-location and adjacency properties.
+        for f1 in arr.faces() {
+            prop_assert_eq!(arr.locate(&f1.witness), f1.id);
+            prop_assert!(!arr.adjacent(f1.id, f1.id));
+        }
+    }
+
+    /// The NC¹ decomposition covers every point of S (the appendix's claim
+    /// "every point p ∈ S is contained in at least one region").
+    #[test]
+    fn nc1_covers_s_points(
+        // Random triangle-ish conjuncts: k bounding halfplanes around a box.
+        a in 1i64..=3, b in 1i64..=3, c in 2i64..=6,
+        px in -8i64..=8, py in -8i64..=8,
+    ) {
+        let f = Formula::and(vec![
+            Formula::Atom(Atom::new(
+                LinExpr::var("x").scale(&int(a)).add(&LinExpr::var("y")),
+                Rel::Le,
+                LinExpr::constant(int(c)),
+            )),
+            Formula::Atom(Atom::new(LinExpr::var("x"), Rel::Ge, LinExpr::constant(int(-2)))),
+            Formula::Atom(Atom::new(
+                LinExpr::var("y").scale(&int(b)),
+                Rel::Ge,
+                LinExpr::var("x").sub(&LinExpr::constant(int(4))),
+            )),
+        ]);
+        let rel = Relation::new(vec!["x".into(), "y".into()], &f);
+        let dec = lcdb::geom::nc1::decompose_relation(&rel);
+        let p = vec![int(px), int(py)];
+        if rel.contains(&p) {
+            prop_assert!(dec.covers(&p), "S point ({}, {}) not covered", px, py);
+        }
+    }
+
+    /// Fourier–Motzkin on a conjunct agrees with LP satisfiability.
+    #[test]
+    fn fm_preserves_satisfiability(
+        atoms in proptest::collection::vec(arb_atom(), 1..5),
+    ) {
+        let conjunct: Vec<Atom> = atoms;
+        let before = dnf::conjunct_satisfiable(&conjunct);
+        let eliminated = qe::fm_eliminate_conjunct(&conjunct, "y");
+        let after = dnf::conjunct_satisfiable(&eliminated);
+        // ∃y ⋀φ is satisfiable iff ⋀φ is (projection preserves nonemptiness).
+        prop_assert_eq!(before, after);
+        // And the result no longer mentions y.
+        for atom in &eliminated {
+            prop_assert!(!atom.expr.mentions("y"));
+        }
+    }
+}
