@@ -28,6 +28,7 @@ impl Sign {
     }
 
     /// Sign of a product of two signed values.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Sign) -> Sign {
         match (self, other) {
             (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,

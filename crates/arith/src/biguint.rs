@@ -109,8 +109,8 @@ impl BigUint {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let s = limb as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
             out.push((s & MASK) as u32);
             carry = s >> BASE_BITS;
         }
@@ -125,8 +125,8 @@ impl BigUint {
         debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0i64;
-        for i in 0..a.len() {
-            let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+        for (i, &limb) in a.iter().enumerate() {
+            let d = limb as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
             if d < 0 {
                 out.push((d + BASE as i64) as u32);
                 borrow = 1;
@@ -333,7 +333,10 @@ impl BigUint {
 
     /// Is this value even?
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        match self.limbs.first() {
+            Some(l) => l & 1 == 0,
+            None => true,
+        }
     }
 }
 

@@ -5,13 +5,15 @@
 
 use lcdb_arith::{int, rat, Rational};
 use lcdb_bench::*;
-use lcdb_core::{queries, Decomposition, Evaluator, FixMode, RegFormula, RegionExtension};
+use lcdb_core::{
+    queries, Decomposition, EvalBudget, Evaluator, FixMode, RegFormula, RegionExtension,
+};
 use lcdb_geom::{Arrangement, VPolyhedron};
 use lcdb_logic::{parse_formula, qe, Database, Formula, LinExpr, Relation};
 use lcdb_tm::capture::{capture_agreement, input_word};
 use lcdb_tm::{encode, Tm};
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let filter = std::env::args().nth(1).unwrap_or_default();
@@ -43,6 +45,19 @@ fn main() {
 
 fn header(id: &str, title: &str) {
     println!("--- {} — {} ---", id, title);
+}
+
+/// Per-evaluation deadline for the scaling experiments. The timeout is
+/// armed when this is called, so build one budget per measured evaluation.
+/// Override the default 120 s with `LCDB_EXPERIMENT_TIMEOUT` (seconds);
+/// an exceeded deadline aborts the row, not the harness.
+fn experiment_budget() -> EvalBudget {
+    let secs = std::env::var("LCDB_EXPERIMENT_TIMEOUT")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .unwrap_or(120.0);
+    EvalBudget::unlimited().with_timeout(Duration::from_secs_f64(secs))
 }
 
 fn rel2(src: &str) -> Relation {
@@ -148,9 +163,15 @@ fn e4_regfo_scaling() {
     let mut prev: Option<(usize, f64)> = None;
     for k in [2usize, 4, 8, 16] {
         let ext = RegionExtension::arrangement(intervals(k));
-        let ev = Evaluator::new(&ext);
+        let ev = Evaluator::with_budget(&ext, experiment_budget());
         let t = Instant::now();
-        let result = ev.eval_sentence(&q);
+        let result = match ev.try_eval_sentence(&q) {
+            Ok(v) => v,
+            Err(e) => {
+                println!("  {:>4} aborted: {}", k, e);
+                break;
+            }
+        };
         let dt = t.elapsed();
         assert!(result, "points x, x+1/2 inside one unit interval always exist");
         let exp = prev
@@ -267,9 +288,15 @@ fn e8_reglfp_scaling() {
     );
     for k in [2usize, 4, 8, 12] {
         let ext = RegionExtension::arrangement(chained_intervals(k));
-        let ev = Evaluator::new(&ext);
+        let ev = Evaluator::with_budget(&ext, experiment_budget());
         let t = Instant::now();
-        let conn = ev.eval_sentence(&queries::connectivity());
+        let conn = match ev.try_eval_sentence(&queries::connectivity()) {
+            Ok(v) => v,
+            Err(e) => {
+                println!("  {:>4} aborted: {}", k, e);
+                break;
+            }
+        };
         let dt = t.elapsed();
         let st = ev.stats();
         println!(

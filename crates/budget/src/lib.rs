@@ -1,0 +1,410 @@
+//! Resource governance for lcdb evaluation.
+//!
+//! Kreutzer's complexity results are polynomial only under favourable
+//! assumptions: RegPFP is PSPACE-complete and the arrangement `A(S)` has
+//! `O(n^d)` faces (Theorem 3.1), so adversarial or merely large inputs can
+//! legally drive an evaluator into astronomical iteration counts and memory
+//! use. This crate provides the shared vocabulary every layer of the engine
+//! uses to stay interruptible:
+//!
+//! * [`EvalBudget`] — declarative limits: a wall-clock deadline, caps on
+//!   fixed-point iterations, tuple tests, materialized faces/regions, an
+//!   estimated-memory ceiling, and a shared cancellation token.
+//! * [`CancelToken`] — a cheap, clonable `Arc<AtomicBool>` flag that any
+//!   thread can trip to abort an evaluation in progress.
+//! * [`BudgetError`] — the typed verdict when a limit is hit. Higher layers
+//!   (lcdb-core's `EvalError`) wrap it with evaluation statistics.
+//! * [`Meter`] — an amortized clock: checking `Instant::now()` per tuple
+//!   test would dominate the work being metered, so the meter only consults
+//!   the clock (and the cancel flag) every [`Meter::PERIOD`] ticks.
+//!
+//! All limits are optional; [`EvalBudget::unlimited`] turns every check into
+//! a cheap no-op, which is what the infallible legacy entry points use.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag.
+///
+/// Cloning is cheap and all clones observe the same flag, so a token can be
+/// handed to another thread (or a signal handler) while the evaluator polls
+/// it through its [`Meter`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the flag: every budget sharing this token fails its next
+    /// interrupt check with [`BudgetError::Cancelled`].
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Declarative resource limits for one evaluation.
+///
+/// The deadline is armed when the budget is constructed (`with_timeout`
+/// counts from the call site), so build a fresh budget per query rather than
+/// reusing one across a session.
+#[derive(Clone, Debug, Default)]
+pub struct EvalBudget {
+    deadline: Option<Instant>,
+    timeout: Option<Duration>,
+    max_fix_iterations: Option<u64>,
+    max_tuple_tests: Option<u64>,
+    max_faces: Option<usize>,
+    max_memory_bytes: Option<usize>,
+    cancel: Option<CancelToken>,
+}
+
+impl EvalBudget {
+    /// A budget with no limits: every check is a no-op.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Abort with [`BudgetError::DeadlineExceeded`] once `timeout` has
+    /// elapsed from this call.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Cap the number of fixed-point stages (across LFP/IFP/PFP loops and
+    /// datalog rounds).
+    pub fn with_max_fix_iterations(mut self, limit: u64) -> Self {
+        self.max_fix_iterations = Some(limit);
+        self
+    }
+
+    /// Cap the number of tuple membership tests performed by fixed-point
+    /// and transitive-closure evaluation.
+    pub fn with_max_tuple_tests(mut self, limit: u64) -> Self {
+        self.max_tuple_tests = Some(limit);
+        self
+    }
+
+    /// Cap the number of faces/regions a decomposition may materialize.
+    pub fn with_max_faces(mut self, limit: usize) -> Self {
+        self.max_faces = Some(limit);
+        self
+    }
+
+    /// Cap the estimated bytes of any single bulk allocation (tuple-space
+    /// enumeration, face tables).
+    pub fn with_max_memory_bytes(mut self, limit: usize) -> Self {
+        self.max_memory_bytes = Some(limit);
+        self
+    }
+
+    /// Attach a cancellation token polled by interrupt checks.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    pub fn max_fix_iterations(&self) -> Option<u64> {
+        self.max_fix_iterations
+    }
+
+    pub fn max_tuple_tests(&self) -> Option<u64> {
+        self.max_tuple_tests
+    }
+
+    pub fn max_faces(&self) -> Option<usize> {
+        self.max_faces
+    }
+
+    pub fn max_memory_bytes(&self) -> Option<usize> {
+        self.max_memory_bytes
+    }
+
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// True when no limit or token is set, i.e. every check is a no-op.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_fix_iterations.is_none()
+            && self.max_tuple_tests.is_none()
+            && self.max_faces.is_none()
+            && self.max_memory_bytes.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// Check the deadline and the cancellation token. This consults the
+    /// clock; hot loops should go through a [`Meter`] instead.
+    pub fn check_interrupt(&self) -> Result<(), BudgetError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(BudgetError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(BudgetError::DeadlineExceeded {
+                    limit: self.timeout.unwrap_or_default(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fail once `iterations` exceeds the fixed-point stage cap.
+    pub fn check_fix_iterations(&self, iterations: u64) -> Result<(), BudgetError> {
+        match self.max_fix_iterations {
+            Some(limit) if iterations > limit => Err(BudgetError::IterationLimit { limit }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Fail once `tests` exceeds the tuple-test cap.
+    pub fn check_tuple_tests(&self, tests: u64) -> Result<(), BudgetError> {
+        match self.max_tuple_tests {
+            Some(limit) if tests > limit => Err(BudgetError::TupleTestLimit { limit }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Fail once a decomposition holds more than the face cap.
+    pub fn check_faces(&self, faces: usize) -> Result<(), BudgetError> {
+        match self.max_faces {
+            Some(limit) if faces > limit => Err(BudgetError::FaceLimit {
+                limit,
+                reached: faces,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Fail if a planned bulk allocation of `estimated_bytes` exceeds the
+    /// memory ceiling. `None` (an overflowed size computation) always fails
+    /// when any ceiling is set.
+    pub fn check_memory_estimate(&self, estimated_bytes: Option<usize>) -> Result<(), BudgetError> {
+        let Some(limit) = self.max_memory_bytes else {
+            return Ok(());
+        };
+        match estimated_bytes {
+            Some(bytes) if bytes <= limit => Ok(()),
+            Some(bytes) => Err(BudgetError::MemoryLimit {
+                limit_bytes: limit,
+                estimated_bytes: bytes,
+            }),
+            None => Err(BudgetError::MemoryLimit {
+                limit_bytes: limit,
+                estimated_bytes: usize::MAX,
+            }),
+        }
+    }
+
+    /// A fresh amortized-interrupt meter bound to this budget's pacing.
+    pub fn meter(&self) -> Meter {
+        Meter {
+            ticks: Cell::new(0),
+        }
+    }
+}
+
+/// Amortizes clock/cancellation checks over hot loops.
+///
+/// `tick` is cheap (a counter increment) except every [`Meter::PERIOD`]-th
+/// call, which performs a full [`EvalBudget::check_interrupt`]. Uses
+/// interior mutability so evaluators holding `&self` can meter.
+#[derive(Debug, Default)]
+pub struct Meter {
+    ticks: Cell<u64>,
+}
+
+impl Meter {
+    /// Interrupt-check frequency: every 256 ticks. A tuple test costs at
+    /// least a formula substitution plus an LP call, so the added latency of
+    /// a trip through `Instant::now()` every 256 of those is noise, while
+    /// the reaction time to a deadline or cancellation stays well under a
+    /// millisecond of work.
+    pub const PERIOD: u64 = 256;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one unit of work; every [`Meter::PERIOD`] units, run the
+    /// budget's interrupt check.
+    pub fn tick(&self, budget: &EvalBudget) -> Result<(), BudgetError> {
+        let t = self.ticks.get().wrapping_add(1);
+        self.ticks.set(t);
+        // `u64::is_multiple_of` needs a newer MSRV than the workspace floor.
+        #[allow(clippy::manual_is_multiple_of)]
+        if t % Self::PERIOD == 0 {
+            budget.check_interrupt()
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Typed verdicts for exceeded budgets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BudgetError {
+    /// The wall-clock deadline elapsed.
+    DeadlineExceeded { limit: Duration },
+    /// The fixed-point stage cap was hit (RegPFP is PSPACE-complete; a
+    /// divergent or slowly converging induction burns stages first).
+    IterationLimit { limit: u64 },
+    /// The tuple-test cap was hit.
+    TupleTestLimit { limit: u64 },
+    /// A decomposition tried to materialize more faces/regions than allowed
+    /// (arrangements grow as O(n^d), Theorem 3.1).
+    FaceLimit { limit: usize, reached: usize },
+    /// A bulk allocation would exceed the memory ceiling.
+    MemoryLimit {
+        limit_bytes: usize,
+        estimated_bytes: usize,
+    },
+    /// The cancellation token was tripped.
+    Cancelled,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::DeadlineExceeded { limit } => {
+                write!(f, "evaluation deadline exceeded (timeout {limit:?})")
+            }
+            BudgetError::IterationLimit { limit } => {
+                write!(f, "fixed-point iteration limit exceeded (max {limit})")
+            }
+            BudgetError::TupleTestLimit { limit } => {
+                write!(f, "tuple-test limit exceeded (max {limit})")
+            }
+            BudgetError::FaceLimit { limit, reached } => write!(
+                f,
+                "face limit exceeded: decomposition reached {reached} faces (max {limit})"
+            ),
+            BudgetError::MemoryLimit {
+                limit_bytes,
+                estimated_bytes,
+            } => {
+                if *estimated_bytes == usize::MAX {
+                    write!(
+                        f,
+                        "memory estimate overflowed (limit {limit_bytes} bytes)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "memory limit exceeded: estimated {estimated_bytes} bytes (max {limit_bytes})"
+                    )
+                }
+            }
+            BudgetError::Cancelled => write!(f, "evaluation cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_passes_everything() {
+        let b = EvalBudget::unlimited();
+        assert!(b.is_unlimited());
+        b.check_interrupt().unwrap();
+        b.check_fix_iterations(u64::MAX).unwrap();
+        b.check_tuple_tests(u64::MAX).unwrap();
+        b.check_faces(usize::MAX).unwrap();
+        b.check_memory_estimate(None).unwrap();
+        let m = b.meter();
+        for _ in 0..10_000 {
+            m.tick(&b).unwrap();
+        }
+    }
+
+    #[test]
+    fn iteration_limit_trips_only_past_cap() {
+        let b = EvalBudget::unlimited().with_max_fix_iterations(5);
+        b.check_fix_iterations(5).unwrap();
+        assert_eq!(
+            b.check_fix_iterations(6),
+            Err(BudgetError::IterationLimit { limit: 5 })
+        );
+    }
+
+    #[test]
+    fn zero_timeout_trips_immediately() {
+        let b = EvalBudget::unlimited().with_timeout(Duration::ZERO);
+        // The deadline is `now`, so by the time we check, it has passed.
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(matches!(
+            b.check_interrupt(),
+            Err(BudgetError::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_token_shared_across_clones() {
+        let token = CancelToken::new();
+        let b = EvalBudget::unlimited().with_cancel_token(token.clone());
+        b.check_interrupt().unwrap();
+        let other = token.clone();
+        other.cancel();
+        assert_eq!(b.check_interrupt(), Err(BudgetError::Cancelled));
+    }
+
+    #[test]
+    fn meter_reacts_within_one_period() {
+        let token = CancelToken::new();
+        let b = EvalBudget::unlimited().with_cancel_token(token.clone());
+        let m = b.meter();
+        token.cancel();
+        let mut tripped = false;
+        for i in 0..Meter::PERIOD {
+            if m.tick(&b).is_err() {
+                tripped = true;
+                assert!(i + 1 == Meter::PERIOD, "trips exactly on the period");
+                break;
+            }
+        }
+        assert!(tripped);
+    }
+
+    #[test]
+    fn memory_estimate_overflow_fails_closed() {
+        let b = EvalBudget::unlimited().with_max_memory_bytes(1 << 20);
+        b.check_memory_estimate(Some(1 << 20)).unwrap();
+        assert!(b.check_memory_estimate(Some((1 << 20) + 1)).is_err());
+        assert!(b.check_memory_estimate(None).is_err());
+    }
+
+    #[test]
+    fn face_limit_reports_reached_count() {
+        let b = EvalBudget::unlimited().with_max_faces(100);
+        b.check_faces(100).unwrap();
+        assert_eq!(
+            b.check_faces(101),
+            Err(BudgetError::FaceLimit {
+                limit: 100,
+                reached: 101
+            })
+        );
+    }
+}

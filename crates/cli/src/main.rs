@@ -12,17 +12,128 @@
 //! Also runs scripts: `lcdb script.lcdb` executes each line of the file, and
 //! `lcdb -e "<command>"` runs a single command. See `help` for the command
 //! list.
+//!
+//! Resource governance: `--timeout SECS`, `--max-iterations N` and
+//! `--max-faces N` bound every command. A tripped limit reports the partial
+//! evaluation statistics and, in `-e`/script mode, exits with a distinct
+//! code (2 deadline, 3 iteration limit, 4 face limit, 5 cancelled, 6 tuple
+//! tests, 7 memory; 1 for other errors).
 
-use lcdb_core::{parse_regformula, queries, Decomposition, Evaluator, RegionExtension};
+use lcdb_core::{
+    parse_regformula, queries, Decomposition, EvalBudget, EvalError, EvalStats, Evaluator,
+    RegionExtension,
+};
 use lcdb_logic::{parse_formula, Database, Relation};
 use std::io::{BufRead, Write};
+use std::time::Duration;
+
+/// Budget knobs taken from the command line; applied afresh to every
+/// command so the deadline clock restarts per command, not per session.
+#[derive(Clone, Copy, Default)]
+struct Limits {
+    timeout: Option<Duration>,
+    max_iterations: Option<u64>,
+    max_faces: Option<usize>,
+}
+
+impl Limits {
+    fn budget(&self) -> EvalBudget {
+        let mut b = EvalBudget::unlimited();
+        if let Some(t) = self.timeout {
+            b = b.with_timeout(t);
+        }
+        if let Some(n) = self.max_iterations {
+            b = b.with_max_fix_iterations(n);
+        }
+        if let Some(n) = self.max_faces {
+            b = b.with_max_faces(n);
+        }
+        b
+    }
+}
+
+/// A failed shell command: either a usage-level problem or a typed
+/// evaluation error (which may carry partial statistics).
+enum CmdError {
+    Usage(String),
+    Io(std::io::Error),
+    Eval(EvalError),
+}
+
+impl From<EvalError> for CmdError {
+    fn from(e: EvalError) -> Self {
+        CmdError::Eval(e)
+    }
+}
+
+impl From<std::io::Error> for CmdError {
+    fn from(e: std::io::Error) -> Self {
+        CmdError::Io(e)
+    }
+}
+
+impl CmdError {
+    /// Process exit code for `-e`/script mode.
+    fn exit_code(&self) -> i32 {
+        match self {
+            CmdError::Usage(_) | CmdError::Io(_) => 1,
+            CmdError::Eval(e) => match e {
+                EvalError::DeadlineExceeded { .. } => 2,
+                EvalError::IterationLimit { .. } => 3,
+                EvalError::FaceLimit { .. } => 4,
+                EvalError::Cancelled { .. } => 5,
+                EvalError::TupleTestLimit { .. } => 6,
+                EvalError::MemoryLimit { .. } => 7,
+                EvalError::InvalidQuery { .. } | EvalError::Internal { .. } => 1,
+            },
+        }
+    }
+
+    /// Write the full error chain, plus partial statistics for budget
+    /// exhaustion, to `out`.
+    fn report(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        match self {
+            CmdError::Usage(msg) => writeln!(out, "error: {}", msg),
+            CmdError::Io(e) => writeln!(out, "error: {}", e),
+            CmdError::Eval(e) => {
+                writeln!(out, "error: {}", e)?;
+                let mut source = std::error::Error::source(e);
+                while let Some(s) = source {
+                    writeln!(out, "  caused by: {}", s)?;
+                    source = s.source();
+                }
+                if e.is_budget_exhaustion() {
+                    write_stats(out, "partial stats", &e.stats())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn write_stats(out: &mut dyn Write, label: &str, st: &EvalStats) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "{}: regions={} lfp-stages={} tuple-tests={} qe-calls={} region-expansions={} tc-edge-tests={}",
+        label,
+        st.regions,
+        st.fix_iterations,
+        st.fix_tuple_tests + st.tc_edge_tests,
+        st.qe_calls,
+        st.region_expansions,
+        st.tc_edge_tests,
+    )
+}
 
 struct Shell {
     db: Database,
     spatial: Option<String>,
     decomposition: DecompositionKind,
+    limits: Limits,
     /// Cached extension; rebuilt when the database or settings change.
     ext: Option<RegionExtension>,
+    /// Exit code of the most recent failed command (0 when all succeeded).
+    exit_code: i32,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -32,30 +143,54 @@ enum DecompositionKind {
 }
 
 impl Shell {
-    fn new() -> Self {
+    fn with_limits(limits: Limits) -> Self {
         Shell {
             db: Database::new(),
             spatial: None,
             decomposition: DecompositionKind::Arrangement,
+            limits,
             ext: None,
+            exit_code: 0,
         }
     }
 
-    fn extension(&mut self) -> Result<&RegionExtension, String> {
+    fn extension(&mut self, budget: &EvalBudget) -> Result<&RegionExtension, CmdError> {
         if self.ext.is_none() {
-            let spatial = self
-                .spatial
-                .clone()
-                .ok_or_else(|| "no relation defined yet; use `rel NAME(vars) := formula`".to_string())?;
+            let spatial = self.spatial.clone().ok_or_else(|| {
+                CmdError::Usage(
+                    "no relation defined yet; use `rel NAME(vars) := formula`".to_string(),
+                )
+            })?;
             let ext = match self.decomposition {
                 DecompositionKind::Arrangement => {
-                    RegionExtension::arrangement_db(self.db.clone(), &spatial)
+                    RegionExtension::try_arrangement_db(self.db.clone(), &spatial, budget)?
                 }
-                DecompositionKind::Nc1 => RegionExtension::nc1_db(self.db.clone(), &spatial),
+                DecompositionKind::Nc1 => {
+                    RegionExtension::try_nc1_db(self.db.clone(), &spatial, budget)?
+                }
             };
             self.ext = Some(ext);
         }
-        Ok(self.ext.as_ref().unwrap())
+        self.ext
+            .as_ref()
+            .ok_or_else(|| CmdError::Usage("extension cache invariant broken".to_string()))
+    }
+
+    /// Run one fallible command body, reporting errors and recording the
+    /// exit code; the shell itself keeps going (errors are never fatal to
+    /// the REPL).
+    fn run_command(
+        &mut self,
+        out: &mut dyn Write,
+        body: impl FnOnce(&mut Self, &mut dyn Write) -> Result<(), CmdError>,
+    ) -> std::io::Result<()> {
+        match body(self, out) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.exit_code = e.exit_code();
+                e.report(out)
+            }
+        }
     }
 
     /// Execute one command line; returns false to quit.
@@ -82,6 +217,8 @@ impl Shell {
                 writeln!(out, "  encode                           print the β(B) tape encoding")?;
                 writeln!(out, "  contains NAME p1 p2 …            membership test for a point")?;
                 writeln!(out, "  quit                             leave")?;
+                writeln!(out, "flags (at startup):")?;
+                writeln!(out, "  --timeout SECS --max-iterations N --max-faces N")?;
             }
             "rel" => match parse_rel_definition(rest) {
                 Ok((name, vars, formula)) => {
@@ -93,10 +230,14 @@ impl Shell {
                     self.ext = None;
                     writeln!(out, "defined {}", name)?;
                 }
-                Err(e) => writeln!(out, "error: {}", e)?,
+                Err(e) => {
+                    self.exit_code = 1;
+                    writeln!(out, "error: {}", e)?;
+                }
             },
             "spatial" => {
                 if self.db.relation(rest).is_none() {
+                    self.exit_code = 1;
                     writeln!(out, "error: unknown relation '{}'", rest)?;
                 } else {
                     self.spatial = Some(rest.to_string());
@@ -109,6 +250,7 @@ impl Shell {
                     "arrangement" => self.decomposition = DecompositionKind::Arrangement,
                     "nc1" => self.decomposition = DecompositionKind::Nc1,
                     other => {
+                        self.exit_code = 1;
                         writeln!(out, "error: unknown decomposition '{}'", other)?;
                         return Ok(true);
                     }
@@ -116,64 +258,82 @@ impl Shell {
                 self.ext = None;
                 writeln!(out, "decomposition set to {}", rest)?;
             }
-            "regions" => match self.extension() {
-                Ok(ext) => {
-                    writeln!(out, "{} regions:", ext.num_regions())?;
-                    for id in ext.region_ids() {
-                        let r = ext.region(id);
-                        let w: Vec<String> =
-                            r.witness.iter().map(|c| c.to_string()).collect();
-                        writeln!(
-                            out,
-                            "  #{:<3} dim={} bounded={:<5} witness=({})  in-S={}",
-                            id,
-                            r.dim,
-                            r.bounded,
-                            w.join(", "),
-                            ext.subset_of(id, ext.spatial_relation()),
-                        )?;
-                    }
+            "regions" => self.run_command(out, |sh, out| {
+                let budget = sh.limits.budget();
+                let ext = sh.extension(&budget)?;
+                writeln!(out, "{} regions:", ext.num_regions())?;
+                for id in ext.region_ids() {
+                    let r = ext.region(id);
+                    let w: Vec<String> = r.witness.iter().map(|c| c.to_string()).collect();
+                    writeln!(
+                        out,
+                        "  #{:<3} dim={} bounded={:<5} witness=({})  in-S={}",
+                        id,
+                        r.dim,
+                        r.bounded,
+                        w.join(", "),
+                        ext.subset_of(id, ext.spatial_relation()),
+                    )?;
                 }
-                Err(e) => writeln!(out, "error: {}", e)?,
-            },
+                Ok(())
+            })?,
             "sentence" => match parse_regformula(rest) {
-                Ok(f) => match self.extension() {
-                    Ok(ext) => {
-                        let ev = Evaluator::new(ext);
-                        let verdict = ev.eval_sentence(&f);
-                        let st = ev.stats();
-                        writeln!(
-                            out,
-                            "{}   (lfp stages: {}, qe calls: {})",
-                            verdict, st.fix_iterations, st.qe_calls
-                        )?;
-                    }
-                    Err(e) => writeln!(out, "error: {}", e)?,
-                },
-                Err(e) => writeln!(out, "parse error: {}", e)?,
+                Ok(f) => self.run_command(out, |sh, out| {
+                    let budget = sh.limits.budget();
+                    sh.extension(&budget)?;
+                    let ext = sh.ext.as_ref().ok_or_else(|| {
+                        CmdError::Usage("extension cache invariant broken".to_string())
+                    })?;
+                    let ev = Evaluator::with_budget(ext, budget.clone());
+                    let verdict = ev.try_eval_sentence(&f)?;
+                    let st = ev.stats();
+                    writeln!(
+                        out,
+                        "{}   (lfp stages: {}, qe calls: {})",
+                        verdict, st.fix_iterations, st.qe_calls
+                    )?;
+                    write_stats(out, "stats", &st)?;
+                    Ok(())
+                })?,
+                Err(e) => {
+                    self.exit_code = 1;
+                    writeln!(out, "parse error: {}", e)?;
+                }
             },
             "query" => match parse_regformula(rest) {
-                Ok(f) => match self.extension() {
-                    Ok(ext) => {
-                        let ev = Evaluator::new(ext);
-                        let answer = ev.eval_query(&f);
-                        writeln!(out, "{}", answer)?;
-                    }
-                    Err(e) => writeln!(out, "error: {}", e)?,
-                },
-                Err(e) => writeln!(out, "parse error: {}", e)?,
-            },
-            "connected" => match self.extension() {
-                Ok(ext) => {
-                    let ev = Evaluator::new(ext);
-                    writeln!(out, "{}", ev.eval_sentence(&queries::connectivity()))?;
+                Ok(f) => self.run_command(out, |sh, out| {
+                    let budget = sh.limits.budget();
+                    sh.extension(&budget)?;
+                    let ext = sh.ext.as_ref().ok_or_else(|| {
+                        CmdError::Usage("extension cache invariant broken".to_string())
+                    })?;
+                    let ev = Evaluator::with_budget(ext, budget.clone());
+                    let answer = ev.try_eval_query(&f)?;
+                    writeln!(out, "{}", answer)?;
+                    Ok(())
+                })?,
+                Err(e) => {
+                    self.exit_code = 1;
+                    writeln!(out, "parse error: {}", e)?;
                 }
-                Err(e) => writeln!(out, "error: {}", e)?,
             },
-            "encode" => match self.extension() {
-                Ok(ext) => writeln!(out, "{}", lcdb_tm::encode::encode(ext))?,
-                Err(e) => writeln!(out, "error: {}", e)?,
-            },
+            "connected" => self.run_command(out, |sh, out| {
+                let budget = sh.limits.budget();
+                sh.extension(&budget)?;
+                let ext = sh.ext.as_ref().ok_or_else(|| {
+                    CmdError::Usage("extension cache invariant broken".to_string())
+                })?;
+                let ev = Evaluator::with_budget(ext, budget.clone());
+                let verdict = ev.try_eval_sentence(&queries::connectivity())?;
+                writeln!(out, "{}", verdict)?;
+                Ok(())
+            })?,
+            "encode" => self.run_command(out, |sh, out| {
+                let budget = sh.limits.budget();
+                let ext = sh.extension(&budget)?;
+                writeln!(out, "{}", lcdb_tm::encode::encode(ext))?;
+                Ok(())
+            })?,
             "contains" => {
                 let mut parts = rest.split_whitespace();
                 let Some(name) = parts.next() else {
@@ -181,6 +341,7 @@ impl Shell {
                     return Ok(true);
                 };
                 let Some(rel) = self.db.relation(name) else {
+                    self.exit_code = 1;
                     writeln!(out, "error: unknown relation '{}'", name)?;
                     return Ok(true);
                 };
@@ -189,12 +350,14 @@ impl Shell {
                     match p.parse() {
                         Ok(v) => point.push(v),
                         Err(e) => {
+                            self.exit_code = 1;
                             writeln!(out, "error: bad coordinate '{}': {}", p, e)?;
                             return Ok(true);
                         }
                     }
                 }
                 if point.len() != rel.arity() {
+                    self.exit_code = 1;
                     writeln!(
                         out,
                         "error: {} has arity {}, got {} coordinates",
@@ -206,7 +369,10 @@ impl Shell {
                     writeln!(out, "{}", rel.contains(&point))?;
                 }
             }
-            other => writeln!(out, "error: unknown command '{}' (try `help`)", other)?,
+            other => {
+                self.exit_code = 1;
+                writeln!(out, "error: unknown command '{}' (try `help`)", other)?;
+            }
         }
         Ok(true)
     }
@@ -238,59 +404,133 @@ fn parse_rel_definition(src: &str) -> Result<(String, Vec<String>, lcdb_logic::F
     Ok((name, vars, formula))
 }
 
-fn main() -> std::io::Result<()> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut shell = Shell::new();
+/// Pull `--timeout SECS`, `--max-iterations N`, `--max-faces N` (also the
+/// `--flag=value` forms) out of `args`, returning the limits and the
+/// remaining arguments.
+fn parse_limit_flags(args: &[String]) -> Result<(Limits, Vec<String>), String> {
+    let mut limits = Limits::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .ok_or_else(|| format!("{} needs a value", flag))
+        };
+        match flag {
+            "--timeout" => {
+                let v = value(&mut it)?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|e| format!("bad --timeout '{}': {}", v, e))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("bad --timeout '{}': must be >= 0", v));
+                }
+                limits.timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-iterations" => {
+                let v = value(&mut it)?;
+                limits.max_iterations = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --max-iterations '{}': {}", v, e))?,
+                );
+            }
+            "--max-faces" => {
+                let v = value(&mut it)?;
+                limits.max_faces = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --max-faces '{}': {}", v, e))?,
+                );
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((limits, rest))
+}
+
+fn main() -> std::process::ExitCode {
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    let (limits, args) = match parse_limit_flags(&raw_args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {}", e);
+            return std::process::ExitCode::from(1);
+        }
+    };
+    let mut shell = Shell::with_limits(limits);
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
 
-    // One-shot mode: -e "cmd" (repeatable).
-    if args.first().map(String::as_str) == Some("-e") {
-        for cmd in args[1..].iter() {
-            if !shell.execute(cmd, &mut out)? {
+    let run = |shell: &mut Shell, out: &mut dyn Write| -> std::io::Result<()> {
+        // One-shot mode: -e "cmd" (repeatable).
+        if args.first().map(String::as_str) == Some("-e") {
+            for cmd in args[1..].iter() {
+                if !shell.execute(cmd, out)? {
+                    break;
+                }
+            }
+            return Ok(());
+        }
+
+        // Script mode: each non-empty line of each file is a command.
+        if !args.is_empty() {
+            for path in &args {
+                let text = std::fs::read_to_string(path)?;
+                for line in text.lines() {
+                    if !shell.execute(line, out)? {
+                        return Ok(());
+                    }
+                }
+            }
+            return Ok(());
+        }
+
+        // Interactive REPL.
+        writeln!(out, "lcdb — linear constraint databases with region logics")?;
+        writeln!(out, "type `help` for commands, `quit` to leave")?;
+        let stdin = std::io::stdin();
+        loop {
+            write!(out, "lcdb> ")?;
+            out.flush()?;
+            let mut line = String::new();
+            if stdin.lock().read_line(&mut line)? == 0 {
+                break;
+            }
+            if !shell.execute(&line, out)? {
                 break;
             }
         }
-        return Ok(());
-    }
+        // Interactive sessions report errors inline rather than via the
+        // exit status.
+        shell.exit_code = 0;
+        Ok(())
+    };
 
-    // Script mode: each non-empty line of each file is a command.
-    if !args.is_empty() {
-        for path in &args {
-            let text = std::fs::read_to_string(path)?;
-            for line in text.lines() {
-                if !shell.execute(line, &mut out)? {
-                    return Ok(());
-                }
-            }
-        }
-        return Ok(());
-    }
-
-    // Interactive REPL.
-    writeln!(out, "lcdb — linear constraint databases with region logics")?;
-    writeln!(out, "type `help` for commands, `quit` to leave")?;
-    let stdin = std::io::stdin();
-    loop {
-        write!(out, "lcdb> ")?;
-        out.flush()?;
-        let mut line = String::new();
-        if stdin.lock().read_line(&mut line)? == 0 {
-            break;
-        }
-        if !shell.execute(&line, &mut out)? {
-            break;
+    match run(&mut shell, &mut out) {
+        Ok(()) => std::process::ExitCode::from(shell.exit_code.clamp(0, 255) as u8),
+        Err(e) => {
+            eprintln!("error: {}", e);
+            std::process::ExitCode::from(1)
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
     fn run(cmds: &[&str]) -> String {
-        let mut shell = Shell::new();
+        run_shell(Limits::default(), cmds).0
+    }
+
+    fn run_shell(limits: Limits, cmds: &[&str]) -> (String, i32) {
+        let mut shell = Shell::with_limits(limits);
         let mut out = Vec::new();
         for c in cmds {
             let cont = shell.execute(c, &mut out).unwrap();
@@ -298,7 +538,7 @@ mod tests {
                 break;
             }
         }
-        String::from_utf8(out).unwrap()
+        (String::from_utf8(out).unwrap(), shell.exit_code)
     }
 
     #[test]
@@ -380,5 +620,73 @@ mod tests {
         let ok = parse_rel_definition("S(x, y) := x < y");
         assert!(ok.is_ok());
         assert_eq!(ok.unwrap().1, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--timeout", "2.5", "--max-iterations=7", "-e", "help"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (limits, rest) = parse_limit_flags(&args).unwrap();
+        assert_eq!(limits.timeout, Some(Duration::from_millis(2500)));
+        assert_eq!(limits.max_iterations, Some(7));
+        assert_eq!(limits.max_faces, None);
+        assert_eq!(rest, vec!["-e".to_string(), "help".to_string()]);
+        assert!(parse_limit_flags(&["--timeout".to_string()]).is_err());
+        assert!(parse_limit_flags(&["--max-faces=lots".to_string()]).is_err());
+    }
+
+    #[test]
+    fn iteration_limit_reports_partial_stats_and_exit_code() {
+        let (out, code) = run_shell(
+            Limits {
+                max_iterations: Some(1),
+                ..Limits::default()
+            },
+            &[
+                "rel S(x) := (0 < x and x < 1) or (2 < x and x < 3)",
+                "connected",
+            ],
+        );
+        assert!(out.contains("iteration limit"), "{}", out);
+        assert!(out.contains("partial stats"), "{}", out);
+        assert_eq!(code, 3, "{}", out);
+    }
+
+    #[test]
+    fn face_limit_aborts_extension_build() {
+        let (out, code) = run_shell(
+            Limits {
+                max_faces: Some(2),
+                ..Limits::default()
+            },
+            &["rel S(x) := (0 < x and x < 1) or (2 < x and x < 3)", "regions"],
+        );
+        assert!(out.contains("face limit"), "{}", out);
+        assert_eq!(code, 4, "{}", out);
+    }
+
+    #[test]
+    fn zero_timeout_exceeds_deadline() {
+        let (out, code) = run_shell(
+            Limits {
+                timeout: Some(Duration::from_secs(0)),
+                ..Limits::default()
+            },
+            &["rel S(x) := 0 < x and x < 1", "connected"],
+        );
+        assert!(out.contains("deadline"), "{}", out);
+        assert_eq!(code, 2, "{}", out);
+    }
+
+    #[test]
+    fn success_resets_nothing_and_stats_printed() {
+        let (out, code) = run_shell(
+            Limits::default(),
+            &["rel S(x) := 0 < x and x < 1", "sentence exists R. R subset S"],
+        );
+        assert!(out.contains("stats: regions="), "{}", out);
+        assert_eq!(code, 0, "{}", out);
     }
 }

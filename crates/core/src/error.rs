@@ -1,0 +1,240 @@
+//! Typed evaluation failures.
+//!
+//! Every fallible entry point (`try_eval_*`, `try_new`, …) returns
+//! [`EvalError`]. Budget-derived variants mirror
+//! [`lcdb_budget::BudgetError`] and additionally carry the [`EvalStats`]
+//! accumulated up to the abort, so an interrupted run is still debuggable:
+//! the caller learns how many fixed-point stages ran, how many tuples were
+//! tested, and how many regions the decomposition had materialized.
+
+use crate::evaluator::EvalStats;
+use lcdb_budget::BudgetError;
+use std::fmt;
+use std::time::Duration;
+
+/// A failed evaluation: either a resource budget was exhausted, or the query
+/// itself was malformed.
+///
+/// All variants carry the partial [`EvalStats`] at the moment of failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// The wall-clock deadline elapsed mid-evaluation.
+    DeadlineExceeded {
+        /// The configured timeout.
+        limit: Duration,
+        /// Work counters at the abort.
+        stats: EvalStats,
+    },
+    /// The fixed-point stage cap was hit (RegPFP is PSPACE-complete, so a
+    /// divergent induction can legally burn unbounded stages).
+    IterationLimit {
+        /// The configured stage cap.
+        limit: u64,
+        /// Work counters at the abort.
+        stats: EvalStats,
+    },
+    /// The tuple-test cap was hit (fixed-point and TC edge tests combined).
+    TupleTestLimit {
+        /// The configured tuple-test cap.
+        limit: u64,
+        /// Work counters at the abort.
+        stats: EvalStats,
+    },
+    /// The decomposition tried to materialize more faces/regions than
+    /// allowed (arrangements grow as O(n^d), Theorem 3.1).
+    FaceLimit {
+        /// The configured face cap.
+        limit: usize,
+        /// Face count at the moment the cap was exceeded.
+        reached: usize,
+        /// Work counters at the abort.
+        stats: EvalStats,
+    },
+    /// A bulk allocation (tuple-space or hull-combination enumeration) would
+    /// exceed the memory ceiling.
+    MemoryLimit {
+        /// The configured ceiling in bytes.
+        limit_bytes: usize,
+        /// The estimated allocation; `usize::MAX` when the size computation
+        /// itself overflowed.
+        estimated_bytes: usize,
+        /// Work counters at the abort.
+        stats: EvalStats,
+    },
+    /// The cancellation token was tripped.
+    Cancelled {
+        /// Work counters at the abort.
+        stats: EvalStats,
+    },
+    /// The query is malformed: free variables where none are allowed, a
+    /// non-positive LFP body, an unknown relation, an arity mismatch.
+    InvalidQuery {
+        /// Human-readable description of the defect.
+        message: String,
+        /// Work counters at the point the defect was detected.
+        stats: EvalStats,
+    },
+    /// An internal invariant failed. Seeing this is a bug in lcdb.
+    Internal {
+        /// Description of the broken invariant.
+        message: String,
+        /// Work counters at the failure.
+        stats: EvalStats,
+    },
+}
+
+impl EvalError {
+    /// Wrap a budget verdict together with the statistics at the abort.
+    pub fn from_budget(err: BudgetError, stats: EvalStats) -> Self {
+        match err {
+            BudgetError::DeadlineExceeded { limit } => {
+                EvalError::DeadlineExceeded { limit, stats }
+            }
+            BudgetError::IterationLimit { limit } => EvalError::IterationLimit { limit, stats },
+            BudgetError::TupleTestLimit { limit } => EvalError::TupleTestLimit { limit, stats },
+            BudgetError::FaceLimit { limit, reached } => EvalError::FaceLimit {
+                limit,
+                reached,
+                stats,
+            },
+            BudgetError::MemoryLimit {
+                limit_bytes,
+                estimated_bytes,
+            } => EvalError::MemoryLimit {
+                limit_bytes,
+                estimated_bytes,
+                stats,
+            },
+            BudgetError::Cancelled => EvalError::Cancelled { stats },
+        }
+    }
+
+    /// An [`EvalError::InvalidQuery`] with empty statistics.
+    pub fn invalid_query(message: impl Into<String>) -> Self {
+        EvalError::InvalidQuery {
+            message: message.into(),
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// The work counters accumulated before the failure.
+    pub fn stats(&self) -> EvalStats {
+        match self {
+            EvalError::DeadlineExceeded { stats, .. }
+            | EvalError::IterationLimit { stats, .. }
+            | EvalError::TupleTestLimit { stats, .. }
+            | EvalError::FaceLimit { stats, .. }
+            | EvalError::MemoryLimit { stats, .. }
+            | EvalError::Cancelled { stats }
+            | EvalError::InvalidQuery { stats, .. }
+            | EvalError::Internal { stats, .. } => *stats,
+        }
+    }
+
+    /// True when the failure is a resource budget running out (as opposed to
+    /// a malformed query or an internal bug).
+    pub fn is_budget_exhaustion(&self) -> bool {
+        !matches!(
+            self,
+            EvalError::InvalidQuery { .. } | EvalError::Internal { .. }
+        )
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::DeadlineExceeded { limit, .. } => {
+                write!(f, "evaluation deadline exceeded (timeout {limit:?})")
+            }
+            EvalError::IterationLimit { limit, .. } => {
+                write!(f, "fixed-point iteration limit exceeded (max {limit})")
+            }
+            EvalError::TupleTestLimit { limit, .. } => {
+                write!(f, "tuple-test limit exceeded (max {limit})")
+            }
+            EvalError::FaceLimit { limit, reached, .. } => write!(
+                f,
+                "face limit exceeded: decomposition reached {reached} faces (max {limit})"
+            ),
+            EvalError::MemoryLimit {
+                limit_bytes,
+                estimated_bytes,
+                ..
+            } => {
+                if *estimated_bytes == usize::MAX {
+                    write!(f, "memory estimate overflowed (limit {limit_bytes} bytes)")
+                } else {
+                    write!(
+                        f,
+                        "memory limit exceeded: estimated {estimated_bytes} bytes (max {limit_bytes})"
+                    )
+                }
+            }
+            EvalError::Cancelled { .. } => write!(f, "evaluation cancelled"),
+            EvalError::InvalidQuery { message, .. } => write!(f, "invalid query: {message}"),
+            EvalError::Internal { message, .. } => {
+                write!(f, "internal evaluator error: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_errors_map_one_to_one() {
+        let stats = EvalStats {
+            fix_iterations: 7,
+            ..EvalStats::default()
+        };
+        let e = EvalError::from_budget(BudgetError::IterationLimit { limit: 3 }, stats);
+        assert_eq!(e.stats().fix_iterations, 7);
+        assert!(e.is_budget_exhaustion());
+        assert!(e.to_string().contains("max 3"));
+        let q = EvalError::invalid_query("bad");
+        assert!(!q.is_budget_exhaustion());
+        assert!(q.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn display_covers_all_variants() {
+        let s = EvalStats::default();
+        let cases: Vec<EvalError> = vec![
+            EvalError::from_budget(
+                BudgetError::DeadlineExceeded {
+                    limit: Duration::from_secs(1),
+                },
+                s,
+            ),
+            EvalError::from_budget(BudgetError::TupleTestLimit { limit: 9 }, s),
+            EvalError::from_budget(
+                BudgetError::FaceLimit {
+                    limit: 10,
+                    reached: 11,
+                },
+                s,
+            ),
+            EvalError::from_budget(
+                BudgetError::MemoryLimit {
+                    limit_bytes: 1,
+                    estimated_bytes: usize::MAX,
+                },
+                s,
+            ),
+            EvalError::from_budget(BudgetError::Cancelled, s),
+            EvalError::Internal {
+                message: "x".into(),
+                stats: s,
+            },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -15,10 +15,21 @@
 //! Fixed points and TC edge relations are memoized per operator node and
 //! outer environment, which is what makes e.g. the connectivity query cost
 //! one fixed-point computation instead of `|Reg|²` of them.
+//!
+//! Every recursion path is *fallible*: internally the evaluator threads a
+//! private `Stop` error channel so that an [`EvalBudget`] limit (deadline,
+//! iteration cap, tuple-test cap, memory ceiling, cancellation) or a
+//! malformed query unwinds cleanly to the entry point, where it is reported
+//! as an [`EvalError`] carrying the partial [`EvalStats`]. The legacy
+//! infallible entry points (`eval_sentence`, …) wrap the `try_*` variants
+//! with an unlimited budget, so for them only query defects can surface —
+//! as panics, preserving the historical contract.
 
+use crate::error::EvalError;
 use crate::regfo::{FixMode, RegFormula, RegionVar, SetVar};
 use crate::region::Decomposition;
 use lcdb_arith::{Rational, Sign};
+use lcdb_budget::{BudgetError, EvalBudget, Meter};
 use lcdb_logic::dnf::{to_dnf_pruned, Dnf};
 use lcdb_logic::{qe, Formula, Rel, Var};
 use std::cell::RefCell;
@@ -26,6 +37,9 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
 
 /// Counters describing the work an evaluation performed.
+///
+/// Reported both on success (via [`Evaluator::stats`]) and on budget aborts
+/// (inside [`EvalError`]), so interrupted runs stay debuggable.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Fixed-point iterations (applications of the stage operator).
@@ -38,6 +52,8 @@ pub struct EvalStats {
     pub region_expansions: usize,
     /// Transitive-closure edge evaluations.
     pub tc_edge_tests: usize,
+    /// Regions materialized by the decomposition under evaluation.
+    pub regions: usize,
 }
 
 /// Environment: bindings for region variables and set variables.
@@ -48,13 +64,26 @@ struct Env {
 }
 
 impl Env {
-    fn region(&self, v: &str) -> usize {
-        *self
-            .regions
+    fn region(&self, v: &str) -> Result<usize, Stop> {
+        self.regions
             .get(v)
-            .unwrap_or_else(|| panic!("unbound region variable '{}'", v))
+            .copied()
+            .ok_or_else(|| Stop::Query(format!("unbound region variable '{}'", v)))
     }
+}
 
+/// Internal error channel of the recursion: either a budget ran out or the
+/// query itself is defective. Converted to [`EvalError`] (with statistics
+/// attached) at the public entry points.
+enum Stop {
+    Budget(BudgetError),
+    Query(String),
+}
+
+impl From<BudgetError> for Stop {
+    fn from(e: BudgetError) -> Self {
+        Stop::Budget(e)
+    }
 }
 
 /// Static facts about a formula node, computed once and keyed by the node's
@@ -77,8 +106,14 @@ type NodeKey = (u32, Vec<usize>);
 /// Caches are keyed by node addresses within the formulas passed to the
 /// public entry points; they are cleared on every entry call, so results
 /// never leak between different query ASTs.
+///
+/// Construct with [`Evaluator::new`] for unlimited evaluation or
+/// [`Evaluator::with_budget`] to enforce resource limits, in which case the
+/// `try_*` entry points report exhaustion as typed [`EvalError`]s.
 pub struct Evaluator<'a> {
     ext: &'a dyn Decomposition,
+    budget: EvalBudget,
+    meter: Meter,
     /// Structural interning: formulas that are equal share one id, so
     /// repeated instances of e.g. the order predicates share cache entries.
     intern: RefCell<HashMap<RegFormula, u32>>,
@@ -94,8 +129,15 @@ pub struct Evaluator<'a> {
 }
 
 impl<'a> Evaluator<'a> {
-    /// Create an evaluator over a region extension.
+    /// Create an evaluator over a region extension with no resource limits.
     pub fn new(ext: &'a dyn Decomposition) -> Self {
+        Self::with_budget(ext, EvalBudget::unlimited())
+    }
+
+    /// Create an evaluator whose work is governed by `budget`. Use the
+    /// `try_*` entry points to observe limit exhaustion as [`EvalError`]s;
+    /// the infallible entry points panic when the budget runs out.
+    pub fn with_budget(ext: &'a dyn Decomposition, budget: EvalBudget) -> Self {
         // Order the 0-dimensional regions lexicographically by the point they
         // contain (they are singletons); this is the total order the rBIT
         // operator and the capture construction rely on (§5, §6).
@@ -104,8 +146,11 @@ impl<'a> Evaluator<'a> {
             .filter(|&r| ext.region(r).dim == 0)
             .collect();
         zero_dim.sort_by(|&a, &b| ext.region(a).witness.cmp(&ext.region(b).witness));
+        let meter = budget.meter();
         Evaluator {
             ext,
+            budget,
+            meter,
             intern: RefCell::new(HashMap::new()),
             addr_to_id: RefCell::new(HashMap::new()),
             node_info: RefCell::new(HashMap::new()),
@@ -113,7 +158,10 @@ impl<'a> Evaluator<'a> {
             tc_cache: RefCell::new(HashMap::new()),
             bool_cache: RefCell::new(HashMap::new()),
             positivity_checked: RefCell::new(HashSet::new()),
-            stats: RefCell::new(EvalStats::default()),
+            stats: RefCell::new(EvalStats {
+                regions: ext.num_regions(),
+                ..EvalStats::default()
+            }),
             zero_dim_order: zero_dim,
         }
     }
@@ -158,7 +206,7 @@ impl<'a> Evaluator<'a> {
         (id, info)
     }
 
-    fn bindings(&self, info: &NodeInfo, env: &Env) -> Vec<usize> {
+    fn bindings(&self, info: &NodeInfo, env: &Env) -> Result<Vec<usize>, Stop> {
         info.free_regions.iter().map(|v| env.region(v)).collect()
     }
 
@@ -172,32 +220,106 @@ impl<'a> Evaluator<'a> {
         self.ext
     }
 
+    /// The budget governing this evaluator.
+    pub fn budget(&self) -> &EvalBudget {
+        &self.budget
+    }
+
     /// The lexicographic order on 0-dimensional regions (region ids, rank
     /// `1..=n` in the paper's numbering).
     pub fn zero_dim_order(&self) -> &[usize] {
         &self.zero_dim_order
     }
 
+    /// Convert the internal error channel to the public error type,
+    /// attaching the statistics accumulated so far.
+    fn stop_error(&self, stop: Stop) -> EvalError {
+        let stats = self.stats();
+        match stop {
+            Stop::Budget(e) => EvalError::from_budget(e, stats),
+            Stop::Query(message) => EvalError::InvalidQuery { message, stats },
+        }
+    }
+
+    fn query_error(&self, message: impl Into<String>) -> EvalError {
+        EvalError::InvalidQuery {
+            message: message.into(),
+            stats: self.stats(),
+        }
+    }
+
+    /// Count one fixed-point stage against the budget. Stages are coarse
+    /// (each sweeps the whole tuple space), so a full interrupt check here
+    /// is cheap relative to the work it gates.
+    fn note_fix_stage(&self) -> Result<(), Stop> {
+        let total = {
+            let mut s = self.stats.borrow_mut();
+            s.fix_iterations += 1;
+            s.fix_iterations
+        };
+        self.budget.check_fix_iterations(total as u64)?;
+        self.budget.check_interrupt()?;
+        Ok(())
+    }
+
+    /// Count one fixed-point tuple test; TC edge tests share the same cap.
+    fn note_fix_tuple_test(&self) -> Result<(), Stop> {
+        let total = {
+            let mut s = self.stats.borrow_mut();
+            s.fix_tuple_tests += 1;
+            (s.fix_tuple_tests + s.tc_edge_tests) as u64
+        };
+        self.budget.check_tuple_tests(total)?;
+        self.meter.tick(&self.budget)?;
+        Ok(())
+    }
+
+    /// Count one TC edge test toward the shared tuple-test cap.
+    fn note_tc_edge_test(&self) -> Result<(), Stop> {
+        let total = {
+            let mut s = self.stats.borrow_mut();
+            s.tc_edge_tests += 1;
+            (s.fix_tuple_tests + s.tc_edge_tests) as u64
+        };
+        self.budget.check_tuple_tests(total)?;
+        self.meter.tick(&self.budget)?;
+        Ok(())
+    }
+
+    /// Count one region-quantifier expansion (metered, not capped).
+    fn note_region_expansion(&self) -> Result<(), Stop> {
+        self.stats.borrow_mut().region_expansions += 1;
+        self.meter.tick(&self.budget)?;
+        Ok(())
+    }
+
     /// Evaluate a sentence (no free variables of any sort) to a boolean.
     ///
     /// # Panics
-    /// Panics if the formula has free variables.
+    /// Panics if the formula has free variables, or — when constructed via
+    /// [`Evaluator::with_budget`] — if the budget is exhausted. Prefer
+    /// [`Evaluator::try_eval_sentence`] for budgeted evaluation.
     pub fn eval_sentence(&self, f: &RegFormula) -> bool {
-        assert!(
-            f.free_element_vars().is_empty(),
-            "sentence has free element variables"
-        );
-        assert!(
-            f.free_region_vars().is_empty(),
-            "sentence has free region variables"
-        );
-        assert!(
-            f.free_set_vars().is_empty(),
-            "sentence has free set variables"
-        );
+        self.try_eval_sentence(f).unwrap_or_else(|e| panic!("{}", e))
+    }
+
+    /// Evaluate a sentence to a boolean, reporting budget exhaustion and
+    /// query defects as typed errors.
+    pub fn try_eval_sentence(&self, f: &RegFormula) -> Result<bool, EvalError> {
+        if !f.free_element_vars().is_empty() {
+            return Err(self.query_error("sentence has free element variables"));
+        }
+        if !f.free_region_vars().is_empty() {
+            return Err(self.query_error("sentence has free region variables"));
+        }
+        if !f.free_set_vars().is_empty() {
+            return Err(self.query_error("sentence has free set variables"));
+        }
         self.clear_caches();
-        let out = self.eval(f, &Env::default());
-        out.eval(&BTreeMap::new())
+        let out = self
+            .eval(f, &Env::default())
+            .map_err(|s| self.stop_error(s))?;
+        Ok(out.eval(&BTreeMap::new()))
     }
 
     /// Evaluate a query with free *element* variables to a quantifier-free
@@ -205,16 +327,27 @@ impl<'a> Evaluator<'a> {
     /// answer is again a finitely representable relation).
     ///
     /// # Panics
-    /// Panics if the formula has free region or set variables.
+    /// Panics if the formula has free region or set variables, or if a
+    /// budget installed via [`Evaluator::with_budget`] is exhausted. Prefer
+    /// [`Evaluator::try_eval_query`] for budgeted evaluation.
     pub fn eval_query(&self, f: &RegFormula) -> Formula {
-        assert!(
-            f.free_region_vars().is_empty(),
-            "query has free region variables"
-        );
-        assert!(f.free_set_vars().is_empty(), "query has free set variables");
+        self.try_eval_query(f).unwrap_or_else(|e| panic!("{}", e))
+    }
+
+    /// Evaluate an open query to a quantifier-free formula, reporting budget
+    /// exhaustion and query defects as typed errors.
+    pub fn try_eval_query(&self, f: &RegFormula) -> Result<Formula, EvalError> {
+        if !f.free_region_vars().is_empty() {
+            return Err(self.query_error("query has free region variables"));
+        }
+        if !f.free_set_vars().is_empty() {
+            return Err(self.query_error("query has free set variables"));
+        }
         self.clear_caches();
-        let out = self.eval(f, &Env::default());
-        to_dnf_pruned(&out).simplify_strong().to_formula()
+        let out = self
+            .eval(f, &Env::default())
+            .map_err(|s| self.stop_error(s))?;
+        Ok(to_dnf_pruned(&out).simplify_strong().to_formula())
     }
 
     /// Evaluate an open query and package the answer as a [`lcdb_logic::Relation`] over
@@ -223,29 +356,50 @@ impl<'a> Evaluator<'a> {
     ///
     /// # Panics
     /// Panics if the formula's free element variables are not exactly
-    /// `var_order`, or if region/set variables are free.
+    /// `var_order`, if region/set variables are free, or if an installed
+    /// budget is exhausted.
     pub fn eval_query_to_relation(
         &self,
         f: &RegFormula,
         var_order: &[Var],
     ) -> lcdb_logic::Relation {
+        self.try_eval_query_to_relation(f, var_order)
+            .unwrap_or_else(|e| panic!("{}", e))
+    }
+
+    /// Fallible form of [`Evaluator::eval_query_to_relation`].
+    pub fn try_eval_query_to_relation(
+        &self,
+        f: &RegFormula,
+        var_order: &[Var],
+    ) -> Result<lcdb_logic::Relation, EvalError> {
         let free = f.free_element_vars();
-        assert_eq!(
-            free,
-            var_order.iter().cloned().collect(),
-            "variable order must match the query's free element variables"
-        );
-        let qf = self.eval_query(f);
-        lcdb_logic::Relation::new(var_order.to_vec(), &qf)
+        if free != var_order.iter().cloned().collect() {
+            return Err(self.query_error(
+                "variable order must match the query's free element variables",
+            ));
+        }
+        let qf = self.try_eval_query(f)?;
+        Ok(lcdb_logic::Relation::new(var_order.to_vec(), &qf))
     }
 
     /// Evaluate with explicit region variable bindings (for tests and for
     /// region-valued sub-queries).
-    pub fn eval_with_regions(
+    ///
+    /// # Panics
+    /// Panics on malformed queries (e.g. region variables left unbound) and
+    /// on budget exhaustion; see [`Evaluator::try_eval_with_regions`].
+    pub fn eval_with_regions(&self, f: &RegFormula, bindings: &[(&str, usize)]) -> Formula {
+        self.try_eval_with_regions(f, bindings)
+            .unwrap_or_else(|e| panic!("{}", e))
+    }
+
+    /// Fallible form of [`Evaluator::eval_with_regions`].
+    pub fn try_eval_with_regions(
         &self,
         f: &RegFormula,
         bindings: &[(&str, usize)],
-    ) -> Formula {
+    ) -> Result<Formula, EvalError> {
         let env = Env {
             regions: bindings
                 .iter()
@@ -254,12 +408,12 @@ impl<'a> Evaluator<'a> {
             sets: BTreeMap::new(),
         };
         self.clear_caches();
-        self.eval(f, &env)
+        self.eval(f, &env).map_err(|s| self.stop_error(s))
     }
 
     /// Core recursion: produces a quantifier-free formula over the free
     /// element variables of `f` (constants `True`/`False` when none).
-    fn eval(&self, f: &RegFormula, env: &Env) -> Formula {
+    fn eval(&self, f: &RegFormula, env: &Env) -> Result<Formula, Stop> {
         // Memoize boolean-valued quantifier nodes per free-variable bindings:
         // order formulas like succ/first are re-evaluated inside fixed-point
         // bodies thousands of times with the same bindings. Set-variable
@@ -274,25 +428,25 @@ impl<'a> Evaluator<'a> {
         ) {
             let (id, info) = self.info(f);
             if info.elem_free && info.set_free {
-                let key = (id, self.bindings(&info, env));
+                let key = (id, self.bindings(&info, env)?);
                 if let Some(&b) = self.bool_cache.borrow().get(&key) {
-                    return bool_formula(b);
+                    return Ok(bool_formula(b));
                 }
-                let out = self.eval_uncached(f, env);
+                let out = self.eval_uncached(f, env)?;
                 let b = match out {
                     Formula::True => true,
                     Formula::False => false,
                     other => other.eval(&BTreeMap::new()),
                 };
                 self.bool_cache.borrow_mut().insert(key, b);
-                return bool_formula(b);
+                return Ok(bool_formula(b));
             }
         }
         self.eval_uncached(f, env)
     }
 
-    fn eval_uncached(&self, f: &RegFormula, env: &Env) -> Formula {
-        match f {
+    fn eval_uncached(&self, f: &RegFormula, env: &Env) -> Result<Formula, Stop> {
+        Ok(match f {
             RegFormula::True => Formula::True,
             RegFormula::False => Formula::False,
             RegFormula::Lin(a) => match a.constant_truth() {
@@ -305,13 +459,19 @@ impl<'a> Evaluator<'a> {
                     .ext
                     .database()
                     .relation(name)
-                    .unwrap_or_else(|| panic!("unknown relation '{}'", name));
+                    .ok_or_else(|| Stop::Query(format!("unknown relation '{}'", name)))?;
                 rel.apply(args)
             }
             RegFormula::In(args, rvar) => {
-                let id = env.region(rvar);
+                let id = env.region(rvar)?;
                 let d = self.ext.ambient_dim();
-                assert_eq!(args.len(), d, "∈ arity mismatch");
+                if args.len() != d {
+                    return Err(Stop::Query(format!(
+                        "∈ arity mismatch: {} coordinates for dimension {}",
+                        args.len(),
+                        d
+                    )));
+                }
                 let tmp: Vec<String> = (0..d).map(|i| format!("__in{}", i)).collect();
                 let mut formula = self.ext.region_formula(id, &tmp);
                 for (t, arg) in tmp.iter().zip(args) {
@@ -320,19 +480,28 @@ impl<'a> Evaluator<'a> {
                 formula
             }
             RegFormula::Adj(a, b) => {
-                bool_formula(self.ext.adjacent(env.region(a), env.region(b)))
+                bool_formula(self.ext.adjacent(env.region(a)?, env.region(b)?))
             }
-            RegFormula::RegionEq(a, b) => bool_formula(env.region(a) == env.region(b)),
+            RegFormula::RegionEq(a, b) => bool_formula(env.region(a)? == env.region(b)?),
             RegFormula::SubsetOf(r, name) => {
-                bool_formula(self.ext.subset_of(env.region(r), name))
+                // The Decomposition trait's subset_of is infallible and
+                // panics on unknown names; reject those here instead.
+                if self.ext.database().relation(name).is_none() {
+                    return Err(Stop::Query(format!("unknown relation '{}'", name)));
+                }
+                bool_formula(self.ext.subset_of(env.region(r)?, name))
             }
-            RegFormula::DimEq(r, k) => bool_formula(self.ext.region(env.region(r)).dim == *k),
-            RegFormula::Bounded(r) => bool_formula(self.ext.region(env.region(r)).bounded),
+            RegFormula::DimEq(r, k) => {
+                bool_formula(self.ext.region(env.region(r)?).dim == *k)
+            }
+            RegFormula::Bounded(r) => {
+                bool_formula(self.ext.region(env.region(r)?).bounded)
+            }
             RegFormula::And(fs) => {
                 let mut parts = Vec::with_capacity(fs.len());
                 for sub in fs {
-                    match self.eval(sub, env) {
-                        Formula::False => return Formula::False,
+                    match self.eval(sub, env)? {
+                        Formula::False => return Ok(Formula::False),
                         Formula::True => {}
                         other => parts.push(other),
                     }
@@ -342,23 +511,25 @@ impl<'a> Evaluator<'a> {
             RegFormula::Or(fs) => {
                 let mut parts = Vec::with_capacity(fs.len());
                 for sub in fs {
-                    match self.eval(sub, env) {
-                        Formula::True => return Formula::True,
+                    match self.eval(sub, env)? {
+                        Formula::True => return Ok(Formula::True),
                         Formula::False => {}
                         other => parts.push(other),
                     }
                 }
                 Formula::or(parts)
             }
-            RegFormula::Not(inner) => Formula::not(self.eval(inner, env)),
+            RegFormula::Not(inner) => Formula::not(self.eval(inner, env)?),
             RegFormula::ExistsElem(v, inner) => {
-                let sub = self.eval(inner, env);
+                let sub = self.eval(inner, env)?;
                 self.stats.borrow_mut().qe_calls += 1;
+                self.budget.check_interrupt()?;
                 qe::eliminate_one_cells(&sub, v, true)
             }
             RegFormula::ForallElem(v, inner) => {
-                let sub = self.eval(inner, env);
+                let sub = self.eval(inner, env)?;
                 self.stats.borrow_mut().qe_calls += 1;
+                self.budget.check_interrupt()?;
                 qe::eliminate_one_cells(&sub, v, false)
             }
             RegFormula::ExistsRegion(v, inner) => {
@@ -366,10 +537,10 @@ impl<'a> Evaluator<'a> {
                 let mut env2 = env.clone();
                 env2.regions.insert(v.clone(), 0);
                 for id in self.ext.region_ids() {
-                    self.stats.borrow_mut().region_expansions += 1;
+                    self.note_region_expansion()?;
                     *env2.regions.get_mut(v).expect("just inserted") = id;
-                    match self.eval(inner, &env2) {
-                        Formula::True => return Formula::True,
+                    match self.eval(inner, &env2)? {
+                        Formula::True => return Ok(Formula::True),
                         Formula::False => {}
                         other => parts.push(other),
                     }
@@ -381,10 +552,10 @@ impl<'a> Evaluator<'a> {
                 let mut env2 = env.clone();
                 env2.regions.insert(v.clone(), 0);
                 for id in self.ext.region_ids() {
-                    self.stats.borrow_mut().region_expansions += 1;
+                    self.note_region_expansion()?;
                     *env2.regions.get_mut(v).expect("just inserted") = id;
-                    match self.eval(inner, &env2) {
-                        Formula::False => return Formula::False,
+                    match self.eval(inner, &env2)? {
+                        Formula::False => return Ok(Formula::False),
                         Formula::True => {}
                         other => parts.push(other),
                     }
@@ -395,8 +566,11 @@ impl<'a> Evaluator<'a> {
                 let set = env
                     .sets
                     .get(m)
-                    .unwrap_or_else(|| panic!("unbound set variable '{}'", m));
-                let tuple: Vec<usize> = vars.iter().map(|v| env.region(v)).collect();
+                    .ok_or_else(|| Stop::Query(format!("unbound set variable '{}'", m)))?;
+                let tuple: Vec<usize> = vars
+                    .iter()
+                    .map(|v| env.region(v))
+                    .collect::<Result<_, _>>()?;
                 bool_formula(set.contains(&tuple))
             }
             RegFormula::Fix {
@@ -406,13 +580,20 @@ impl<'a> Evaluator<'a> {
                 body,
                 args,
             } => {
-                let fixpoint = self.fixpoint_set(f, *mode, set_var, vars, body, env);
-                let tuple: Vec<usize> = args.iter().map(|v| env.region(v)).collect();
+                let fixpoint = self.fixpoint_set(*mode, set_var, vars, body, env)?;
+                let tuple: Vec<usize> = args
+                    .iter()
+                    .map(|v| env.region(v))
+                    .collect::<Result<_, _>>()?;
                 bool_formula(fixpoint.contains(&tuple))
             }
-            RegFormula::Rbit { var, body, rn, rd } => {
-                bool_formula(self.eval_rbit(var, body, env.region(rn), env.region(rd), env))
-            }
+            RegFormula::Rbit { var, body, rn, rd } => bool_formula(self.eval_rbit(
+                var,
+                body,
+                env.region(rn)?,
+                env.region(rd)?,
+                env,
+            )?),
             RegFormula::Tc {
                 deterministic,
                 left,
@@ -421,17 +602,25 @@ impl<'a> Evaluator<'a> {
                 arg_left,
                 arg_right,
             } => {
-                let src: Vec<usize> = arg_left.iter().map(|v| env.region(v)).collect();
-                let dst: Vec<usize> = arg_right.iter().map(|v| env.region(v)).collect();
-                bool_formula(self.eval_tc(f, *deterministic, left, right, body, env, &src, &dst))
+                let src: Vec<usize> = arg_left
+                    .iter()
+                    .map(|v| env.region(v))
+                    .collect::<Result<_, _>>()?;
+                let dst: Vec<usize> = arg_right
+                    .iter()
+                    .map(|v| env.region(v))
+                    .collect::<Result<_, _>>()?;
+                bool_formula(
+                    self.eval_tc(f, *deterministic, left, right, body, env, &src, &dst)?,
+                )
             }
-        }
+        })
     }
 
     /// Evaluate a formula with no free element variables to a boolean.
-    fn eval_bool(&self, f: &RegFormula, env: &Env) -> bool {
-        let out = self.eval(f, env);
-        match out {
+    fn eval_bool(&self, f: &RegFormula, env: &Env) -> Result<bool, Stop> {
+        let out = self.eval(f, env)?;
+        Ok(match out {
             Formula::True => true,
             Formula::False => false,
             other => {
@@ -441,37 +630,36 @@ impl<'a> Evaluator<'a> {
                 );
                 other.eval(&BTreeMap::new())
             }
-        }
+        })
     }
 
     /// Compute (and memoize) the fixed-point set of a `Fix` node under the
     /// outer environment.
     fn fixpoint_set(
         &self,
-        node: &RegFormula,
         mode: FixMode,
         set_var: &str,
         vars: &[RegionVar],
         body: &RegFormula,
         env: &Env,
-    ) -> Rc<BTreeSet<Vec<usize>>> {
-        let _ = node;
+    ) -> Result<Rc<BTreeSet<Vec<usize>>>, Stop> {
         // Key on the *body*: the fixed point depends only on (body, tuple
         // variables, set variable, outer bindings), never on the applied
         // args, so distinct application sites of the same operator share
         // one computation.
         let id = self.node_id(body);
         if self.positivity_checked.borrow_mut().insert(id) {
-            assert!(
-                body.free_element_vars().is_empty(),
-                "fixed-point bodies must not have free element variables (Definition 5.1)"
-            );
-            if mode == FixMode::Lfp {
-                assert!(
-                    body.positive_in(set_var),
+            if !body.free_element_vars().is_empty() {
+                return Err(Stop::Query(
+                    "fixed-point bodies must not have free element variables (Definition 5.1)"
+                        .into(),
+                ));
+            }
+            if mode == FixMode::Lfp && !body.positive_in(set_var) {
+                return Err(Stop::Query(format!(
                     "LFP requires the body to be positive in '{}'",
                     set_var
-                );
+                )));
             }
         }
         // The fixed point depends only on the *body's* free region variables
@@ -487,16 +675,17 @@ impl<'a> Evaluator<'a> {
                 .filter(|v| !vars.contains(v))
                 .cloned()
                 .collect();
-            let set_free = body
-                .free_set_vars()
-                .iter()
-                .all(|m| m == set_var);
+            let set_free = body.free_set_vars().iter().all(|m| m == set_var);
             (deps, set_free)
         };
         let cache_key = if body_set_free {
-            let key = (id, deps.iter().map(|v| env.region(v)).collect::<Vec<_>>());
+            let bound: Vec<usize> = deps
+                .iter()
+                .map(|v| env.region(v))
+                .collect::<Result<_, _>>()?;
+            let key = (id, bound);
             if let Some(cached) = self.fix_cache.borrow().get(&key) {
-                return Rc::clone(cached);
+                return Ok(Rc::clone(cached));
             }
             Some(key)
         } else {
@@ -504,10 +693,13 @@ impl<'a> Evaluator<'a> {
         };
 
         let k = vars.len();
-        let tuples = all_tuples(self.ext.num_regions(), k);
+        let tuples = try_all_tuples(self.ext.num_regions(), k, &self.budget)?;
         let mut current: Rc<BTreeSet<Vec<usize>>> = Rc::new(BTreeSet::new());
         let mut seen: HashSet<BTreeSet<Vec<usize>>> = HashSet::new();
         let result = loop {
+            // Budget gate per stage: a divergence-prone PFP burns stages
+            // first, so this is where an iteration cap interrupts it.
+            self.note_fix_stage()?;
             seen.insert((*current).clone());
             let mut next: BTreeSet<Vec<usize>> = if mode == FixMode::Ifp {
                 (*current).clone()
@@ -523,15 +715,14 @@ impl<'a> Evaluator<'a> {
                 if mode == FixMode::Ifp && next.contains(tuple) {
                     continue;
                 }
-                self.stats.borrow_mut().fix_tuple_tests += 1;
+                self.note_fix_tuple_test()?;
                 for (v, &id) in vars.iter().zip(tuple) {
                     *env2.regions.get_mut(v).expect("pre-inserted") = id;
                 }
-                if self.eval_bool(body, &env2) {
+                if self.eval_bool(body, &env2)? {
                     next.insert(tuple.clone());
                 }
             }
-            self.stats.borrow_mut().fix_iterations += 1;
             if next == *current {
                 break Rc::clone(&current);
             }
@@ -549,7 +740,7 @@ impl<'a> Evaluator<'a> {
         if let Some(key) = cache_key {
             self.fix_cache.borrow_mut().insert(key, Rc::clone(&result));
         }
-        result
+        Ok(result)
     }
 
     /// Reachability for the TC/DTC operators: is `dst` reachable from `src`
@@ -565,14 +756,17 @@ impl<'a> Evaluator<'a> {
         env: &Env,
         src: &[usize],
         dst: &[usize],
-    ) -> bool {
-        assert_eq!(left.len(), right.len(), "TC tuple arity mismatch");
-        assert!(
-            body.free_element_vars().is_empty(),
-            "TC bodies must not have free element variables"
-        );
+    ) -> Result<bool, Stop> {
+        if left.len() != right.len() {
+            return Err(Stop::Query("TC tuple arity mismatch".into()));
+        }
+        if !body.free_element_vars().is_empty() {
+            return Err(Stop::Query(
+                "TC bodies must not have free element variables".into(),
+            ));
+        }
         if src == dst {
-            return true; // a path of length one (n = 1 in Definition 7.2)
+            return Ok(true); // a path of length one (n = 1 in Definition 7.2)
         }
         let m = left.len();
         let id = self.node_id(node);
@@ -587,13 +781,17 @@ impl<'a> Evaluator<'a> {
             (deps, info.set_free)
         };
         let cache_key = if body_set_free {
-            Some((id, deps.iter().map(|v| env.region(v)).collect::<Vec<_>>()))
+            let bound: Vec<usize> = deps
+                .iter()
+                .map(|v| env.region(v))
+                .collect::<Result<_, _>>()?;
+            Some((id, bound))
         } else {
             None
         };
 
         // Memoized edge relation as an adjacency list over tuple indices.
-        let tuples = all_tuples(self.ext.num_regions(), m);
+        let tuples = try_all_tuples(self.ext.num_regions(), m, &self.budget)?;
         let tuple_index: HashMap<&Vec<usize>, usize> =
             tuples.iter().enumerate().map(|(i, t)| (t, i)).collect();
         let cached_edges = cache_key
@@ -613,11 +811,11 @@ impl<'a> Evaluator<'a> {
                         *env2.regions.get_mut(v).expect("pre-inserted") = id;
                     }
                     for t2 in tuples.iter() {
-                        self.stats.borrow_mut().tc_edge_tests += 1;
+                        self.note_tc_edge_test()?;
                         for (v, &id) in right.iter().zip(t2) {
                             *env2.regions.get_mut(v).expect("pre-inserted") = id;
                         }
-                        if self.eval_bool(body, &env2) {
+                        if self.eval_bool(body, &env2)? {
                             out[i].push(tuple_index[t2]);
                         }
                     }
@@ -647,8 +845,9 @@ impl<'a> Evaluator<'a> {
         queue.push_back(start);
         while let Some(cur) = queue.pop_front() {
             if cur == goal {
-                return true;
+                return Ok(true);
             }
+            self.meter.tick(&self.budget)?;
             for &nxt in &edges[cur] {
                 if !visited[nxt] {
                     visited[nxt] = true;
@@ -656,36 +855,44 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
-        false
+        Ok(false)
     }
 
     /// The `rBIT` operator (Definition 5.1).
-    fn eval_rbit(&self, var: &Var, body: &RegFormula, rn: usize, rd: usize, env: &Env) -> bool {
-        let formula = self.eval(body, env);
+    fn eval_rbit(
+        &self,
+        var: &Var,
+        body: &RegFormula,
+        rn: usize,
+        rd: usize,
+        env: &Env,
+    ) -> Result<bool, Stop> {
+        let formula = self.eval(body, env)?;
         let free = formula.free_vars();
-        assert!(
-            free.is_empty() || (free.len() == 1 && free.contains(var)),
-            "rBIT body must have exactly the one free element variable '{}'",
-            var
-        );
+        if !(free.is_empty() || (free.len() == 1 && free.contains(var))) {
+            return Err(Stop::Query(format!(
+                "rBIT body must have exactly the one free element variable '{}'",
+                var
+            )));
+        }
         let dnf = to_dnf_pruned(&formula);
         let Some(a) = unique_solution(&dnf, var) else {
-            return false;
+            return Ok(false);
         };
         if a.is_zero() {
             // Case 2: a = 0 relates equal higher-dimensional regions.
-            return rn == rd && self.ext.region(rn).dim > 0;
+            return Ok(rn == rd && self.ext.region(rn).dim > 0);
         }
         // Case 1: rank i of R_n among the 0-dim regions indexes a set bit of
         // the numerator, rank j of R_d a set bit of the denominator.
         // Ranks are 1-based; rank i corresponds to bit i-1 (LSB first).
         let Some(i) = self.zero_dim_order.iter().position(|&r| r == rn) else {
-            return false;
+            return Ok(false);
         };
         let Some(j) = self.zero_dim_order.iter().position(|&r| r == rd) else {
-            return false;
+            return Ok(false);
         };
-        a.numer_magnitude().bit(i as u64) && a.denom_magnitude().bit(j as u64)
+        Ok(a.numer_magnitude().bit(i as u64) && a.denom_magnitude().bit(j as u64))
     }
 }
 
@@ -697,8 +904,18 @@ fn bool_formula(b: bool) -> Formula {
     }
 }
 
-/// All tuples over `0..n` of length `k` in lexicographic order.
-fn all_tuples(n: usize, k: usize) -> Vec<Vec<usize>> {
+/// All tuples over `0..n` of length `k` in lexicographic order, budget-gated:
+/// the `n^k` materialization is checked against the memory ceiling *before*
+/// allocating (checked arithmetic — an overflowing size estimate fails
+/// closed when a ceiling is set).
+fn try_all_tuples(n: usize, k: usize, budget: &EvalBudget) -> Result<Vec<Vec<usize>>, BudgetError> {
+    let per_tuple = (k as u128) * (std::mem::size_of::<usize>() as u128)
+        + (std::mem::size_of::<Vec<usize>>() as u128);
+    let estimated = (n as u128)
+        .checked_pow(k as u32)
+        .and_then(|count| count.checked_mul(per_tuple))
+        .and_then(|bytes| usize::try_from(bytes).ok());
+    budget.check_memory_estimate(estimated)?;
     let mut out = vec![Vec::new()];
     for _ in 0..k {
         let mut next = Vec::with_capacity(out.len() * n);
@@ -711,7 +928,7 @@ fn all_tuples(n: usize, k: usize) -> Vec<Vec<usize>> {
         }
         out = next;
     }
-    out
+    Ok(out)
 }
 
 /// If the single-variable DNF defines exactly one rational, return it.
@@ -786,8 +1003,14 @@ fn conjunct_solution(conj: &[lcdb_logic::Atom], var: &str) -> Option<Option<Rati
         }
     }
     if let Some(p) = pin {
-        let ok_lo = lo.map_or(true, |(l, s)| if s { p > l } else { p >= l });
-        let ok_hi = hi.map_or(true, |(h, s)| if s { p < h } else { p <= h });
+        let ok_lo = match lo {
+            Some((l, s)) => if s { p > l } else { p >= l },
+            None => true,
+        };
+        let ok_hi = match hi {
+            Some((h, s)) => if s { p < h } else { p <= h },
+            None => true,
+        };
         return Some(if ok_lo && ok_hi { Some(p) } else { None });
     }
     match (lo, hi) {
@@ -809,6 +1032,7 @@ fn conjunct_solution(conj: &[lcdb_logic::Atom], var: &str) -> Option<Option<Rati
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::region::RegionExtension;
@@ -1189,6 +1413,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod relation_output_tests {
     use crate::region::RegionExtension;
     use crate::{Evaluator, RegFormula};

@@ -26,13 +26,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod evaluator;
 mod parser;
 pub mod queries;
 mod region;
 mod regfo;
 
+pub use error::EvalError;
 pub use evaluator::{EvalStats, Evaluator};
+pub use lcdb_budget::{BudgetError, CancelToken, EvalBudget};
 pub use parser::parse_regformula;
 pub use regfo::{FixMode, RegFormula, RegionVar, SetVar};
 pub use region::{ArrangementRegions, Decomposition, Nc1Regions, RegionData, RegionExtension};
@@ -52,4 +55,35 @@ pub fn eval_sentence_arrangement(
 pub fn eval_sentence_nc1(relation: &lcdb_logic::Relation, sentence: &RegFormula) -> bool {
     let ext = RegionExtension::nc1(relation.clone());
     Evaluator::new(&ext).eval_sentence(sentence)
+}
+
+/// Budget-governed form of [`eval_sentence_arrangement`]: decomposition
+/// construction *and* sentence evaluation both run under `budget`. On
+/// success the verdict is returned together with the work counters; on
+/// exhaustion the [`EvalError`] carries the partial counters instead.
+///
+/// The budget's deadline is armed when [`EvalBudget::with_timeout`] is
+/// called, so build a fresh budget per query.
+pub fn try_eval_sentence_arrangement(
+    relation: &lcdb_logic::Relation,
+    sentence: &RegFormula,
+    budget: &EvalBudget,
+) -> Result<(bool, EvalStats), EvalError> {
+    let ext = RegionExtension::try_arrangement(relation.clone(), budget)?;
+    let ev = Evaluator::with_budget(&ext, budget.clone());
+    let verdict = ev.try_eval_sentence(sentence)?;
+    Ok((verdict, ev.stats()))
+}
+
+/// Budget-governed form of [`eval_sentence_nc1`]; see
+/// [`try_eval_sentence_arrangement`].
+pub fn try_eval_sentence_nc1(
+    relation: &lcdb_logic::Relation,
+    sentence: &RegFormula,
+    budget: &EvalBudget,
+) -> Result<(bool, EvalStats), EvalError> {
+    let ext = RegionExtension::try_nc1(relation.clone(), budget)?;
+    let ev = Evaluator::with_budget(&ext, budget.clone());
+    let verdict = ev.try_eval_sentence(sentence)?;
+    Ok((verdict, ev.stats()))
 }

@@ -174,7 +174,7 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                         "dtc" => "dtc",
                         _ => "rbit",
                     }), start));
-                } else if word.chars().next().unwrap().is_uppercase() {
+                } else if word.starts_with(|ch: char| ch.is_uppercase()) {
                     out.push((Tok::RegVar(word.to_string()), start));
                 } else {
                     out.push((Tok::Ident(word.to_string()), start));
@@ -254,7 +254,7 @@ impl Parser {
             parts.push(self.and_formula()?);
         }
         Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
+            parts.pop().expect("parsed at least one part")
         } else {
             RegFormula::or(parts)
         })
@@ -267,7 +267,7 @@ impl Parser {
             parts.push(self.unary()?);
         }
         Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
+            parts.pop().expect("parsed at least one part")
         } else {
             RegFormula::and(parts)
         })
@@ -657,6 +657,7 @@ pub fn parse_regformula(input: &str) -> Result<RegFormula, ParseError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::region::RegionExtension;

@@ -317,6 +317,7 @@ pub fn connectivity_tc(deterministic: bool) -> RegFormula {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::region::RegionExtension;

@@ -128,7 +128,7 @@ impl RegFormula {
         }
         match out.len() {
             0 => RegFormula::True,
-            1 => out.pop().unwrap(),
+            1 => out.pop().expect("len checked: exactly one part"),
             _ => RegFormula::And(out),
         }
     }
@@ -146,12 +146,13 @@ impl RegFormula {
         }
         match out.len() {
             0 => RegFormula::False,
-            1 => out.pop().unwrap(),
+            1 => out.pop().expect("len checked: exactly one part"),
             _ => RegFormula::Or(out),
         }
     }
 
     /// Smart negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: RegFormula) -> RegFormula {
         match f {
             RegFormula::True => RegFormula::False,
@@ -464,6 +465,7 @@ impl fmt::Display for RegFormula {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -2,7 +2,10 @@
 //! and the [`Decomposition`] interface shared by the arrangement of §3 and
 //! the NC¹ decomposition of §7/Appendix A.
 
+use crate::error::EvalError;
+use crate::evaluator::EvalStats;
 use lcdb_arith::Rational;
+use lcdb_budget::EvalBudget;
 use lcdb_geom::nc1::{Nc1Decomposition, RegionKind};
 use lcdb_geom::{Arrangement, Hyperplane, VPolyhedron};
 use lcdb_linalg::QVector;
@@ -81,10 +84,20 @@ impl ArrangementRegions {
     /// # Panics
     /// Panics if the relation is missing.
     pub fn new(db: Database, spatial: &str) -> Self {
-        let rel = db
+        Self::try_new(db, spatial, &EvalBudget::unlimited()).unwrap_or_else(|e| panic!("{}", e))
+    }
+
+    /// Budget-governed construction: the arrangement is built incrementally
+    /// and aborts with a typed error as soon as the face cap, the memory
+    /// ceiling, the deadline, or the cancellation token trips — *before* the
+    /// O(n^d) face table (Theorem 3.1) is fully materialized.
+    pub fn try_new(db: Database, spatial: &str, budget: &EvalBudget) -> Result<Self, EvalError> {
+        let d = db
             .relation(spatial)
-            .unwrap_or_else(|| panic!("unknown spatial relation '{}'", spatial));
-        let d = rel.arity();
+            .ok_or_else(|| {
+                EvalError::invalid_query(format!("unknown spatial relation '{}'", spatial))
+            })?
+            .arity();
         // Union of hyperplanes across all d-ary relations: keeps every
         // relation sign-homogeneous per face.
         let mut hyperplanes: Vec<Hyperplane> = Vec::new();
@@ -97,7 +110,8 @@ impl ArrangementRegions {
                 }
             }
         }
-        let arrangement = Arrangement::build(d, hyperplanes);
+        let arrangement = Arrangement::try_build(d, hyperplanes, budget)
+            .map_err(|e| EvalError::from_budget(e, EvalStats::default()))?;
         let data = arrangement
             .faces()
             .iter()
@@ -108,12 +122,12 @@ impl ArrangementRegions {
                 witness: f.witness.clone(),
             })
             .collect();
-        ArrangementRegions {
+        Ok(ArrangementRegions {
             db,
             spatial: spatial.to_string(),
             arrangement,
             data,
-        }
+        })
     }
 
     /// The underlying arrangement.
@@ -185,11 +199,21 @@ pub struct Nc1Regions {
 
 impl Nc1Regions {
     /// Build from a database and the designated spatial relation name.
+    ///
+    /// # Panics
+    /// Panics if the relation is missing.
     pub fn new(db: Database, spatial: &str) -> Self {
-        let rel = db
-            .relation(spatial)
-            .unwrap_or_else(|| panic!("unknown spatial relation '{}'", spatial));
-        let decomposition = lcdb_geom::nc1::decompose_relation(rel);
+        Self::try_new(db, spatial, &EvalBudget::unlimited()).unwrap_or_else(|e| panic!("{}", e))
+    }
+
+    /// Budget-governed construction; the vertex-fan enumeration aborts with
+    /// a typed error when the region cap or memory ceiling is exceeded.
+    pub fn try_new(db: Database, spatial: &str, budget: &EvalBudget) -> Result<Self, EvalError> {
+        let rel = db.relation(spatial).ok_or_else(|| {
+            EvalError::invalid_query(format!("unknown spatial relation '{}'", spatial))
+        })?;
+        let decomposition = lcdb_geom::nc1::try_decompose_relation(rel, budget)
+            .map_err(|e| EvalError::from_budget(e, EvalStats::default()))?;
         let data = decomposition
             .regions
             .iter()
@@ -201,14 +225,14 @@ impl Nc1Regions {
                 witness: r.set.interior_point(),
             })
             .collect();
-        Nc1Regions {
+        Ok(Nc1Regions {
             db,
             spatial: spatial.to_string(),
             decomposition,
             data,
             adjacency: RefCell::new(HashMap::new()),
             formulas: RefCell::new(HashMap::new()),
-        }
+        })
     }
 
     /// The underlying decomposition.
@@ -357,11 +381,29 @@ impl RegionExtension {
         Self::arrangement_db(db, "S")
     }
 
+    /// Budget-governed form of [`RegionExtension::arrangement`].
+    pub fn try_arrangement(relation: Relation, budget: &EvalBudget) -> Result<Self, EvalError> {
+        let mut db = Database::new();
+        db.insert("S", relation);
+        Self::try_arrangement_db(db, "S", budget)
+    }
+
     /// Region extension over the arrangement, general database form.
     pub fn arrangement_db(db: Database, spatial: &str) -> Self {
         RegionExtension {
             inner: Box::new(ArrangementRegions::new(db, spatial)),
         }
+    }
+
+    /// Budget-governed form of [`RegionExtension::arrangement_db`].
+    pub fn try_arrangement_db(
+        db: Database,
+        spatial: &str,
+        budget: &EvalBudget,
+    ) -> Result<Self, EvalError> {
+        Ok(RegionExtension {
+            inner: Box::new(ArrangementRegions::try_new(db, spatial, budget)?),
+        })
     }
 
     /// Region extension over the NC¹ decomposition (§7), single relation.
@@ -371,11 +413,29 @@ impl RegionExtension {
         Self::nc1_db(db, "S")
     }
 
+    /// Budget-governed form of [`RegionExtension::nc1`].
+    pub fn try_nc1(relation: Relation, budget: &EvalBudget) -> Result<Self, EvalError> {
+        let mut db = Database::new();
+        db.insert("S", relation);
+        Self::try_nc1_db(db, "S", budget)
+    }
+
     /// Region extension over the NC¹ decomposition, general database form.
     pub fn nc1_db(db: Database, spatial: &str) -> Self {
         RegionExtension {
             inner: Box::new(Nc1Regions::new(db, spatial)),
         }
+    }
+
+    /// Budget-governed form of [`RegionExtension::nc1_db`].
+    pub fn try_nc1_db(
+        db: Database,
+        spatial: &str,
+        budget: &EvalBudget,
+    ) -> Result<Self, EvalError> {
+        Ok(RegionExtension {
+            inner: Box::new(Nc1Regions::try_new(db, spatial, budget)?),
+        })
     }
 
     /// Access the decomposition interface.
@@ -415,6 +475,7 @@ impl Decomposition for RegionExtension {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use lcdb_arith::{int, rat};
@@ -468,7 +529,7 @@ mod tests {
                 env.insert("x".to_string(), v.clone());
                 assert_eq!(
                     f.eval(&env),
-                    ext.contains_point(id, &[v.clone()]),
+                    ext.contains_point(id, std::slice::from_ref(&v)),
                     "region {} at {}",
                     id,
                     v

@@ -25,9 +25,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use lcdb_budget::{BudgetError, EvalBudget};
 use lcdb_logic::dnf::{to_dnf_pruned, Dnf};
 use lcdb_logic::{qe, Database, Formula, LinExpr, Relation, Var};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// A body literal of a rule.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -68,6 +70,50 @@ impl Rule {
 #[derive(Clone, Debug, Default)]
 pub struct Program {
     rules: Vec<Rule>,
+}
+
+/// A failed datalog evaluation.
+#[derive(Clone, Debug)]
+pub enum DatalogError {
+    /// A resource budget ran out mid-evaluation. Carries the IDB relations
+    /// after the last fully completed round, so partial progress is
+    /// inspectable.
+    Budget {
+        /// The exhausted limit.
+        error: BudgetError,
+        /// IDB state after the last completed round.
+        partial: BTreeMap<String, Relation>,
+        /// Fully completed rounds.
+        rounds: usize,
+    },
+    /// A rule body references a predicate that is neither an IDB head nor
+    /// an EDB relation.
+    UnknownPredicate {
+        /// The undefined predicate name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Budget { error, rounds, .. } => {
+                write!(f, "datalog evaluation aborted after {rounds} rounds: {error}")
+            }
+            DatalogError::UnknownPredicate { name } => {
+                write!(f, "unknown predicate '{name}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatalogError::Budget { error, .. } => Some(error),
+            DatalogError::UnknownPredicate { .. } => None,
+        }
+    }
 }
 
 /// Result of bounded naive evaluation.
@@ -119,19 +165,52 @@ impl Program {
     /// consequence of all its rules; convergence is semantic (mutual
     /// inclusion of consecutive stages, decided by LP satisfiability of the
     /// difference formulas).
+    ///
+    /// # Panics
+    /// Panics if a rule body references an unknown predicate. Use
+    /// [`Program::try_evaluate`] for a typed error instead.
     pub fn evaluate(&self, edb: &Database, max_rounds: usize) -> EvalOutcome {
+        self.try_evaluate(edb, max_rounds, &EvalBudget::unlimited())
+            .unwrap_or_else(|e| panic!("{}", e))
+    }
+
+    /// Budget-governed naive evaluation. In addition to the `max_rounds`
+    /// stage bound (which yields [`EvalOutcome::Diverged`], the *expected*
+    /// non-termination verdict), the budget's deadline, cancellation token,
+    /// and fixed-point iteration cap are checked between rounds; tripping
+    /// one aborts with [`DatalogError::Budget`] carrying the IDB state after
+    /// the last completed round.
+    pub fn try_evaluate(
+        &self,
+        edb: &Database,
+        max_rounds: usize,
+        budget: &EvalBudget,
+    ) -> Result<EvalOutcome, DatalogError> {
         let mut idb: BTreeMap<String, Relation> = BTreeMap::new();
         for (name, arity) in self.idb_predicates() {
             let vars: Vec<Var> = (0..arity).map(|i| format!("x{}", i)).collect();
             idb.insert(name, Relation::new(vars, &Formula::False));
         }
         for round in 1..=max_rounds {
+            let abort = |error: BudgetError, idb: &BTreeMap<String, Relation>| {
+                DatalogError::Budget {
+                    error,
+                    partial: idb.clone(),
+                    rounds: round - 1,
+                }
+            };
+            if let Err(e) = budget.check_interrupt() {
+                return Err(abort(e, &idb));
+            }
+            if let Err(e) = budget.check_fix_iterations(round as u64) {
+                return Err(abort(e, &idb));
+            }
             let mut next: BTreeMap<String, Relation> = BTreeMap::new();
             for (name, arity) in self.idb_predicates() {
                 let vars: Vec<Var> = (0..arity).map(|i| format!("x{}", i)).collect();
                 let mut disjuncts = Vec::new();
                 for rule in self.rules.iter().filter(|r| r.head == name) {
-                    disjuncts.push(self.rule_consequence(rule, edb, &idb, &vars));
+                    disjuncts.push(self.rule_consequence(rule, edb, &idb, &vars)?);
                 }
                 // Monotone accumulation (datalog is positive).
                 disjuncts.push(idb[&name].dnf().to_formula());
@@ -146,13 +225,13 @@ impl Program {
                 .all(|(name, _)| subset_of(&next[name], &idb[name]));
             idb = next;
             if converged {
-                return EvalOutcome::Fixpoint { idb, rounds: round };
+                return Ok(EvalOutcome::Fixpoint { idb, rounds: round });
             }
         }
-        EvalOutcome::Diverged {
+        Ok(EvalOutcome::Diverged {
             partial: idb,
             rounds: max_rounds,
-        }
+        })
     }
 
     /// The quantifier-free formula for one rule's immediate consequence,
@@ -163,17 +242,16 @@ impl Program {
         edb: &Database,
         idb: &BTreeMap<String, Relation>,
         head_vars: &[Var],
-    ) -> Formula {
+    ) -> Result<Formula, DatalogError> {
         // Conjoin body literals, expanding predicates to their definitions.
         let mut parts = Vec::new();
         for lit in &rule.body {
             match lit {
                 Literal::Constraint(a) => parts.push(Formula::Atom(a.clone())),
                 Literal::Pred(name, args) => {
-                    let rel = idb
-                        .get(name)
-                        .or_else(|| edb.relation(name))
-                        .unwrap_or_else(|| panic!("unknown predicate '{}'", name));
+                    let rel = idb.get(name).or_else(|| edb.relation(name)).ok_or_else(
+                        || DatalogError::UnknownPredicate { name: name.clone() },
+                    )?;
                     let exprs: Vec<LinExpr> =
                         args.iter().map(|v| LinExpr::var(v.clone())).collect();
                     parts.push(rel.apply(&exprs));
@@ -196,7 +274,7 @@ impl Program {
         for canon in head_vars {
             qf = qf.substitute(&format!("__h_{}", canon), &LinExpr::var(canon.clone()));
         }
-        qf
+        Ok(qf)
     }
 }
 
@@ -225,6 +303,7 @@ pub fn relation_dnf(r: &Relation) -> &Dnf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use lcdb_arith::{int, rat};
@@ -323,6 +402,48 @@ mod tests {
                 assert!(partial["reach"].contains(&[int(11)]));
                 assert!(!partial["reach"].contains(&[int(100)]));
             }
+        }
+    }
+
+    /// A budget stops the divergent program with a typed error carrying
+    /// the partial IDB, distinct from the expected `Diverged` verdict.
+    #[test]
+    fn budget_aborts_divergent_program() {
+        let mut edb = Database::new();
+        edb.insert("S", rel1("0 <= x and x <= 1"));
+        let program = Program::new()
+            .rule(Rule::new(
+                "reach",
+                vec!["x".into()],
+                vec![Literal::Pred("S".into(), vec!["x".into()])],
+            ))
+            .rule(Rule::new(
+                "reach",
+                vec!["x".into()],
+                vec![
+                    Literal::Pred("reach".into(), vec!["y".into()]),
+                    Literal::Constraint(atom("x - y = 1")),
+                ],
+            ));
+        let budget = EvalBudget::unlimited().with_max_fix_iterations(3);
+        match program.try_evaluate(&edb, 12, &budget) {
+            Err(DatalogError::Budget { error, partial, rounds }) => {
+                assert!(matches!(error, BudgetError::IterationLimit { limit: 3 }));
+                assert_eq!(rounds, 3);
+                // Three completed rounds: the window [0, 1+3] is reached.
+                assert!(partial["reach"].contains(&[int(3)]));
+            }
+            other => panic!("expected budget abort, got {:?}", other.map(|_| ())),
+        }
+        // An unknown predicate is a query error, not budget exhaustion.
+        let bad = Program::new().rule(Rule::new(
+            "p",
+            vec!["x".into()],
+            vec![Literal::Pred("missing".into(), vec!["x".into()])],
+        ));
+        match bad.try_evaluate(&edb, 2, &EvalBudget::unlimited()) {
+            Err(DatalogError::UnknownPredicate { name }) => assert_eq!(name, "missing"),
+            other => panic!("expected UnknownPredicate, got {:?}", other.map(|_| ())),
         }
     }
 

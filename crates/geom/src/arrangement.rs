@@ -10,6 +10,7 @@
 
 use crate::Hyperplane;
 use lcdb_arith::{Rational, Sign};
+use lcdb_budget::{BudgetError, EvalBudget};
 use lcdb_linalg::{Matrix, QVector};
 use lcdb_logic::{Atom, LinExpr, Relation};
 use lcdb_lp::{LinConstraint, Rel};
@@ -56,16 +57,40 @@ impl Arrangement {
     /// # Panics
     /// Panics if a hyperplane has the wrong ambient dimension or `dim == 0`.
     pub fn build(dim: usize, hyperplanes: Vec<Hyperplane>) -> Self {
+        match Arrangement::try_build(dim, hyperplanes, &EvalBudget::unlimited()) {
+            Ok(arrangement) => arrangement,
+            Err(e) => panic!("unlimited budget cannot be exhausted: {e}"),
+        }
+    }
+
+    /// Build the arrangement under a resource budget.
+    ///
+    /// The face count is checked against `budget`'s face cap as the
+    /// sign-vector refinement grows (the arrangement has `O(n^d)` faces —
+    /// Theorem 3.1 — so the check has to happen *during* construction, not
+    /// after), and the deadline/cancellation token are polled between LP
+    /// feasibility calls. On `Err` nothing is materialized.
+    ///
+    /// # Panics
+    /// Panics if a hyperplane has the wrong ambient dimension or `dim == 0`;
+    /// those are malformed inputs, not resource exhaustion.
+    pub fn try_build(
+        dim: usize,
+        hyperplanes: Vec<Hyperplane>,
+        budget: &EvalBudget,
+    ) -> Result<Self, BudgetError> {
         assert!(dim > 0, "arrangements need a positive ambient dimension");
         for h in &hyperplanes {
             assert_eq!(h.dim(), dim, "hyperplane dimension mismatch");
         }
+        let meter = budget.meter();
         // Incremental sign-vector refinement.
         let mut partial: Vec<(SignVector, QVector)> =
             vec![(Vec::new(), vec![Rational::zero(); dim])];
         for (k, h) in hyperplanes.iter().enumerate() {
             let mut next = Vec::with_capacity(partial.len() * 2);
             for (signs, witness) in &partial {
+                meter.tick(budget)?;
                 let carried = h.side_of(witness);
                 for side in [Sign::Negative, Sign::Zero, Sign::Positive] {
                     let mut child = signs.clone();
@@ -79,6 +104,7 @@ impl Arrangement {
                         }
                     }
                 }
+                budget.check_faces(next.len())?;
             }
             partial = next;
         }
@@ -86,6 +112,7 @@ impl Arrangement {
         let mut faces = Vec::with_capacity(partial.len());
         let mut index = HashMap::with_capacity(partial.len());
         for (id, (signs, witness)) in partial.into_iter().enumerate() {
+            meter.tick(budget)?;
             let dim_face = face_dimension(dim, &hyperplanes, &signs);
             let closed: Vec<LinConstraint> = sign_constraints(&hyperplanes, &signs)
                 .iter()
@@ -102,18 +129,30 @@ impl Arrangement {
                 bounded,
             });
         }
-        Arrangement {
+        Ok(Arrangement {
             dim,
             hyperplanes,
             faces,
             index,
-        }
+        })
     }
 
     /// Build the arrangement `A(S)` induced by a relation's representation.
     pub fn from_relation(relation: &Relation) -> Self {
+        match Arrangement::try_from_relation(relation, &EvalBudget::unlimited()) {
+            Ok(arrangement) => arrangement,
+            Err(e) => panic!("unlimited budget cannot be exhausted: {e}"),
+        }
+    }
+
+    /// Budgeted variant of [`Arrangement::from_relation`].
+    pub fn try_from_relation(
+        relation: &Relation,
+        budget: &EvalBudget,
+    ) -> Result<Self, BudgetError> {
+        budget.check_interrupt()?;
         let hs = crate::extract_hyperplanes(relation);
-        Arrangement::build(relation.arity(), hs)
+        Arrangement::try_build(relation.arity(), hs, budget)
     }
 
     /// Ambient dimension `d`.
@@ -341,6 +380,7 @@ impl fmt::Display for Face {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use lcdb_arith::int;

@@ -91,6 +91,7 @@ pub fn convex_closure(relation: &Relation) -> Relation {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use lcdb_arith::{int, rat};

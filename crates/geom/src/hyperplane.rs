@@ -37,7 +37,10 @@ impl Hyperplane {
             g = g.gcd(&n);
         }
         let mut factor = Rational::new(f, g);
-        let leading = coeffs.iter().find(|c| !c.is_zero()).unwrap();
+        let leading = coeffs
+            .iter()
+            .find(|c| !c.is_zero())
+            .expect("asserted above: some coefficient is nonzero");
         if leading.is_negative() {
             factor = -factor;
         }
@@ -132,6 +135,7 @@ pub fn extract_hyperplanes(relation: &Relation) -> Vec<Hyperplane> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use lcdb_arith::{int, rat};

@@ -19,6 +19,7 @@
 
 use crate::{Hyperplane, VPolyhedron};
 use lcdb_arith::Rational;
+use lcdb_budget::{BudgetError, EvalBudget, Meter};
 use lcdb_linalg::{vec_sub, Flat, QVector};
 use lcdb_logic::{dnf::Conjunct, Relation};
 use lcdb_lp::{LinConstraint, Rel};
@@ -87,11 +88,30 @@ impl Nc1Decomposition {
 
 /// Decompose a relation: the union of the per-disjunct decompositions.
 pub fn decompose_relation(relation: &Relation) -> Nc1Decomposition {
+    match try_decompose_relation(relation, &EvalBudget::unlimited()) {
+        Ok(dec) => dec,
+        Err(e) => panic!("unlimited budget cannot be exhausted: {e}"),
+    }
+}
+
+/// Decompose a relation under a resource budget.
+///
+/// The accumulated region count is checked against the budget's face cap as
+/// each disjunct is decomposed (the vertex-fan construction enumerates
+/// `d`-subsets and `d`-multisets of the vertex set, which blows up
+/// combinatorially), and the deadline/cancellation token are polled between
+/// LP calls.
+pub fn try_decompose_relation(
+    relation: &Relation,
+    budget: &EvalBudget,
+) -> Result<Nc1Decomposition, BudgetError> {
     let d = relation.arity();
     let order: Vec<String> = relation.var_names().to_vec();
+    let meter = budget.meter();
     let mut regions = Vec::new();
     for (i, conj) in relation.dnf().disjuncts.iter().enumerate() {
-        for (set, kind) in decompose_conjunct(d, conj, &order) {
+        budget.check_interrupt()?;
+        for (set, kind) in try_decompose_conjunct_inner(d, conj, &order, budget, &meter)? {
             let dim = set.dim();
             regions.push(Nc1Region {
                 set,
@@ -100,8 +120,9 @@ pub fn decompose_relation(relation: &Relation) -> Nc1Decomposition {
                 dim,
             });
         }
+        budget.check_faces(regions.len())?;
     }
-    Nc1Decomposition { dim: d, regions }
+    Ok(Nc1Decomposition { dim: d, regions })
 }
 
 /// Decompose a single disjunct `ψ` into its regions.
@@ -110,11 +131,35 @@ pub fn decompose_conjunct(
     conj: &Conjunct,
     var_order: &[String],
 ) -> Vec<(VPolyhedron, RegionKind)> {
+    match try_decompose_conjunct(d, conj, var_order, &EvalBudget::unlimited()) {
+        Ok(regions) => regions,
+        Err(e) => panic!("unlimited budget cannot be exhausted: {e}"),
+    }
+}
+
+/// Budgeted variant of [`decompose_conjunct`].
+pub fn try_decompose_conjunct(
+    d: usize,
+    conj: &Conjunct,
+    var_order: &[String],
+    budget: &EvalBudget,
+) -> Result<Vec<(VPolyhedron, RegionKind)>, BudgetError> {
+    let meter = budget.meter();
+    try_decompose_conjunct_inner(d, conj, var_order, budget, &meter)
+}
+
+fn try_decompose_conjunct_inner(
+    d: usize,
+    conj: &Conjunct,
+    var_order: &[String],
+    budget: &EvalBudget,
+    meter: &Meter,
+) -> Result<Vec<(VPolyhedron, RegionKind)>, BudgetError> {
     let original: Vec<LinConstraint> =
         conj.iter().map(|a| a.to_constraint(var_order)).collect();
     // Empty polyhedron: no regions.
     if lcdb_lp::feasible(d, &original).is_none() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let closed: Vec<LinConstraint> = original.iter().map(|c| c.closed()).collect();
     // Relative interior of ψ: strict inequalities, equalities kept.
@@ -133,7 +178,7 @@ pub fn decompose_conjunct(
     }
 
     // Step 1: vertices of ψ.
-    let vertices = vertex_set(d, &hyperplanes, &closed);
+    let vertices = try_vertex_set(d, &hyperplanes, &closed, budget, meter)?;
 
     // Step 2: boundedness via the cube test.
     let c = max_abs_coordinate(d, &hyperplanes, &vertices);
@@ -141,21 +186,25 @@ pub fn decompose_conjunct(
     let bounded = is_bounded_by_cube(d, &closed, &bound);
 
     if bounded {
-        bounded_regions(d, &vertices, &interior)
+        try_bounded_regions(d, &vertices, &interior, budget, meter)
     } else {
-        unbounded_regions(d, &hyperplanes, &interior, &closed, &bound)
+        try_unbounded_regions(d, &hyperplanes, &interior, &closed, &bound, budget, meter)
     }
 }
 
 /// Vertices: `d`-subsets of hyperplanes meeting in a single point inside the
 /// closure.
-fn vertex_set(
+fn try_vertex_set(
     d: usize,
     hyperplanes: &[Hyperplane],
     closed: &[LinConstraint],
-) -> Vec<QVector> {
+    budget: &EvalBudget,
+    meter: &Meter,
+) -> Result<Vec<QVector>, BudgetError> {
+    check_combination_count(hyperplanes.len(), d, budget)?;
     let mut vertices: Vec<QVector> = Vec::new();
     for combo in subsets_of_size(hyperplanes.len(), d) {
+        meter.tick(budget)?;
         let eqs: Vec<(QVector, Rational)> = combo
             .iter()
             .map(|&i| (hyperplanes[i].coeffs().to_vec(), hyperplanes[i].rhs().clone()))
@@ -169,10 +218,11 @@ fn vertex_set(
         let p = flat.point();
         if closed.iter().all(|con| con.satisfied_by(&p)) && !vertices.contains(&p) {
             vertices.push(p);
+            budget.check_faces(vertices.len())?;
         }
     }
     vertices.sort();
-    vertices
+    Ok(vertices)
 }
 
 /// The constant `c` of Appendix A: max |coordinate| over `vert(ψ)`, falling
@@ -238,14 +288,16 @@ fn is_bounded_by_cube(d: usize, closed: &[LinConstraint], bound: &Rational) -> b
 /// Inner and outer regions for a bounded vertex set. `interior` is the
 /// strict constraint system whose relative interior outer segments must
 /// avoid (the interior of `ψ` — the *original* ψ also in the unbounded case).
-fn bounded_regions(
+fn try_bounded_regions(
     d: usize,
     vertices: &[QVector],
     interior: &[LinConstraint],
-) -> Vec<(VPolyhedron, RegionKind)> {
+    budget: &EvalBudget,
+    meter: &Meter,
+) -> Result<Vec<(VPolyhedron, RegionKind)>, BudgetError> {
     let mut out: Vec<(VPolyhedron, RegionKind)> = Vec::new();
     if vertices.is_empty() {
-        return out;
+        return Ok(out);
     }
     let push_unique = |cand: VPolyhedron, kind: RegionKind, out: &mut Vec<(VPolyhedron, RegionKind)>| {
         if !out.iter().any(|(r, _)| r.same_set(&cand)) {
@@ -256,7 +308,9 @@ fn bounded_regions(
     // Outer regions: open hulls of at most d vertices whose pairwise open
     // segments avoid the interior of ψ.
     for size in 1..=d.min(vertices.len()) {
+        check_combination_count(vertices.len(), size, budget)?;
         for combo in subsets_of_size(vertices.len(), size) {
+            meter.tick(budget)?;
             let pts: Vec<QVector> = combo.iter().map(|&i| vertices[i].clone()).collect();
             let ok = combo.iter().enumerate().all(|(ii, &i)| {
                 combo[ii + 1..].iter().all(|&j| {
@@ -265,6 +319,7 @@ fn bounded_regions(
             });
             if ok {
                 push_unique(VPolyhedron::open_hull(pts), RegionKind::Outer, &mut out);
+                budget.check_faces(out.len())?;
             }
         }
     }
@@ -273,7 +328,9 @@ fn bounded_regions(
     // open hulls of p_low with d further vertices (repetitions allowed) such
     // that segments from p_low to every *other* vertex avoid the hull.
     let p_low = vertices[0].clone(); // sorted lexicographically
+    check_combination_count(vertices.len() + d.saturating_sub(1), d, budget)?;
     for tuple in multisets_of_size(vertices.len(), d) {
+        meter.tick(budget)?;
         let mut pts: Vec<QVector> = vec![p_low.clone()];
         pts.extend(tuple.iter().map(|&i| vertices[i].clone()));
         let cand = VPolyhedron::open_hull(pts);
@@ -286,20 +343,23 @@ fn bounded_regions(
         });
         if ok {
             push_unique(cand, RegionKind::Inner, &mut out);
+            budget.check_faces(out.len())?;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Regions for an unbounded disjunct: bounded regions of `ψ ∩ icube(ψ)` plus
 /// ray regions from `up(ψ)` and their open hulls.
-fn unbounded_regions(
+fn try_unbounded_regions(
     d: usize,
     hyperplanes: &[Hyperplane],
     interior: &[LinConstraint],
     closed: &[LinConstraint],
     bound: &Rational,
-) -> Vec<(VPolyhedron, RegionKind)> {
+    budget: &EvalBudget,
+    meter: &Meter,
+) -> Result<Vec<(VPolyhedron, RegionKind)>, BudgetError> {
     // Hyperplane set of ψ ∩ icube: add the cube sides.
     let mut augmented = hyperplanes.to_vec();
     let mut cube_closed = closed.to_vec();
@@ -316,11 +376,11 @@ fn unbounded_regions(
             cube_closed.push(LinConstraint::new(coeffs, rel, rhs));
         }
     }
-    let cut_vertices = vertex_set(d, &augmented, &cube_closed);
+    let cut_vertices = try_vertex_set(d, &augmented, &cube_closed, budget, meter)?;
 
     // Bounded part: fan regions over the cut vertex set; outer segments must
     // avoid the interior of the *original* ψ.
-    let mut out = bounded_regions(d, &cut_vertices, interior);
+    let mut out = try_bounded_regions(d, &cut_vertices, interior, budget, meter)?;
 
     // up(ψ): p on the cube boundary, direction p - q staying inside closure(ψ).
     let mut ups: Vec<(QVector, QVector)> = Vec::new();
@@ -330,6 +390,7 @@ fn unbounded_regions(
             continue;
         }
         for q in &cut_vertices {
+            meter.tick(budget)?;
             if q == p {
                 continue;
             }
@@ -346,7 +407,9 @@ fn unbounded_regions(
 
     // Ray regions and open hulls of up to d of them.
     for size in 1..=d.min(ups.len()) {
+        check_combination_count(ups.len(), size, budget)?;
         for combo in subsets_of_size(ups.len(), size) {
+            meter.tick(budget)?;
             let pts: Vec<QVector> = combo.iter().map(|&i| ups[i].0.clone()).collect();
             let rays: Vec<QVector> = combo.iter().map(|&i| ups[i].1.clone()).collect();
             let cand = VPolyhedron::new(pts, rays);
@@ -357,10 +420,35 @@ fn unbounded_regions(
             };
             if !out.iter().any(|(r, _)| r.same_set(&cand)) {
                 out.push((cand, kind));
+                budget.check_faces(out.len())?;
             }
         }
     }
-    out
+    Ok(out)
+}
+
+/// `subsets_of_size`/`multisets_of_size` materialize all `C(n, k)` index
+/// combinations before the per-combination loops start ticking, so the
+/// materialization itself must be pre-checked against the memory ceiling.
+fn check_combination_count(n: usize, k: usize, budget: &EvalBudget) -> Result<(), BudgetError> {
+    let estimated_bytes = binomial(n as u128, k as u128)
+        .and_then(|count| count.checked_mul(k as u128 * 8 + 24))
+        .and_then(|bytes| usize::try_from(bytes).ok());
+    budget.check_memory_estimate(estimated_bytes)
+}
+
+/// `C(n, k)` with overflow reported as `None`.
+fn binomial(n: u128, k: u128) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.checked_mul(n - i)?;
+        acc /= i + 1;
+    }
+    Some(acc)
 }
 
 /// Does the ray direction stay inside the closed polyhedron?
@@ -501,6 +589,7 @@ fn multisets_of_size(n: usize, size: usize) -> Vec<Vec<usize>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use lcdb_arith::{int, rat};
@@ -536,7 +625,7 @@ mod tests {
         let d = decompose_relation(&r);
         assert_eq!(d.counts_by_dim(), vec![3, 3, 1]);
         // Interior, edges, vertices all covered.
-        assert!(d.covers(&vec![rat(1, 2), rat(1, 2)]));
+        assert!(d.covers(&[rat(1, 2), rat(1, 2)]));
         assert!(d.covers(&pt(&[1, 0])));
         assert!(d.covers(&pt(&[0, 0])));
         assert!(!d.covers(&pt(&[2, 2])));

@@ -266,7 +266,7 @@ mod tests {
     fn open_triangle() {
         let t = VPolyhedron::open_hull(vec![pt(&[0, 0]), pt(&[2, 0]), pt(&[0, 2])]);
         assert_eq!(t.dim(), 2);
-        assert!(t.contains(&vec![rat(1, 2), rat(1, 2)]));
+        assert!(t.contains(&[rat(1, 2), rat(1, 2)]));
         // Boundary excluded.
         assert!(!t.contains(&pt(&[1, 0])));
         assert!(t.closure_contains(&pt(&[1, 0])));

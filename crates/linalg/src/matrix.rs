@@ -217,11 +217,11 @@ impl Matrix {
         assert_eq!(self.rows, b.len());
         // Augment and reduce.
         let mut aug = Matrix::zeros(self.rows, self.cols + 1);
-        for i in 0..self.rows {
+        for (i, bi) in b.iter().enumerate() {
             for j in 0..self.cols {
                 *aug.at_mut(i, j) = self.at(i, j).clone();
             }
-            *aug.at_mut(i, self.cols) = b[i].clone();
+            *aug.at_mut(i, self.cols) = bi.clone();
         }
         let RrefResult { rref, pivots } = aug.rref();
         // Inconsistent iff a pivot lands in the augmented column.

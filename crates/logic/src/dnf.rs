@@ -70,7 +70,7 @@ impl Dnf {
 
     /// Is some disjunct satisfiable over the reals? (Exact, via LP.)
     pub fn is_satisfiable(&self) -> bool {
-        self.disjuncts.iter().any(|c| conjunct_satisfiable(c))
+        self.disjuncts.iter().any(conjunct_satisfiable)
     }
 
     /// A satisfying point, if any, together with the variable order used.
@@ -310,7 +310,7 @@ pub fn to_dnf_cells(f: &Formula) -> Dnf {
         let env: BTreeMap<Var, Rational> = vars
             .iter()
             .cloned()
-            .zip(witness.into_iter())
+            .zip(witness)
             .collect();
         if f.eval(&env) {
             out.push(conj);

@@ -69,6 +69,7 @@ impl Formula {
     }
 
     /// Negation convenience constructor.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,
@@ -359,7 +360,7 @@ mod tests {
         let sub = f.substitute("x", &LinExpr::constant(int(5)));
         assert_eq!(sub, f, "bound variable must shadow substitution");
         let open_sub = inner.substitute("x", &LinExpr::constant(int(5)));
-        assert_eq!(open_sub.eval(&BTreeMap::new()), false); // 5 < 1
+        assert!(!open_sub.eval(&BTreeMap::new())); // 5 < 1
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! points (needed for the paper's `face ⊆ S` containment tests).
 //!
 //! Strict inequalities are handled by the interior-δ method: each strict
-//! constraint `a·x < b` becomes `a·x + δ ≤ b`, and we maximize `δ` capped at
-//! 1. The strict system is feasible iff the optimum is positive, and the
-//! witness satisfies every strict constraint with slack ≥ δ.
+//! constraint `a·x < b` becomes `a·x + δ ≤ b`, and we maximize `δ` capped
+//! at one. The strict system is feasible iff the optimum is positive, and
+//! the witness satisfies every strict constraint with slack ≥ δ.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -189,14 +189,12 @@ pub fn is_bounded(d: usize, constraints: &[LinConstraint]) -> Option<bool> {
     for i in 0..d {
         let mut obj = vec![Rational::zero(); d];
         obj[i] = Rational::one();
-        match bounded_above(d, &obj, &closed)? {
-            false => return Some(false),
-            true => {}
+        if !bounded_above(d, &obj, &closed)? {
+            return Some(false);
         }
         obj[i] = -Rational::one();
-        match bounded_above(d, &obj, &closed)? {
-            false => return Some(false),
-            true => {}
+        if !bounded_above(d, &obj, &closed)? {
+            return Some(false);
         }
     }
     Some(true)

@@ -269,9 +269,9 @@ pub(crate) fn solve(
 
     // Phase 2: the real objective over the split variables.
     t.obj = vec![Rational::zero(); cols + 1];
-    for j in 0..d {
-        t.obj[j] = objective[j].clone();
-        t.obj[d + j] = -objective[j].clone();
+    for (j, c) in objective.iter().enumerate().take(d) {
+        t.obj[j] = c.clone();
+        t.obj[d + j] = -c.clone();
     }
     t.reduce_objective();
     let outcome = match t.iterate() {

@@ -348,7 +348,7 @@ pub fn compile_linear_tm(tm: &Tm, d: usize) -> RegFormula {
                 .collect(),
         ),
     ]);
-    let accept = RegFormula::exists_region(
+    RegFormula::exists_region(
         "Ka",
         RegFormula::and(vec![
             rank_is(d, "Ka", 2),
@@ -372,8 +372,7 @@ pub fn compile_linear_tm(tm: &Tm, d: usize) -> RegFormula {
                 ]),
             ),
         ]),
-    );
-    accept
+    )
 }
 
 /// Replace `M2(args)` markers by a fresh application of the run fixed point.

@@ -49,7 +49,7 @@ pub fn region_order(ext: &dyn Decomposition) -> Vec<usize> {
         )
     };
     let mut order: Vec<usize> = ext.region_ids().collect();
-    order.sort_by(|&a, &b| key(a).cmp(&key(b)));
+    order.sort_by_key(|&a| key(a));
     order
 }
 

@@ -26,5 +26,8 @@ pub use lcdb_lp as lp;
 pub use lcdb_tm as tm;
 
 pub use lcdb_arith::{rat, BigInt, BigUint, Rational};
-pub use lcdb_core::{queries, Decomposition, Evaluator, RegFormula, RegionExtension};
+pub use lcdb_core::{
+    queries, BudgetError, CancelToken, Decomposition, EvalBudget, EvalError, EvalStats, Evaluator,
+    RegFormula, RegionExtension,
+};
 pub use lcdb_logic::{parse_formula, Database, Formula, Relation};

@@ -4,15 +4,11 @@
 use lcdb::arith::{int, rat};
 use lcdb::core::{queries, Evaluator, FixMode, RegFormula, RegionExtension};
 use lcdb::logic::LinExpr;
-use lcdb::{parse_formula, Database, Decomposition, Relation};
+use lcdb::{parse_formula, Database, Relation};
 use std::collections::BTreeMap;
 
 fn rel1(src: &str) -> Relation {
     Relation::new(vec!["x".into()], &parse_formula(src).unwrap())
-}
-
-fn rel2(src: &str) -> Relation {
-    Relation::new(vec!["x".into(), "y".into()], &parse_formula(src).unwrap())
 }
 
 #[test]

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the slice of the `criterion 0.5` API its benches use:
+//! `Criterion::benchmark_group` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! This is a plain wall-clock harness: each benchmark runs a fixed number of
+//! timed batches and reports mean time per iteration on stdout. There is no
+//! statistical analysis, outlier detection, or HTML report — it exists so
+//! `cargo bench` compiles and produces usable relative numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the timed closure of a single benchmark.
+pub struct Bencher {
+    samples: u64,
+    target_time: Duration,
+    /// Mean time per iteration, filled in by `iter`.
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, also used to size the batches.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let warm = warm_start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for `samples` batches within the target time, at least one
+        // iteration each.
+        let per_batch = self.target_time.as_nanos() / u128::from(self.samples).max(1);
+        let iters_per_batch = (per_batch / warm.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let run_start = Instant::now();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += iters_per_batch;
+            if run_start.elapsed() > self.target_time * 2 {
+                break;
+            }
+        }
+        self.per_iter = Some(total / iters.max(1) as u32);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u64,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            target_time: self.measurement_time,
+            per_iter: None,
+        };
+        f(&mut bencher);
+        report(&self.name, &id, bencher.per_iter);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            target_time: self.measurement_time,
+            per_iter: None,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id, bencher.per_iter);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &BenchmarkId, per_iter: Option<Duration>) {
+    match per_iter {
+        Some(t) => println!("{}/{}: {:?}/iter", group, id, t),
+        None => println!("{}/{}: no measurement (Bencher::iter never called)", group, id),
+    }
+}
+
+/// Top-level handle passed to every benchmark function.
+pub struct Criterion {
+    sample_size: u64,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

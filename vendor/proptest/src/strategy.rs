@@ -1,0 +1,305 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// How many consecutive rejections `prop_filter` tolerates before giving up.
+const MAX_FILTER_ATTEMPTS: u32 = 1_000;
+
+/// A recipe for generating values of a given type.
+///
+/// Unlike upstream proptest there is no value tree: strategies generate
+/// plain values and no shrinking is performed.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    fn prop_filter<F>(self, whence: impl Into<String>, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence: whence.into(),
+            predicate,
+        }
+    }
+
+    /// Build a recursive strategy: `grow` wraps the base strategy up to
+    /// `depth` times. The `desired_size`/`expected_branch` hints accepted by
+    /// upstream are ignored — depth alone bounds recursion here.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        grow: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            depth,
+            grow: Rc::new(move |inner| grow(inner).boxed()),
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among several strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "Union requires at least one option");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: String,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_ATTEMPTS {
+            let candidate = self.source.generate(rng);
+            if (self.predicate)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected {} consecutive values",
+            self.whence, MAX_FILTER_ATTEMPTS
+        );
+    }
+}
+
+/// Result of [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    depth: u32,
+    #[allow(clippy::type_complexity)]
+    grow: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+impl<T: Debug + 'static> Strategy for Recursive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let levels = rng.below(u64::from(self.depth) + 1) as u32;
+        let mut strategy = self.base.clone();
+        for _ in 0..levels {
+            strategy = (self.grow)(strategy);
+        }
+        strategy.generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer range strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! small_int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = rng.next_u128() % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = rng.next_u128() % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+small_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "strategy range is empty");
+        self.start + rng.next_u128() % (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "strategy range is empty");
+        match (hi - lo).checked_add(1) {
+            Some(span) => lo + rng.next_u128() % span,
+            // Full 128-bit domain: a raw draw is already uniform.
+            None => rng.next_u128(),
+        }
+    }
+}
+
+/// Order-preserving bijection i128 -> u128, so signed ranges can reuse the
+/// unsigned sampling logic.
+fn zigzag(v: i128) -> u128 {
+    (v as u128) ^ (1u128 << 127)
+}
+
+fn unzigzag(v: u128) -> i128 {
+    (v ^ (1u128 << 127)) as i128
+}
+
+impl Strategy for Range<i128> {
+    type Value = i128;
+
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "strategy range is empty");
+        unzigzag((zigzag(self.start)..zigzag(self.end)).generate(rng))
+    }
+}
+
+impl Strategy for RangeInclusive<i128> {
+    type Value = i128;
+
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "strategy range is empty");
+        unzigzag((zigzag(lo)..=zigzag(hi)).generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);

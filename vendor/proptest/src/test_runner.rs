@@ -1,0 +1,184 @@
+//! The deterministic test runner.
+
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::strategy::Strategy;
+
+/// Default seed; chosen arbitrarily but fixed so CI runs are reproducible.
+const DEFAULT_SEED: u64 = 0x1CDB_5EED_CAFE_F00D;
+
+/// Runner configuration. Mirrors the upstream `ProptestConfig` fields the
+/// workspace uses.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Total `prop_assume!` rejections tolerated across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            // Upstream defaults to 256; this shrink-free stand-in keeps the
+            // suites fast with a smaller default. Suites that care pass
+            // `with_cases` explicitly.
+            cases: 64,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property failed on this input.
+    Fail(String),
+    /// The input was rejected by `prop_assume!`; it is not counted.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A failed property: the message plus the input that produced it.
+#[derive(Clone, Debug)]
+pub struct TestError<V> {
+    pub message: String,
+    pub value: V,
+    pub seed: u64,
+}
+
+impl<V: fmt::Debug> fmt::Display for TestError<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}\nfailing input: {:?}\n(seed {:#x}; no shrinking in the vendored runner)",
+            self.message, self.value, self.seed
+        )
+    }
+}
+
+impl<V: fmt::Debug> std::error::Error for TestError<V> {}
+
+/// Deterministic random source handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "TestRng::below(0)");
+        self.next_u64() % n
+    }
+}
+
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_SEED);
+        TestRunner {
+            config,
+            rng: TestRng::from_seed(seed),
+            seed,
+        }
+    }
+
+    /// Run `test` against `config.cases` generated inputs. Returns the first
+    /// failure (with its input) or `Ok(())` once all cases pass.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError<S::Value>>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejects = 0u32;
+        while passed < self.config.cases {
+            // Snapshot the rng so the failing input can be regenerated for
+            // the report (the test closure consumes the value).
+            let snapshot = self.rng.clone();
+            let value = strategy.generate(&mut self.rng);
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| test(value)));
+            match outcome {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        return Err(TestError {
+                            message: format!(
+                                "too many prop_assume! rejections ({} > {})",
+                                rejects, self.config.max_global_rejects
+                            ),
+                            value: strategy.generate(&mut snapshot.clone()),
+                            seed: self.seed,
+                        });
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(message))) => {
+                    let mut replay = snapshot;
+                    return Err(TestError {
+                        message,
+                        value: strategy.generate(&mut replay),
+                        seed: self.seed,
+                    });
+                }
+                Err(panic_payload) => {
+                    let mut replay = snapshot;
+                    let input = strategy.generate(&mut replay);
+                    eprintln!(
+                        "property panicked on input: {:?} (seed {:#x})",
+                        input, self.seed
+                    );
+                    panic::resume_unwind(panic_payload);
+                }
+            }
+        }
+        Ok(())
+    }
+}
