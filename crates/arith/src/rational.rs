@@ -39,6 +39,11 @@ impl Rational {
     /// Panics if `den` is zero.
     pub fn new(num: BigInt, den: BigInt) -> Self {
         assert!(!den.is_zero(), "rational with zero denominator");
+        // Fault-injection site: stands in for a (hypothetical) overflow in
+        // the normalization below. Rational construction is infallible, so
+        // the fault is deferred and surfaces at the next interrupt check.
+        #[cfg(feature = "faults")]
+        lcdb_budget::faults::hit("arith.overflow");
         if num.is_zero() {
             return Rational::zero();
         }

@@ -151,6 +151,12 @@ impl EvalBudget {
     /// Check the deadline and the cancellation token. This consults the
     /// clock; hot loops should go through a [`Meter`] instead.
     pub fn check_interrupt(&self) -> Result<(), BudgetError> {
+        // Deferred faults from infallible layers (arith, lp) surface at the
+        // next interrupt check, exactly like a cancellation would.
+        #[cfg(feature = "faults")]
+        if let Some(err) = faults::take_pending() {
+            return Err(err);
+        }
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {
                 return Err(BudgetError::Cancelled);
@@ -278,6 +284,13 @@ pub enum BudgetError {
     },
     /// The cancellation token was tripped.
     Cancelled,
+    /// A deterministic test fault fired at the named injection site (only
+    /// constructed under the `faults` feature, but always present so match
+    /// arms do not depend on feature flags).
+    InjectedFault {
+        /// The injection-site name, e.g. `"arith.overflow"`.
+        site: String,
+    },
 }
 
 impl fmt::Display for BudgetError {
@@ -313,11 +326,277 @@ impl fmt::Display for BudgetError {
                 }
             }
             BudgetError::Cancelled => write!(f, "evaluation cancelled"),
+            BudgetError::InjectedFault { site } => {
+                write!(f, "injected fault at site '{site}'")
+            }
         }
     }
 }
 
 impl std::error::Error for BudgetError {}
+
+/// Deterministic, seeded fault injection (feature `faults`).
+///
+/// Robustness claims ("every abort surfaces as a typed error with a valid
+/// checkpoint, never a panic") are only testable if faults can be provoked
+/// *inside* the layers that normally cannot fail — rational arithmetic, the
+/// simplex pivot loop, arrangement refinement, fixpoint stage transitions.
+/// This module gives those layers named injection sites:
+///
+/// * fallible code paths call [`check`], which returns
+///   [`BudgetError::InjectedFault`] when the armed plan says the site's
+///   N-th execution should fail;
+/// * infallible hot paths (a `Rational` constructor cannot return `Err`)
+///   call [`hit`], which records the fault as *pending*; the next
+///   [`EvalBudget::check_interrupt`] — every meter period at most — turns it
+///   into the same typed error.
+///
+/// Plans are armed per thread ([`FaultPlan::arm`] returns an RAII guard), so
+/// parallel tests do not interfere, and each site fires at most once per
+/// arming: after the injected failure the run either aborts or quarantines
+/// the unit and continues cleanly. [`FaultPlan::seeded`] derives the firing
+/// hit-count per site from a seed via SplitMix64, so a CI seed matrix
+/// explores different abort positions deterministically.
+///
+/// With the feature disabled this module does not exist and the sites
+/// compile to nothing.
+#[cfg(feature = "faults")]
+pub mod faults {
+    use super::BudgetError;
+    use lcdb_recover::{fingerprint_str, splitmix64};
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+
+    struct SiteState {
+        hits: u64,
+        fire_on: u64,
+        fired: bool,
+    }
+
+    thread_local! {
+        static INJECTOR: RefCell<Option<BTreeMap<String, SiteState>>> =
+            const { RefCell::new(None) };
+        static PENDING: RefCell<Option<String>> = const { RefCell::new(None) };
+    }
+
+    /// Which sites fail, and on which execution. Build one, then [`arm`]
+    /// it for the current thread.
+    ///
+    /// [`arm`]: FaultPlan::arm
+    #[derive(Clone, Debug, Default)]
+    pub struct FaultPlan {
+        sites: Vec<(String, u64)>,
+    }
+
+    impl FaultPlan {
+        /// An empty plan: no site fails.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Make `site` fail on its `nth` execution (1-based; 0 behaves
+        /// like 1).
+        pub fn fail_on(mut self, site: &str, nth: u64) -> Self {
+            self.sites.push((site.to_string(), nth.max(1)));
+            self
+        }
+
+        /// Derive a plan from a seed: each named site fires on a hit count
+        /// in `1..=max_nth` chosen by SplitMix64 over `(seed, site)`. The
+        /// same seed always produces the same plan.
+        pub fn seeded(seed: u64, sites: &[&str], max_nth: u64) -> Self {
+            let mut plan = Self::new();
+            for site in sites {
+                let nth = splitmix64(seed ^ fingerprint_str(site)) % max_nth.max(1) + 1;
+                plan = plan.fail_on(site, nth);
+            }
+            plan
+        }
+
+        /// Build a plan from the `LCDB_FAULT_SITE` environment variable: a
+        /// comma-separated list of `site` or `site:nth` entries (`nth`
+        /// defaults to 1, malformed counts behave like 1). Returns `None`
+        /// when the variable is unset or names no site — this is how a
+        /// separate process (the CLI under test) arms injection without an
+        /// in-process [`FaultPlan`].
+        pub fn from_env() -> Option<Self> {
+            let spec = std::env::var("LCDB_FAULT_SITE").ok()?;
+            let mut plan = Self::new();
+            for entry in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let (site, nth) = match entry.split_once(':') {
+                    Some((site, n)) => (site.trim(), n.trim().parse().unwrap_or(1)),
+                    None => (entry, 1),
+                };
+                plan = plan.fail_on(site, nth);
+            }
+            if plan.sites.is_empty() {
+                None
+            } else {
+                Some(plan)
+            }
+        }
+
+        /// Arm the plan for the current thread. Dropping the returned guard
+        /// disarms it and clears any pending fault, so a panicking test
+        /// cannot leak injection state into the next one.
+        pub fn arm(self) -> Armed {
+            let map: BTreeMap<String, SiteState> = self
+                .sites
+                .into_iter()
+                .map(|(site, fire_on)| {
+                    (
+                        site,
+                        SiteState {
+                            hits: 0,
+                            fire_on,
+                            fired: false,
+                        },
+                    )
+                })
+                .collect();
+            INJECTOR.with(|i| *i.borrow_mut() = Some(map));
+            PENDING.with(|p| *p.borrow_mut() = None);
+            Armed(())
+        }
+    }
+
+    /// RAII guard for an armed [`FaultPlan`]; disarms on drop.
+    #[must_use = "the plan is disarmed when the guard drops"]
+    pub struct Armed(());
+
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            INJECTOR.with(|i| *i.borrow_mut() = None);
+            PENDING.with(|p| *p.borrow_mut() = None);
+        }
+    }
+
+    fn fire(site: &str) -> bool {
+        INJECTOR.with(|i| {
+            let mut guard = i.borrow_mut();
+            let Some(map) = guard.as_mut() else {
+                return false;
+            };
+            let Some(state) = map.get_mut(site) else {
+                return false;
+            };
+            if state.fired {
+                return false;
+            }
+            state.hits += 1;
+            if state.hits >= state.fire_on {
+                state.fired = true;
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Injection site for infallible code: if the armed plan fires here, the
+    /// fault is recorded as pending and surfaces at the next
+    /// [`EvalBudget::check_interrupt`](super::EvalBudget::check_interrupt).
+    pub fn hit(site: &str) {
+        if fire(site) {
+            PENDING.with(|p| *p.borrow_mut() = Some(site.to_string()));
+        }
+    }
+
+    /// Injection site for fallible code: fails immediately with
+    /// [`BudgetError::InjectedFault`] when the armed plan fires here.
+    pub fn check(site: &str) -> Result<(), BudgetError> {
+        if fire(site) {
+            Err(BudgetError::InjectedFault {
+                site: site.to_string(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Drain the pending deferred fault, if any. Called by
+    /// [`EvalBudget::check_interrupt`](super::EvalBudget::check_interrupt);
+    /// tests normally never need it directly.
+    pub fn take_pending() -> Option<BudgetError> {
+        PENDING.with(|p| p.borrow_mut().take()).map(|site| BudgetError::InjectedFault { site })
+    }
+
+    #[cfg(test)]
+    #[allow(clippy::unwrap_used)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn disarmed_sites_never_fire() {
+            assert!(check("x").is_ok());
+            hit("x");
+            assert!(take_pending().is_none());
+        }
+
+        #[test]
+        fn fires_on_nth_hit_exactly_once() {
+            let _g = FaultPlan::new().fail_on("s", 3).arm();
+            assert!(check("s").is_ok());
+            assert!(check("s").is_ok());
+            assert!(matches!(
+                check("s"),
+                Err(BudgetError::InjectedFault { site }) if site == "s"
+            ));
+            // One-shot: the site does not fire again.
+            for _ in 0..10 {
+                assert!(check("s").is_ok());
+            }
+        }
+
+        #[test]
+        fn deferred_hit_surfaces_via_take_pending() {
+            let _g = FaultPlan::new().fail_on("d", 1).arm();
+            assert!(take_pending().is_none());
+            hit("d");
+            assert_eq!(
+                take_pending(),
+                Some(BudgetError::InjectedFault { site: "d".into() })
+            );
+            assert!(take_pending().is_none(), "pending drains");
+        }
+
+        #[test]
+        fn guard_drop_disarms_and_clears_pending() {
+            {
+                let _g = FaultPlan::new().fail_on("z", 1).arm();
+                hit("z");
+            }
+            assert!(take_pending().is_none());
+            assert!(check("z").is_ok());
+        }
+
+        #[test]
+        fn seeded_plans_are_deterministic_and_bounded() {
+            let a = FaultPlan::seeded(7, &["p", "q"], 10);
+            let b = FaultPlan::seeded(7, &["p", "q"], 10);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            for (_, nth) in &a.sites {
+                assert!((1..=10).contains(nth));
+            }
+            let c = FaultPlan::seeded(8, &["p", "q"], 1_000_000);
+            assert_ne!(format!("{a:?}"), format!("{c:?}"));
+        }
+
+        #[test]
+        fn interrupt_check_surfaces_deferred_fault() {
+            let _g = FaultPlan::new().fail_on("arith.overflow", 1).arm();
+            hit("arith.overflow");
+            let b = super::super::EvalBudget::unlimited();
+            assert_eq!(
+                b.check_interrupt(),
+                Err(BudgetError::InjectedFault {
+                    site: "arith.overflow".into()
+                })
+            );
+            assert!(b.check_interrupt().is_ok(), "one-shot");
+        }
+    }
+}
 
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]

@@ -18,22 +18,36 @@
 //! evaluation statistics and, in `-e`/script mode, exits with a distinct
 //! code (2 deadline, 3 iteration limit, 4 face limit, 5 cancelled, 6 tuple
 //! tests, 7 memory; 1 for other errors).
+//!
+//! Crash safety: with `--checkpoint-dir DIR`, a run killed by a budget
+//! writes its completed fixpoint stages to a snapshot file; `--resume FILE`
+//! continues a later run from that snapshot (pair it with a fresh, larger
+//! budget). `--allow-partial` quarantines localized faults instead of
+//! aborting: the verdict is still produced, marked partial, and the process
+//! exits with code 8 (an unquarantined injected fault exits with 9).
 
 use lcdb_core::{
-    parse_regformula, queries, Decomposition, EvalBudget, EvalError, EvalStats, Evaluator,
-    RegionExtension,
+    empty_checkpoint, parse_regformula, queries, Decomposition, EvalBudget, EvalError,
+    EvalOutcome, EvalStats, Evaluator, Quarantine, RegFormula, RegionExtension, Snapshot,
 };
 use lcdb_logic::{parse_formula, Database, Relation};
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Budget knobs taken from the command line; applied afresh to every
 /// command so the deadline clock restarts per command, not per session.
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Default)]
 struct Limits {
     timeout: Option<Duration>,
     max_iterations: Option<u64>,
     max_faces: Option<usize>,
+    /// Where to write a snapshot when a budget kills an evaluation.
+    checkpoint_dir: Option<PathBuf>,
+    /// Snapshot to resume the next evaluation command from (consumed once).
+    resume: Option<PathBuf>,
+    /// Quarantine localized faults instead of aborting (exit code 8).
+    allow_partial: bool,
 }
 
 impl Limits {
@@ -84,6 +98,7 @@ impl CmdError {
                 EvalError::Cancelled { .. } => 5,
                 EvalError::TupleTestLimit { .. } => 6,
                 EvalError::MemoryLimit { .. } => 7,
+                EvalError::InjectedFault { .. } => 9,
                 EvalError::InvalidQuery { .. } | EvalError::Internal { .. } => 1,
             },
         }
@@ -114,7 +129,7 @@ impl CmdError {
 fn write_stats(out: &mut dyn Write, label: &str, st: &EvalStats) -> std::io::Result<()> {
     writeln!(
         out,
-        "{}: regions={} lfp-stages={} tuple-tests={} qe-calls={} region-expansions={} tc-edge-tests={}",
+        "{}: regions={} lfp-stages={} tuple-tests={} qe-calls={} region-expansions={} tc-edge-tests={} quarantined={}",
         label,
         st.regions,
         st.fix_iterations,
@@ -122,7 +137,42 @@ fn write_stats(out: &mut dyn Write, label: &str, st: &EvalStats) -> std::io::Res
         st.qe_calls,
         st.region_expansions,
         st.tc_edge_tests,
+        st.quarantined,
     )
+}
+
+/// Write `snap` into `dir`, reporting the resulting path. A write failure is
+/// reported as a warning rather than an error: it must not mask the
+/// evaluation abort being reported right after it.
+fn report_checkpoint(
+    out: &mut dyn Write,
+    snap: Snapshot,
+    dir: &std::path::Path,
+) -> std::io::Result<()> {
+    match snap.write_to_dir(dir) {
+        Ok(p) => writeln!(out, "checkpoint written: {}", p.display()),
+        Err(e) => writeln!(out, "warning: checkpoint write failed: {}", e),
+    }
+}
+
+/// Report a degraded verdict: say what was quarantined and mark the command
+/// with the dedicated partial-success exit code 8.
+fn write_partial(sh: &mut Shell, out: &mut dyn Write, q: &Quarantine) -> std::io::Result<()> {
+    if q.is_empty() {
+        return Ok(());
+    }
+    let sites: Vec<&str> = q.sites.iter().map(String::as_str).collect();
+    writeln!(
+        out,
+        "partial result: quarantined {} unit(s) ({} region(s), {} disjunct(s), {} tuple(s)); faults: {}",
+        q.units(),
+        q.regions.len(),
+        q.disjuncts,
+        q.tuples,
+        sites.join(", "),
+    )?;
+    sh.exit_code = 8;
+    Ok(())
 }
 
 struct Shell {
@@ -176,6 +226,61 @@ impl Shell {
             .ok_or_else(|| CmdError::Usage("extension cache invariant broken".to_string()))
     }
 
+    /// Shared crash-safe evaluation path for `sentence`, `query` and
+    /// `connected`: applies `--resume`, quarantines localized faults under
+    /// `--allow-partial`, and on a recoverable abort checkpoints the
+    /// completed fixpoint stages into `--checkpoint-dir`.
+    fn eval_recoverable<T>(
+        &mut self,
+        out: &mut dyn Write,
+        f: &RegFormula,
+        run: impl FnOnce(&Evaluator) -> Result<EvalOutcome<T>, EvalError>,
+    ) -> Result<(T, Quarantine, EvalStats), CmdError> {
+        let budget = self.limits.budget();
+        let resume = self.limits.resume.take();
+        let ckpt = self.limits.checkpoint_dir.clone();
+        if let Err(e) = self.extension(&budget) {
+            // Aborted before any evaluator existed: an entry-less snapshot
+            // still lets a resumed run carry the spent work counters over.
+            if let (CmdError::Eval(ee), Some(dir)) = (&e, &ckpt) {
+                if ee.is_recoverable() {
+                    report_checkpoint(out, empty_checkpoint(f, ee.stats()), dir)?;
+                }
+            }
+            return Err(e);
+        }
+        let allow_partial = self.limits.allow_partial;
+        let ext = self
+            .ext
+            .as_ref()
+            .ok_or_else(|| CmdError::Usage("extension cache invariant broken".to_string()))?;
+        let mut ev = Evaluator::with_budget(ext, budget.clone());
+        if allow_partial {
+            ev = ev.tolerate_faults();
+        }
+        if let Some(path) = &resume {
+            let snap = Snapshot::read_from(path).map_err(|e| {
+                CmdError::Usage(format!("cannot load snapshot '{}': {}", path.display(), e))
+            })?;
+            ev.resume_from(f, &snap)?;
+            writeln!(out, "resumed from {}", path.display())?;
+        }
+        match run(&ev) {
+            Ok(EvalOutcome::Complete(v)) => Ok((v, Quarantine::default(), ev.stats())),
+            Ok(EvalOutcome::Partial { value, quarantined }) => {
+                Ok((value, quarantined, ev.stats()))
+            }
+            Err(e) => {
+                if let Some(dir) = &ckpt {
+                    if e.is_recoverable() {
+                        report_checkpoint(out, ev.checkpoint(f), dir)?;
+                    }
+                }
+                Err(e.into())
+            }
+        }
+    }
+
     /// Run one fallible command body, reporting errors and recording the
     /// exit code; the shell itself keeps going (errors are never fatal to
     /// the REPL).
@@ -219,6 +324,9 @@ impl Shell {
                 writeln!(out, "  quit                             leave")?;
                 writeln!(out, "flags (at startup):")?;
                 writeln!(out, "  --timeout SECS --max-iterations N --max-faces N")?;
+                writeln!(out, "  --checkpoint-dir DIR   write a snapshot when a budget kills a run")?;
+                writeln!(out, "  --resume FILE          continue the next evaluation from a snapshot")?;
+                writeln!(out, "  --allow-partial        quarantine localized faults (exit code 8)")?;
             }
             "rel" => match parse_rel_definition(rest) {
                 Ok((name, vars, formula)) => {
@@ -279,19 +387,14 @@ impl Shell {
             })?,
             "sentence" => match parse_regformula(rest) {
                 Ok(f) => self.run_command(out, |sh, out| {
-                    let budget = sh.limits.budget();
-                    sh.extension(&budget)?;
-                    let ext = sh.ext.as_ref().ok_or_else(|| {
-                        CmdError::Usage("extension cache invariant broken".to_string())
-                    })?;
-                    let ev = Evaluator::with_budget(ext, budget.clone());
-                    let verdict = ev.try_eval_sentence(&f)?;
-                    let st = ev.stats();
+                    let (verdict, q, st) =
+                        sh.eval_recoverable(out, &f, |ev| ev.try_eval_sentence_outcome(&f))?;
                     writeln!(
                         out,
                         "{}   (lfp stages: {}, qe calls: {})",
                         verdict, st.fix_iterations, st.qe_calls
                     )?;
+                    write_partial(sh, out, &q)?;
                     write_stats(out, "stats", &st)?;
                     Ok(())
                 })?,
@@ -302,14 +405,10 @@ impl Shell {
             },
             "query" => match parse_regformula(rest) {
                 Ok(f) => self.run_command(out, |sh, out| {
-                    let budget = sh.limits.budget();
-                    sh.extension(&budget)?;
-                    let ext = sh.ext.as_ref().ok_or_else(|| {
-                        CmdError::Usage("extension cache invariant broken".to_string())
-                    })?;
-                    let ev = Evaluator::with_budget(ext, budget.clone());
-                    let answer = ev.try_eval_query(&f)?;
+                    let (answer, q, _) =
+                        sh.eval_recoverable(out, &f, |ev| ev.try_eval_query_outcome(&f))?;
                     writeln!(out, "{}", answer)?;
+                    write_partial(sh, out, &q)?;
                     Ok(())
                 })?,
                 Err(e) => {
@@ -318,14 +417,11 @@ impl Shell {
                 }
             },
             "connected" => self.run_command(out, |sh, out| {
-                let budget = sh.limits.budget();
-                sh.extension(&budget)?;
-                let ext = sh.ext.as_ref().ok_or_else(|| {
-                    CmdError::Usage("extension cache invariant broken".to_string())
-                })?;
-                let ev = Evaluator::with_budget(ext, budget.clone());
-                let verdict = ev.try_eval_sentence(&queries::connectivity())?;
+                let f = queries::connectivity();
+                let (verdict, q, _) =
+                    sh.eval_recoverable(out, &f, |ev| ev.try_eval_sentence_outcome(&f))?;
                 writeln!(out, "{}", verdict)?;
+                write_partial(sh, out, &q)?;
                 Ok(())
             })?,
             "encode" => self.run_command(out, |sh, out| {
@@ -447,6 +543,15 @@ fn parse_limit_flags(args: &[String]) -> Result<(Limits, Vec<String>), String> {
                         .map_err(|e| format!("bad --max-faces '{}': {}", v, e))?,
                 );
             }
+            "--checkpoint-dir" => {
+                limits.checkpoint_dir = Some(PathBuf::from(value(&mut it)?));
+            }
+            "--resume" => {
+                limits.resume = Some(PathBuf::from(value(&mut it)?));
+            }
+            "--allow-partial" => {
+                limits.allow_partial = true;
+            }
             _ => rest.push(arg.clone()),
         }
     }
@@ -462,6 +567,11 @@ fn main() -> std::process::ExitCode {
             return std::process::ExitCode::from(1);
         }
     };
+    // Fault-injection builds arm a plan from LCDB_FAULT_SITE for the whole
+    // process, so integration tests can provoke exit codes 8 and 9.
+    #[cfg(feature = "faults")]
+    let _fault_guard = lcdb_budget::faults::FaultPlan::from_env().map(|p| p.arm());
+
     let mut shell = Shell::with_limits(limits);
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -635,6 +745,71 @@ mod tests {
         assert_eq!(rest, vec!["-e".to_string(), "help".to_string()]);
         assert!(parse_limit_flags(&["--timeout".to_string()]).is_err());
         assert!(parse_limit_flags(&["--max-faces=lots".to_string()]).is_err());
+    }
+
+    #[test]
+    fn new_flag_parsing() {
+        let args: Vec<String> = [
+            "--checkpoint-dir=ckpts",
+            "--resume",
+            "snap.lcdbsnap",
+            "--allow-partial",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (limits, rest) = parse_limit_flags(&args).unwrap();
+        assert_eq!(limits.checkpoint_dir, Some(PathBuf::from("ckpts")));
+        assert_eq!(limits.resume, Some(PathBuf::from("snap.lcdbsnap")));
+        assert!(limits.allow_partial);
+        assert!(rest.is_empty());
+        assert!(parse_limit_flags(&["--resume".to_string()]).is_err());
+    }
+
+    const GAPPED: &str = "rel S(x) := (0 < x and x < 1) or (2 < x and x < 3)";
+
+    #[test]
+    fn checkpoint_then_resume_completes() {
+        let dir = std::env::temp_dir().join(format!("lcdb-cli-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Kill the connectivity LFP mid-flight; a snapshot must appear.
+        let (out, code) = run_shell(
+            Limits {
+                max_iterations: Some(1),
+                checkpoint_dir: Some(dir.clone()),
+                ..Limits::default()
+            },
+            &[GAPPED, "connected"],
+        );
+        assert_eq!(code, 3, "{}", out);
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("checkpoint written: "))
+            .unwrap_or_else(|| panic!("no checkpoint line in: {}", out));
+        let path = PathBuf::from(line.trim_start_matches("checkpoint written: "));
+        assert!(path.exists(), "{}", path.display());
+        // Resume under a fresh budget: same verdict as an uninterrupted run.
+        let (out2, code2) = run_shell(
+            Limits {
+                resume: Some(path.clone()),
+                ..Limits::default()
+            },
+            &[GAPPED, "connected"],
+        );
+        assert_eq!(code2, 0, "{}", out2);
+        assert!(out2.contains("resumed from"), "{}", out2);
+        assert!(out2.contains("false"), "{}", out2);
+        // A snapshot for `connected` must be refused by a different query.
+        let (out3, code3) = run_shell(
+            Limits {
+                resume: Some(path),
+                ..Limits::default()
+            },
+            &[GAPPED, "sentence exists R. R subset S"],
+        );
+        assert_eq!(code3, 1, "{}", out3);
+        assert!(out3.contains("different query"), "{}", out3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Process-level crash-safety tests: a run killed by a budget writes a
+//! resumable snapshot, and a second process completes the query from it
+//! with the same verdict as an uninterrupted run.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const GAPPED: &str = "rel S(x) := (0 < x and x < 1) or (2 < x and x < 3)";
+
+fn lcdb(args: &[&str]) -> (String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lcdb"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    let mut text = String::from_utf8_lossy(&out.stdout).into_owned();
+    text.push_str(&String::from_utf8_lossy(&out.stderr));
+    (text, out.status.code().unwrap_or(-1))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lcdb-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn written_snapshot(out: &str) -> PathBuf {
+    let line = out
+        .lines()
+        .find(|l| l.starts_with("checkpoint written: "))
+        .unwrap_or_else(|| panic!("no checkpoint line in: {}", out));
+    PathBuf::from(line.trim_start_matches("checkpoint written: "))
+}
+
+/// The headline acceptance cycle: kill → snapshot → resume → identical
+/// verdict, across two separate processes.
+#[test]
+fn killed_run_resumes_to_same_verdict() {
+    let dir = temp_dir("resume");
+    let dir_s = dir.to_string_lossy().into_owned();
+
+    // Uninterrupted reference run.
+    let (full, code) = lcdb(&["-e", GAPPED, "connected"]);
+    assert_eq!(code, 0, "{}", full);
+    assert!(full.contains("false"), "{}", full);
+
+    // Killed run: the iteration cap aborts the connectivity LFP.
+    let (out, code) = lcdb(&[
+        "--max-iterations",
+        "1",
+        "--checkpoint-dir",
+        &dir_s,
+        "-e",
+        GAPPED,
+        "connected",
+    ]);
+    assert_eq!(code, 3, "{}", out);
+    let snap = written_snapshot(&out);
+    assert!(snap.exists(), "{}", snap.display());
+    assert_eq!(snap.extension().and_then(|e| e.to_str()), Some("lcdbsnap"));
+
+    // Fresh process resumes under an adequate budget: same verdict.
+    let snap_s = snap.to_string_lossy().into_owned();
+    let (out, code) = lcdb(&["--resume", &snap_s, "-e", GAPPED, "connected"]);
+    assert_eq!(code, 0, "{}", out);
+    assert!(out.contains("resumed from"), "{}", out);
+    assert!(out.contains("false"), "{}", out);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A deadline that fires before the decomposition is even built still
+/// leaves a (stage-less) snapshot behind, and the resumed run completes.
+#[test]
+fn timeout_before_decomposition_still_checkpoints() {
+    let dir = temp_dir("resume-timeout");
+    let dir_s = dir.to_string_lossy().into_owned();
+    let (out, code) = lcdb(&[
+        "--timeout",
+        "0",
+        "--checkpoint-dir",
+        &dir_s,
+        "-e",
+        GAPPED,
+        "connected",
+    ]);
+    assert_eq!(code, 2, "{}", out);
+    let snap = written_snapshot(&out);
+    let snap_s = snap.to_string_lossy().into_owned();
+    let (out, code) = lcdb(&["--resume", &snap_s, "-e", GAPPED, "connected"]);
+    assert_eq!(code, 0, "{}", out);
+    assert!(out.contains("false"), "{}", out);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupt snapshot is refused with a typed message, never a panic.
+#[test]
+fn corrupt_snapshot_is_refused() {
+    let dir = temp_dir("resume-corrupt");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let bad = dir.join("bad.lcdbsnap");
+    std::fs::write(&bad, b"LCDBSNAPgarbage").expect("write");
+    let bad_s = bad.to_string_lossy().into_owned();
+    let (out, code) = lcdb(&["--resume", &bad_s, "-e", GAPPED, "connected"]);
+    assert_eq!(code, 1, "{}", out);
+    assert!(out.contains("cannot load snapshot"), "{}", out);
+    let _ = std::fs::remove_dir_all(&dir);
+}

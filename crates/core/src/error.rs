@@ -66,6 +66,14 @@ pub enum EvalError {
         /// Work counters at the abort.
         stats: EvalStats,
     },
+    /// A deterministic test fault fired at an injection site (only produced
+    /// under the `faults` feature) and was not quarantined.
+    InjectedFault {
+        /// The injection-site name, e.g. `"arith.overflow"`.
+        site: String,
+        /// Work counters at the abort.
+        stats: EvalStats,
+    },
     /// The query is malformed: free variables where none are allowed, a
     /// non-positive LFP body, an unknown relation, an arity mismatch.
     InvalidQuery {
@@ -106,6 +114,7 @@ impl EvalError {
                 stats,
             },
             BudgetError::Cancelled => EvalError::Cancelled { stats },
+            BudgetError::InjectedFault { site } => EvalError::InjectedFault { site, stats },
         }
     }
 
@@ -126,18 +135,29 @@ impl EvalError {
             | EvalError::FaceLimit { stats, .. }
             | EvalError::MemoryLimit { stats, .. }
             | EvalError::Cancelled { stats }
+            | EvalError::InjectedFault { stats, .. }
             | EvalError::InvalidQuery { stats, .. }
             | EvalError::Internal { stats, .. } => *stats,
         }
     }
 
     /// True when the failure is a resource budget running out (as opposed to
-    /// a malformed query or an internal bug).
+    /// a malformed query, an injected fault, or an internal bug).
     pub fn is_budget_exhaustion(&self) -> bool {
         !matches!(
             self,
-            EvalError::InvalidQuery { .. } | EvalError::Internal { .. }
+            EvalError::InvalidQuery { .. }
+                | EvalError::Internal { .. }
+                | EvalError::InjectedFault { .. }
         )
+    }
+
+    /// True when the aborted run left resumable work behind: budget
+    /// exhaustion and injected faults interrupt an otherwise sound
+    /// evaluation, so a checkpoint taken at the abort is worth writing.
+    /// Malformed queries and internal bugs would fail again on resume.
+    pub fn is_recoverable(&self) -> bool {
+        self.is_budget_exhaustion() || matches!(self, EvalError::InjectedFault { .. })
     }
 }
 
@@ -172,6 +192,9 @@ impl fmt::Display for EvalError {
                 }
             }
             EvalError::Cancelled { .. } => write!(f, "evaluation cancelled"),
+            EvalError::InjectedFault { site, .. } => {
+                write!(f, "injected fault at site '{site}'")
+            }
             EvalError::InvalidQuery { message, .. } => write!(f, "invalid query: {message}"),
             EvalError::Internal { message, .. } => {
                 write!(f, "internal evaluator error: {message}")

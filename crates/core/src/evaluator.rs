@@ -32,6 +32,9 @@ use lcdb_arith::{Rational, Sign};
 use lcdb_budget::{BudgetError, EvalBudget, Meter};
 use lcdb_logic::dnf::{to_dnf_pruned, Dnf};
 use lcdb_logic::{qe, Formula, Rel, Var};
+use lcdb_recover::{
+    fingerprint_str, FixKind, FixProgress, FixpointSnapshot, PersistedStats, Snapshot,
+};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
@@ -54,6 +57,144 @@ pub struct EvalStats {
     pub tc_edge_tests: usize,
     /// Regions materialized by the decomposition under evaluation.
     pub regions: usize,
+    /// Units (disjuncts, regions, fixpoint tuples) quarantined by
+    /// fault-tolerant evaluation ([`Evaluator::tolerate_faults`]).
+    pub quarantined: usize,
+}
+
+/// What fault-tolerant evaluation walled off: the units whose local faults
+/// were absorbed so the rest of the query could complete. Attached to
+/// [`EvalOutcome::Partial`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Quarantine {
+    /// Region ids whose quantifier expansion was skipped.
+    pub regions: BTreeSet<usize>,
+    /// Disjuncts (of explicit `Or` nodes) dropped.
+    pub disjuncts: usize,
+    /// Fixpoint tuple tests treated as false.
+    pub tuples: usize,
+    /// The faults absorbed: injection-site names or query-defect messages.
+    pub sites: BTreeSet<String>,
+}
+
+impl Quarantine {
+    /// True when nothing was quarantined (the evaluation was complete).
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty() && self.disjuncts == 0 && self.tuples == 0
+    }
+
+    /// Total quarantined units.
+    pub fn units(&self) -> usize {
+        self.regions.len() + self.disjuncts + self.tuples
+    }
+}
+
+/// Result of a fault-tolerant evaluation: either the exact answer, or an
+/// answer computed with some units quarantined (a sound evaluation of the
+/// query *minus* the quarantined units, explicitly marked as partial).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalOutcome<T> {
+    /// Every unit evaluated; the answer is exact.
+    Complete(T),
+    /// Some units were quarantined; the answer ignores their contribution.
+    Partial {
+        /// The degraded answer.
+        value: T,
+        /// What was walled off, and why.
+        quarantined: Quarantine,
+    },
+}
+
+impl<T> EvalOutcome<T> {
+    /// The (possibly degraded) answer.
+    pub fn value(&self) -> &T {
+        match self {
+            EvalOutcome::Complete(v) | EvalOutcome::Partial { value: v, .. } => v,
+        }
+    }
+
+    /// Consume into the (possibly degraded) answer.
+    pub fn into_value(self) -> T {
+        match self {
+            EvalOutcome::Complete(v) | EvalOutcome::Partial { value: v, .. } => v,
+        }
+    }
+
+    /// True when units were quarantined.
+    pub fn is_partial(&self) -> bool {
+        matches!(self, EvalOutcome::Partial { .. })
+    }
+}
+
+/// Which kind of unit a quarantined fault was confined to.
+enum QuarantineUnit {
+    Disjunct,
+    Region(usize),
+    Tuple,
+}
+
+/// Live progress of one fixpoint computation: the tuple set after the last
+/// completed stage. The in-memory twin of [`lcdb_recover::FixProgress`].
+#[derive(Clone)]
+struct FixLive {
+    mode: FixMode,
+    arity: usize,
+    stage: u64,
+    tuples: BTreeSet<Vec<usize>>,
+}
+
+/// Key for checkpoint progress: a stable structural fingerprint of the
+/// fixpoint operator plus the region ids bound to its outer dependencies.
+/// Unlike interned node ids, this survives across processes.
+type ProgressKey = (u64, Vec<u64>);
+
+/// Stable structural fingerprint of a query: snapshots carry it so a resume
+/// against a *different* query is rejected instead of silently seeding wrong
+/// state. FNV-1a over the debug rendering — deterministic across processes,
+/// unlike `std`'s randomized hasher.
+pub fn query_fingerprint(f: &RegFormula) -> u64 {
+    fingerprint_str(&format!("{:?}", f))
+}
+
+/// An entry-less checkpoint for aborts that happen before any evaluator
+/// exists (typically during decomposition construction). Resuming from it
+/// restarts the evaluation from the bottom, but the work counters spent
+/// before the abort are carried over; `regions` is recorded as 0, which
+/// [`Evaluator::resume_from`] treats as "any decomposition".
+pub fn empty_checkpoint(query: &RegFormula, stats: EvalStats) -> Snapshot {
+    Snapshot::Fixpoint(FixpointSnapshot {
+        query_fingerprint: query_fingerprint(query),
+        stats: PersistedStats {
+            fix_iterations: stats.fix_iterations as u64,
+            fix_tuple_tests: stats.fix_tuple_tests as u64,
+            qe_calls: stats.qe_calls as u64,
+            region_expansions: stats.region_expansions as u64,
+            tc_edge_tests: stats.tc_edge_tests as u64,
+            regions: 0,
+            quarantined: stats.quarantined as u64,
+        },
+        entries: Vec::new(),
+    })
+}
+
+fn fix_fingerprint(mode: FixMode, set_var: &str, vars: &[RegionVar], body: &RegFormula) -> u64 {
+    fingerprint_str(&format!("{:?}|{}|{:?}|{:?}", mode, set_var, vars, body))
+}
+
+fn fix_kind(mode: FixMode) -> FixKind {
+    match mode {
+        FixMode::Lfp => FixKind::Lfp,
+        FixMode::Ifp => FixKind::Ifp,
+        FixMode::Pfp => FixKind::Pfp,
+    }
+}
+
+fn fix_mode(kind: FixKind) -> FixMode {
+    match kind {
+        FixKind::Lfp => FixMode::Lfp,
+        FixKind::Ifp => FixMode::Ifp,
+        FixKind::Pfp => FixMode::Pfp,
+    }
 }
 
 /// Environment: bindings for region variables and set variables.
@@ -126,6 +267,17 @@ pub struct Evaluator<'a> {
     positivity_checked: RefCell<HashSet<u32>>,
     stats: RefCell<EvalStats>,
     zero_dim_order: Vec<usize>,
+    /// Fault-tolerant mode: quarantine localized faults instead of aborting.
+    degrade: bool,
+    /// What the current entry call has quarantined so far.
+    quarantine: RefCell<Quarantine>,
+    /// Checkpointable progress: per fixpoint operator (and outer bindings),
+    /// the tuple set after its last completed stage. Survives an abort so
+    /// [`Evaluator::checkpoint`] can persist it.
+    progress: RefCell<BTreeMap<ProgressKey, FixLive>>,
+    /// Progress installed by [`Evaluator::resume_from`]: fixpoint loops seed
+    /// their first stage from here instead of starting at the bottom.
+    resume: RefCell<BTreeMap<ProgressKey, FixLive>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -163,7 +315,22 @@ impl<'a> Evaluator<'a> {
                 ..EvalStats::default()
             }),
             zero_dim_order: zero_dim,
+            degrade: false,
+            quarantine: RefCell::new(Quarantine::default()),
+            progress: RefCell::new(BTreeMap::new()),
+            resume: RefCell::new(BTreeMap::new()),
         }
+    }
+
+    /// Enable graceful degradation: a fault confined to one disjunct, one
+    /// region of a quantifier expansion, or one fixpoint tuple test —
+    /// an injected fault or a localized query defect — quarantines that unit
+    /// (recorded in [`EvalStats::quarantined`] and the outcome's
+    /// [`Quarantine`]) instead of aborting the whole evaluation. Global
+    /// resource exhaustion (deadline, caps, cancellation) still aborts.
+    pub fn tolerate_faults(mut self) -> Self {
+        self.degrade = true;
+        self
     }
 
     /// Interned id of a node: one structural hash per address, shared across
@@ -190,6 +357,11 @@ impl<'a> Evaluator<'a> {
         self.tc_cache.borrow_mut().clear();
         self.bool_cache.borrow_mut().clear();
         self.positivity_checked.borrow_mut().clear();
+        // Per-entry recovery state: the quarantine and checkpointable
+        // progress belong to one entry call. The *resume* map is kept — it
+        // was installed for the query about to run.
+        *self.quarantine.borrow_mut() = Quarantine::default();
+        self.progress.borrow_mut().clear();
     }
 
     fn info(&self, f: &RegFormula) -> (u32, NodeInfo) {
@@ -252,6 +424,9 @@ impl<'a> Evaluator<'a> {
     /// (each sweeps the whole tuple space), so a full interrupt check here
     /// is cheap relative to the work it gates.
     fn note_fix_stage(&self) -> Result<(), Stop> {
+        // Fault-injection site: a stage transition failing outright.
+        #[cfg(feature = "faults")]
+        lcdb_budget::faults::check("core.fix_stage")?;
         let total = {
             let mut s = self.stats.borrow_mut();
             s.fix_iterations += 1;
@@ -293,6 +468,164 @@ impl<'a> Evaluator<'a> {
         Ok(())
     }
 
+    /// Is this failure confined enough to quarantine? Injected faults and
+    /// query defects are local to the unit that tripped them; resource
+    /// exhaustion (deadline, caps, cancellation) is global and must abort.
+    fn quarantinable(stop: &Stop) -> bool {
+        matches!(
+            stop,
+            Stop::Budget(BudgetError::InjectedFault { .. }) | Stop::Query(_)
+        )
+    }
+
+    /// In degraded mode, absorb a localized fault: record the unit and the
+    /// fault, and let the caller continue without its contribution. Anything
+    /// not quarantinable (or with degradation off) propagates unchanged.
+    fn absorb(&self, stop: Stop, unit: QuarantineUnit) -> Result<(), Stop> {
+        if !self.degrade || !Self::quarantinable(&stop) {
+            return Err(stop);
+        }
+        let mut q = self.quarantine.borrow_mut();
+        match unit {
+            QuarantineUnit::Disjunct => q.disjuncts += 1,
+            QuarantineUnit::Region(id) => {
+                q.regions.insert(id);
+            }
+            QuarantineUnit::Tuple => q.tuples += 1,
+        }
+        match stop {
+            Stop::Budget(BudgetError::InjectedFault { site }) => {
+                q.sites.insert(site);
+            }
+            Stop::Query(message) => {
+                q.sites.insert(message);
+            }
+            // `quarantinable` returned true, so no other variant reaches
+            // here; absorbing nothing extra is still sound if one did.
+            Stop::Budget(_) => {}
+        }
+        drop(q);
+        self.stats.borrow_mut().quarantined += 1;
+        Ok(())
+    }
+
+    /// What this evaluation quarantined so far (empty unless
+    /// [`Evaluator::tolerate_faults`] absorbed something).
+    pub fn quarantine(&self) -> Quarantine {
+        self.quarantine.borrow().clone()
+    }
+
+    /// Snapshot the checkpointable state accumulated by the last entry call
+    /// — typically called after a `try_*` method returned a budget error, to
+    /// persist the completed fixpoint stages for [`Evaluator::resume_from`].
+    ///
+    /// `query` must be the formula the entry call evaluated; its fingerprint
+    /// binds the snapshot to the query.
+    pub fn checkpoint(&self, query: &RegFormula) -> Snapshot {
+        let entries = self
+            .progress
+            .borrow()
+            .iter()
+            .map(|((fp, bindings), live)| FixProgress {
+                fingerprint: *fp,
+                bindings: bindings.clone(),
+                mode: fix_kind(live.mode),
+                stage: live.stage,
+                arity: live.arity as u32,
+                tuples: live
+                    .tuples
+                    .iter()
+                    .map(|t| t.iter().map(|&r| r as u64).collect())
+                    .collect(),
+            })
+            .collect();
+        let s = self.stats();
+        Snapshot::Fixpoint(FixpointSnapshot {
+            query_fingerprint: query_fingerprint(query),
+            stats: PersistedStats {
+                fix_iterations: s.fix_iterations as u64,
+                fix_tuple_tests: s.fix_tuple_tests as u64,
+                qe_calls: s.qe_calls as u64,
+                region_expansions: s.region_expansions as u64,
+                tc_edge_tests: s.tc_edge_tests as u64,
+                regions: s.regions as u64,
+                quarantined: s.quarantined as u64,
+            },
+            entries,
+        })
+    }
+
+    /// Install a snapshot taken by [`Evaluator::checkpoint`] so the next
+    /// entry call restarts every recorded fixpoint from its last completed
+    /// stage, with the snapshot's work counters carried over.
+    ///
+    /// The snapshot must match this evaluation: same query (by structural
+    /// fingerprint) and a decomposition with the same number of regions —
+    /// region ids are only meaningful relative to the decomposition they
+    /// came from. Resume with a *fresh or larger* budget: the carried-over
+    /// counters count against the new budget's caps, so re-running under the
+    /// budget that aborted the original run trips immediately.
+    pub fn resume_from(&self, query: &RegFormula, snapshot: &Snapshot) -> Result<(), EvalError> {
+        let Snapshot::Fixpoint(snap) = snapshot else {
+            return Err(self.query_error(
+                "cannot resume a region-logic evaluation from a datalog snapshot",
+            ));
+        };
+        let fp = query_fingerprint(query);
+        if snap.query_fingerprint != fp {
+            return Err(self.query_error(format!(
+                "snapshot was taken for a different query (fingerprint {:016x}, expected {:016x})",
+                snap.query_fingerprint, fp
+            )));
+        }
+        let here = self.ext.num_regions() as u64;
+        if snap.stats.regions != 0 && snap.stats.regions != here {
+            return Err(self.query_error(format!(
+                "snapshot decomposition had {} regions, this one has {}",
+                snap.stats.regions, here
+            )));
+        }
+        let mut resume = self.resume.borrow_mut();
+        resume.clear();
+        for e in &snap.entries {
+            let to_id = |r: u64| -> Result<usize, EvalError> {
+                match usize::try_from(r) {
+                    Ok(id) if (id as u64) < here => Ok(id),
+                    _ => Err(self.query_error(format!(
+                        "snapshot references region id {r} outside this decomposition"
+                    ))),
+                }
+            };
+            let bindings = e.bindings.clone();
+            let mut tuples = BTreeSet::new();
+            for t in &e.tuples {
+                tuples.insert(t.iter().map(|&r| to_id(r)).collect::<Result<Vec<_>, _>>()?);
+            }
+            for &b in &bindings {
+                to_id(b)?;
+            }
+            resume.insert(
+                (e.fingerprint, bindings),
+                FixLive {
+                    mode: fix_mode(e.mode),
+                    arity: e.arity as usize,
+                    stage: e.stage,
+                    tuples,
+                },
+            );
+        }
+        drop(resume);
+        // Carry the prior run's work over; `regions` stays this extension's.
+        let mut st = self.stats.borrow_mut();
+        st.fix_iterations = snap.stats.fix_iterations as usize;
+        st.fix_tuple_tests = snap.stats.fix_tuple_tests as usize;
+        st.qe_calls = snap.stats.qe_calls as usize;
+        st.region_expansions = snap.stats.region_expansions as usize;
+        st.tc_edge_tests = snap.stats.tc_edge_tests as usize;
+        st.quarantined = snap.stats.quarantined as usize;
+        Ok(())
+    }
+
     /// Evaluate a sentence (no free variables of any sort) to a boolean.
     ///
     /// # Panics
@@ -306,6 +639,17 @@ impl<'a> Evaluator<'a> {
     /// Evaluate a sentence to a boolean, reporting budget exhaustion and
     /// query defects as typed errors.
     pub fn try_eval_sentence(&self, f: &RegFormula) -> Result<bool, EvalError> {
+        self.try_eval_sentence_outcome(f).map(EvalOutcome::into_value)
+    }
+
+    /// Evaluate a sentence, distinguishing exact answers from degraded ones:
+    /// under [`Evaluator::tolerate_faults`], quarantined units yield
+    /// [`EvalOutcome::Partial`] instead of an error or a silently inexact
+    /// `Ok`.
+    pub fn try_eval_sentence_outcome(
+        &self,
+        f: &RegFormula,
+    ) -> Result<EvalOutcome<bool>, EvalError> {
         if !f.free_element_vars().is_empty() {
             return Err(self.query_error("sentence has free element variables"));
         }
@@ -319,7 +663,17 @@ impl<'a> Evaluator<'a> {
         let out = self
             .eval(f, &Env::default())
             .map_err(|s| self.stop_error(s))?;
-        Ok(out.eval(&BTreeMap::new()))
+        Ok(self.outcome(out.eval(&BTreeMap::new())))
+    }
+
+    /// Package a value with the quarantine accumulated by this entry call.
+    fn outcome<T>(&self, value: T) -> EvalOutcome<T> {
+        let quarantined = self.quarantine();
+        if quarantined.is_empty() {
+            EvalOutcome::Complete(value)
+        } else {
+            EvalOutcome::Partial { value, quarantined }
+        }
     }
 
     /// Evaluate a query with free *element* variables to a quantifier-free
@@ -337,6 +691,15 @@ impl<'a> Evaluator<'a> {
     /// Evaluate an open query to a quantifier-free formula, reporting budget
     /// exhaustion and query defects as typed errors.
     pub fn try_eval_query(&self, f: &RegFormula) -> Result<Formula, EvalError> {
+        self.try_eval_query_outcome(f).map(EvalOutcome::into_value)
+    }
+
+    /// Outcome-reporting form of [`Evaluator::try_eval_query`]; see
+    /// [`Evaluator::try_eval_sentence_outcome`].
+    pub fn try_eval_query_outcome(
+        &self,
+        f: &RegFormula,
+    ) -> Result<EvalOutcome<Formula>, EvalError> {
         if !f.free_region_vars().is_empty() {
             return Err(self.query_error("query has free region variables"));
         }
@@ -347,7 +710,7 @@ impl<'a> Evaluator<'a> {
         let out = self
             .eval(f, &Env::default())
             .map_err(|s| self.stop_error(s))?;
-        Ok(to_dnf_pruned(&out).simplify_strong().to_formula())
+        Ok(self.outcome(to_dnf_pruned(&out).simplify_strong().to_formula()))
     }
 
     /// Evaluate an open query and package the answer as a [`lcdb_logic::Relation`] over
@@ -511,10 +874,14 @@ impl<'a> Evaluator<'a> {
             RegFormula::Or(fs) => {
                 let mut parts = Vec::with_capacity(fs.len());
                 for sub in fs {
-                    match self.eval(sub, env)? {
-                        Formula::True => return Ok(Formula::True),
-                        Formula::False => {}
-                        other => parts.push(other),
+                    match self.eval(sub, env) {
+                        Ok(Formula::True) => return Ok(Formula::True),
+                        Ok(Formula::False) => {}
+                        Ok(other) => parts.push(other),
+                        // Degraded mode: a fault confined to one disjunct
+                        // drops that disjunct (sound for the rest: the
+                        // partial answer under-approximates the union).
+                        Err(stop) => self.absorb(stop, QuarantineUnit::Disjunct)?,
                     }
                 }
                 Formula::or(parts)
@@ -539,10 +906,12 @@ impl<'a> Evaluator<'a> {
                 for id in self.ext.region_ids() {
                     self.note_region_expansion()?;
                     *env2.regions.get_mut(v).expect("just inserted") = id;
-                    match self.eval(inner, &env2)? {
-                        Formula::True => return Ok(Formula::True),
-                        Formula::False => {}
-                        other => parts.push(other),
+                    match self.eval(inner, &env2) {
+                        Ok(Formula::True) => return Ok(Formula::True),
+                        Ok(Formula::False) => {}
+                        Ok(other) => parts.push(other),
+                        // Degraded mode: skip this region's disjunct.
+                        Err(stop) => self.absorb(stop, QuarantineUnit::Region(id))?,
                     }
                 }
                 Formula::or(parts)
@@ -554,10 +923,12 @@ impl<'a> Evaluator<'a> {
                 for id in self.ext.region_ids() {
                     self.note_region_expansion()?;
                     *env2.regions.get_mut(v).expect("just inserted") = id;
-                    match self.eval(inner, &env2)? {
-                        Formula::False => return Ok(Formula::False),
-                        Formula::True => {}
-                        other => parts.push(other),
+                    match self.eval(inner, &env2) {
+                        Ok(Formula::False) => return Ok(Formula::False),
+                        Ok(Formula::True) => {}
+                        Ok(other) => parts.push(other),
+                        // Degraded mode: skip this region's conjunct.
+                        Err(stop) => self.absorb(stop, QuarantineUnit::Region(id))?,
                     }
                 }
                 Formula::and(parts)
@@ -691,10 +1062,35 @@ impl<'a> Evaluator<'a> {
         } else {
             None
         };
+        // Checkpointable progress is keyed by a process-stable fingerprint
+        // (interned ids are not stable across runs). Only memoizable
+        // fixpoints — bodies free of *outer* set variables — are recorded:
+        // a body reading an outer set variable computes a different fixpoint
+        // per outer stage, which the key cannot distinguish.
+        let progress_key: Option<ProgressKey> = cache_key.as_ref().map(|(_, bound)| {
+            (
+                fix_fingerprint(mode, set_var, vars, body),
+                bound.iter().map(|&b| b as u64).collect(),
+            )
+        });
 
         let k = vars.len();
         let tuples = try_all_tuples(self.ext.num_regions(), k, &self.budget)?;
         let mut current: Rc<BTreeSet<Vec<usize>>> = Rc::new(BTreeSet::new());
+        let mut stage: u64 = 0;
+        // Resume: seed the chain from the snapshot's last completed stage.
+        // Sound for LFP/IFP (the chain is inflationary from any sound stage)
+        // and for PFP (the stage sequence is deterministic, so continuing
+        // from stage n replays the same orbit; a divergence cycle is
+        // re-detected at most one period later with the same empty verdict).
+        if let Some(pk) = &progress_key {
+            if let Some(saved) = self.resume.borrow().get(pk) {
+                if saved.mode == mode && saved.arity == k {
+                    current = Rc::new(saved.tuples.clone());
+                    stage = saved.stage;
+                }
+            }
+        }
         let mut seen: HashSet<BTreeSet<Vec<usize>>> = HashSet::new();
         let result = loop {
             // Budget gate per stage: a divergence-prone PFP burns stages
@@ -719,9 +1115,29 @@ impl<'a> Evaluator<'a> {
                 for (v, &id) in vars.iter().zip(tuple) {
                     *env2.regions.get_mut(v).expect("pre-inserted") = id;
                 }
-                if self.eval_bool(body, &env2)? {
-                    next.insert(tuple.clone());
+                match self.eval_bool(body, &env2) {
+                    Ok(true) => {
+                        next.insert(tuple.clone());
+                    }
+                    Ok(false) => {}
+                    // Degraded mode: a fault confined to one tuple test
+                    // leaves that tuple out of the stage.
+                    Err(stop) => self.absorb(stop, QuarantineUnit::Tuple)?,
                 }
+            }
+            // The stage completed: record it so an abort in a *later* stage
+            // (or a later fixpoint) can resume from here.
+            stage += 1;
+            if let Some(pk) = &progress_key {
+                self.progress.borrow_mut().insert(
+                    pk.clone(),
+                    FixLive {
+                        mode,
+                        arity: k,
+                        stage,
+                        tuples: next.clone(),
+                    },
+                );
             }
             if next == *current {
                 break Rc::clone(&current);

@@ -34,8 +34,11 @@ mod region;
 mod regfo;
 
 pub use error::EvalError;
-pub use evaluator::{EvalStats, Evaluator};
+pub use evaluator::{
+    empty_checkpoint, query_fingerprint, EvalOutcome, EvalStats, Evaluator, Quarantine,
+};
 pub use lcdb_budget::{BudgetError, CancelToken, EvalBudget};
+pub use lcdb_recover::{RecoverError, Snapshot};
 pub use parser::parse_regformula;
 pub use regfo::{FixMode, RegFormula, RegionVar, SetVar};
 pub use region::{ArrangementRegions, Decomposition, Nc1Regions, RegionData, RegionExtension};
@@ -86,4 +89,67 @@ pub fn try_eval_sentence_nc1(
     let ev = Evaluator::with_budget(&ext, budget.clone());
     let verdict = ev.try_eval_sentence(sentence)?;
     Ok((verdict, ev.stats()))
+}
+
+/// Crash-safe form of [`try_eval_sentence_arrangement`]: optionally resume
+/// from a snapshot of an earlier aborted run, and on a recoverable abort
+/// (budget exhaustion or injected fault) checkpoint the completed fixpoint
+/// stages into `checkpoint_dir` — the written path is returned with the
+/// error. Checkpoint write failures are reported in favour of the
+/// evaluation error, which they would otherwise mask.
+#[allow(clippy::type_complexity)]
+pub fn try_eval_sentence_arrangement_recoverable(
+    relation: &lcdb_logic::Relation,
+    sentence: &RegFormula,
+    budget: &EvalBudget,
+    checkpoint_dir: Option<&std::path::Path>,
+    resume: Option<&Snapshot>,
+) -> Result<(bool, EvalStats), (EvalError, Option<std::path::PathBuf>)> {
+    let ext = match RegionExtension::try_arrangement(relation.clone(), budget) {
+        Ok(ext) => ext,
+        Err(e) => {
+            // Aborted before any evaluator existed: persist an *empty*
+            // snapshot so the resuming process still finds one to continue
+            // (it simply restarts from the bottom, with stats carried over).
+            let path = if e.is_recoverable() {
+                checkpoint_dir
+                    .map(|dir| empty_checkpoint(sentence, e.stats()).write_to_dir(dir))
+            } else {
+                None
+            };
+            return match path {
+                Some(Err(werr)) => Err((
+                    EvalError::Internal {
+                        message: format!("checkpoint write failed: {werr}"),
+                        stats: e.stats(),
+                    },
+                    None,
+                )),
+                Some(Ok(p)) => Err((e, Some(p))),
+                None => Err((e, None)),
+            };
+        }
+    };
+    let ev = Evaluator::with_budget(&ext, budget.clone());
+    if let Some(snap) = resume {
+        ev.resume_from(sentence, snap).map_err(|e| (e, None))?;
+    }
+    match ev.try_eval_sentence(sentence) {
+        Ok(verdict) => Ok((verdict, ev.stats())),
+        Err(e) if e.is_recoverable() => {
+            let path = checkpoint_dir.map(|dir| ev.checkpoint(sentence).write_to_dir(dir));
+            match path {
+                Some(Err(werr)) => Err((
+                    EvalError::Internal {
+                        message: format!("checkpoint write failed: {werr}"),
+                        stats: e.stats(),
+                    },
+                    None,
+                )),
+                Some(Ok(p)) => Err((e, Some(p))),
+                None => Err((e, None)),
+            }
+        }
+        Err(e) => Err((e, None)),
+    }
 }

@@ -27,7 +27,8 @@
 
 use lcdb_budget::{BudgetError, EvalBudget};
 use lcdb_logic::dnf::{to_dnf_pruned, Dnf};
-use lcdb_logic::{qe, Database, Formula, LinExpr, Relation, Var};
+use lcdb_logic::{parse_formula, qe, Database, Formula, LinExpr, Relation, Var};
+use lcdb_recover::{fingerprint_str, DatalogSnapshot, IdbRelation, Snapshot};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -92,6 +93,12 @@ pub enum DatalogError {
         /// The undefined predicate name.
         name: String,
     },
+    /// A snapshot offered to [`Program::resume_from`] does not belong to
+    /// this program, or its persisted relations fail to parse back.
+    Snapshot {
+        /// Human-readable description of the defect.
+        message: String,
+    },
 }
 
 impl fmt::Display for DatalogError {
@@ -103,6 +110,9 @@ impl fmt::Display for DatalogError {
             DatalogError::UnknownPredicate { name } => {
                 write!(f, "unknown predicate '{name}'")
             }
+            DatalogError::Snapshot { message } => {
+                write!(f, "unusable datalog snapshot: {message}")
+            }
         }
     }
 }
@@ -111,7 +121,7 @@ impl std::error::Error for DatalogError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DatalogError::Budget { error, .. } => Some(error),
-            DatalogError::UnknownPredicate { .. } => None,
+            DatalogError::UnknownPredicate { .. } | DatalogError::Snapshot { .. } => None,
         }
     }
 }
@@ -191,7 +201,122 @@ impl Program {
             let vars: Vec<Var> = (0..arity).map(|i| format!("x{}", i)).collect();
             idb.insert(name, Relation::new(vars, &Formula::False));
         }
-        for round in 1..=max_rounds {
+        self.run_rounds(edb, budget, idb, 0, max_rounds)
+    }
+
+    /// A structural fingerprint of the program's rules; two programs with the
+    /// same rules (same order, same variable names) fingerprint identically.
+    /// Used to bind snapshots to the program that produced them.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_str(&format!("{:?}", self.rules))
+    }
+
+    /// Persist the partial progress carried by a [`DatalogError::Budget`]
+    /// abort as a resumable [`Snapshot`]. Returns `None` for error variants
+    /// that carry no progress (unknown predicates, snapshot defects).
+    ///
+    /// The IDB relations are stored in `lcdb_logic` surface syntax, which
+    /// round-trips exactly through the parser.
+    pub fn checkpoint(&self, err: &DatalogError) -> Option<Snapshot> {
+        match err {
+            DatalogError::Budget {
+                partial, rounds, ..
+            } => {
+                let idb = partial
+                    .iter()
+                    .map(|(name, rel)| IdbRelation {
+                        name: name.clone(),
+                        vars: rel.var_names().to_vec(),
+                        formula: rel.dnf().to_formula().to_string(),
+                    })
+                    .collect();
+                Some(Snapshot::Datalog(DatalogSnapshot {
+                    program_fingerprint: self.fingerprint(),
+                    rounds: *rounds as u64,
+                    idb,
+                }))
+            }
+            DatalogError::UnknownPredicate { .. } | DatalogError::Snapshot { .. } => None,
+        }
+    }
+
+    /// Resume an evaluation aborted by a budget from a [`Snapshot`] written
+    /// by [`Program::checkpoint`]. The snapshot must carry this program's
+    /// fingerprint; its IDB relations seed the round loop, which continues
+    /// from the first uncompleted round (naive evaluation recomputes every
+    /// round from the full current IDB, so restarting from the last completed
+    /// stage is sound). Pass a *fresh* budget — the counters that tripped the
+    /// original abort are not carried over.
+    pub fn resume_from(
+        &self,
+        edb: &Database,
+        max_rounds: usize,
+        budget: &EvalBudget,
+        snapshot: &Snapshot,
+    ) -> Result<EvalOutcome, DatalogError> {
+        let snap = match snapshot {
+            Snapshot::Datalog(s) => s,
+            Snapshot::Fixpoint(_) => {
+                return Err(DatalogError::Snapshot {
+                    message: "snapshot holds region-logic fixpoint state, not datalog rounds"
+                        .into(),
+                })
+            }
+        };
+        if snap.program_fingerprint != self.fingerprint() {
+            return Err(DatalogError::Snapshot {
+                message: format!(
+                    "program fingerprint mismatch: snapshot {:016x}, program {:016x}",
+                    snap.program_fingerprint,
+                    self.fingerprint()
+                ),
+            });
+        }
+        let mut idb: BTreeMap<String, Relation> = BTreeMap::new();
+        for (name, arity) in self.idb_predicates() {
+            let vars: Vec<Var> = (0..arity).map(|i| format!("x{}", i)).collect();
+            idb.insert(name, Relation::new(vars, &Formula::False));
+        }
+        for saved in &snap.idb {
+            let arity = match idb.get(&saved.name) {
+                Some(rel) => rel.arity(),
+                None => {
+                    return Err(DatalogError::Snapshot {
+                        message: format!("snapshot names unknown IDB predicate '{}'", saved.name),
+                    })
+                }
+            };
+            if saved.vars.len() != arity {
+                return Err(DatalogError::Snapshot {
+                    message: format!(
+                        "snapshot relation '{}' has arity {}, program expects {}",
+                        saved.name,
+                        saved.vars.len(),
+                        arity
+                    ),
+                });
+            }
+            let formula = parse_formula(&saved.formula).map_err(|e| DatalogError::Snapshot {
+                message: format!("snapshot relation '{}' failed to parse: {}", saved.name, e),
+            })?;
+            idb.insert(saved.name.clone(), Relation::new(saved.vars.clone(), &formula));
+        }
+        self.run_rounds(edb, budget, idb, snap.rounds as usize, max_rounds)
+    }
+
+    /// The naive round loop, shared by fresh evaluation (`completed = 0`)
+    /// and resumption (`completed` = rounds already persisted). Round
+    /// numbers are absolute, so budget and abort bookkeeping stay
+    /// comparable across an abort/resume boundary.
+    fn run_rounds(
+        &self,
+        edb: &Database,
+        budget: &EvalBudget,
+        mut idb: BTreeMap<String, Relation>,
+        completed: usize,
+        max_rounds: usize,
+    ) -> Result<EvalOutcome, DatalogError> {
+        for round in (completed + 1)..=max_rounds {
             let abort = |error: BudgetError, idb: &BTreeMap<String, Relation>| {
                 DatalogError::Budget {
                     error,
@@ -200,6 +325,11 @@ impl Program {
                 }
             };
             if let Err(e) = budget.check_interrupt() {
+                return Err(abort(e, &idb));
+            }
+            // Fault-injection site: a round that dies mid-consequence.
+            #[cfg(feature = "faults")]
+            if let Err(e) = lcdb_budget::faults::check("datalog.round") {
                 return Err(abort(e, &idb));
             }
             if let Err(e) = budget.check_fix_iterations(round as u64) {
@@ -230,7 +360,7 @@ impl Program {
         }
         Ok(EvalOutcome::Diverged {
             partial: idb,
-            rounds: max_rounds,
+            rounds: max_rounds.max(completed),
         })
     }
 
@@ -508,6 +638,89 @@ mod tests {
             }
             other => panic!("{:?}", other),
         }
+    }
+
+    fn bounded_reach_program() -> (Database, Program) {
+        let mut edb = Database::new();
+        edb.insert("S", rel1("0 <= x and x <= 1"));
+        let program = Program::new()
+            .rule(Rule::new(
+                "reach",
+                vec!["x".into()],
+                vec![Literal::Pred("S".into(), vec!["x".into()])],
+            ))
+            .rule(Rule::new(
+                "reach",
+                vec!["x".into()],
+                vec![
+                    Literal::Pred("reach".into(), vec!["y".into()]),
+                    Literal::Constraint(atom("x - y = 1")),
+                    Literal::Constraint(atom("x <= 5")),
+                ],
+            ));
+        (edb, program)
+    }
+
+    /// An abort → checkpoint → resume cycle lands on the same semantic
+    /// fixpoint, in the same total number of rounds, as an uninterrupted run.
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted() {
+        let (edb, program) = bounded_reach_program();
+        let full = match program.evaluate(&edb, 20) {
+            EvalOutcome::Fixpoint { idb, rounds } => (idb, rounds),
+            other => panic!("{:?}", other),
+        };
+        // Kill the run after 2 completed rounds, persist, and restore
+        // through the binary snapshot encoding (not just in memory).
+        let budget = EvalBudget::unlimited().with_max_fix_iterations(2);
+        let err = program
+            .try_evaluate(&edb, 20, &budget)
+            .expect_err("iteration cap must trip");
+        let snap = program.checkpoint(&err).expect("budget abort checkpoints");
+        let bytes = snap.encode();
+        let restored = Snapshot::decode(&bytes).expect("snapshot round-trips");
+        match program.resume_from(&edb, 20, &EvalBudget::unlimited(), &restored) {
+            Ok(EvalOutcome::Fixpoint { idb, rounds }) => {
+                assert_eq!(rounds, full.1, "resume must not add or skip rounds");
+                for (name, rel) in &full.0 {
+                    assert!(same_relation(rel, &idb[name]), "relation '{name}' differs");
+                }
+            }
+            other => panic!("expected fixpoint on resume, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    /// Snapshots are bound to the program that wrote them.
+    #[test]
+    fn snapshot_rejected_for_wrong_program() {
+        let (edb, program) = bounded_reach_program();
+        let budget = EvalBudget::unlimited().with_max_fix_iterations(1);
+        let err = program.try_evaluate(&edb, 20, &budget).expect_err("cap");
+        let snap = program.checkpoint(&err).expect("checkpoints");
+        // A different program (extra rule) must refuse the snapshot.
+        let other = program.clone().rule(Rule::new(
+            "reach",
+            vec!["x".into()],
+            vec![Literal::Constraint(atom("x = 7"))],
+        ));
+        match other.resume_from(&edb, 20, &EvalBudget::unlimited(), &snap) {
+            Err(DatalogError::Snapshot { message }) => {
+                assert!(message.contains("fingerprint mismatch"), "{message}");
+            }
+            other => panic!("expected Snapshot error, got {:?}", other.map(|_| ())),
+        }
+        // A fixpoint-kind snapshot is refused outright.
+        let fix = Snapshot::Fixpoint(lcdb_recover::FixpointSnapshot::default());
+        match program.resume_from(&edb, 20, &EvalBudget::unlimited(), &fix) {
+            Err(DatalogError::Snapshot { message }) => {
+                assert!(message.contains("not datalog"), "{message}");
+            }
+            other => panic!("expected Snapshot error, got {:?}", other.map(|_| ())),
+        }
+        // Non-budget errors carry no progress to checkpoint.
+        assert!(program
+            .checkpoint(&DatalogError::UnknownPredicate { name: "q".into() })
+            .is_none());
     }
 
     #[test]

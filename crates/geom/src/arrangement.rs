@@ -105,6 +105,9 @@ impl Arrangement {
                     }
                 }
                 budget.check_faces(next.len())?;
+                // Fault-injection site: a spurious face-cap trip mid-refinement.
+                #[cfg(feature = "faults")]
+                lcdb_budget::faults::check("geom.face_cap")?;
             }
             partial = next;
         }

@@ -108,6 +108,7 @@ pub fn equivalent(a: &Relation, b: &Relation) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::parse_formula;

@@ -161,6 +161,7 @@ impl Database {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::{parse_formula, Atom, Rel};

@@ -560,6 +560,7 @@ fn conjoin_all(fs: &[Formula], negated: bool) -> Dnf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::LinExpr;

@@ -360,6 +360,7 @@ impl fmt::Debug for Atom {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use lcdb_arith::{int, rat};

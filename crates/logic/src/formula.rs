@@ -43,10 +43,13 @@ impl Formula {
                 other => out.push(other),
             }
         }
-        match out.len() {
-            0 => Formula::True,
-            1 => out.pop().unwrap(),
-            _ => Formula::And(out),
+        match out.pop() {
+            None => Formula::True,
+            Some(only) if out.is_empty() => only,
+            Some(last) => {
+                out.push(last);
+                Formula::And(out)
+            }
         }
     }
 
@@ -61,10 +64,13 @@ impl Formula {
                 other => out.push(other),
             }
         }
-        match out.len() {
-            0 => Formula::False,
-            1 => out.pop().unwrap(),
-            _ => Formula::Or(out),
+        match out.pop() {
+            None => Formula::False,
+            Some(only) if out.is_empty() => only,
+            Some(last) => {
+                out.push(last);
+                Formula::Or(out)
+            }
         }
     }
 
@@ -271,6 +277,7 @@ impl fmt::Debug for Formula {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::Rel;

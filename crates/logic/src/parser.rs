@@ -272,11 +272,11 @@ impl Parser {
             self.bump();
             parts.push(self.and_formula()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
+        if parts.len() == 1 {
+            parts.pop().ok_or_else(|| self.err("empty disjunction".into()))
         } else {
-            Formula::or(parts)
-        })
+            Ok(Formula::or(parts))
+        }
     }
 
     fn and_formula(&mut self) -> Result<Formula, ParseError> {
@@ -285,11 +285,11 @@ impl Parser {
             self.bump();
             parts.push(self.unary()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
+        if parts.len() == 1 {
+            parts.pop().ok_or_else(|| self.err("empty conjunction".into()))
         } else {
-            Formula::and(parts)
-        })
+            Ok(Formula::and(parts))
+        }
     }
 
     fn unary(&mut self) -> Result<Formula, ParseError> {
@@ -457,6 +457,7 @@ pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use lcdb_arith::{int, rat};

@@ -193,6 +193,7 @@ pub fn max_coefficient_bits(dnf: &Dnf) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use lcdb_arith::{int, rat, Rational};

@@ -81,6 +81,7 @@ pub fn boundary_in(a: &Relation) -> Relation {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::algebra::equivalent;

@@ -101,6 +101,11 @@ impl Tableau {
     /// Run simplex iterations until optimal or unbounded.
     fn iterate(&mut self) -> StepResult {
         loop {
+            // Fault-injection site: stands in for a degenerate/cycling pivot.
+            // The pivot loop is infallible (Bland's rule terminates), so the
+            // fault is deferred and surfaces at the next interrupt check.
+            #[cfg(feature = "faults")]
+            lcdb_budget::faults::hit("lp.pivot");
             // Bland: smallest-index column with positive reduced cost.
             let entering = (0..self.cols)
                 .find(|&j| !self.banned[j] && self.obj[j].is_positive());

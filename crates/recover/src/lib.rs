@@ -1,0 +1,798 @@
+//! Crash-safe snapshots of fixed-point evaluation state.
+//!
+//! Kreutzer's fixed-point semantics (Section 5) is stage-wise: an LFP/IFP/PFP
+//! induction and a datalog evaluation both proceed through a chain of
+//! region-tuple sets, and an abort (deadline, iteration cap, injected fault)
+//! loses only the *current* stage — everything up to the last completed stage
+//! is sound to persist and resume from. This crate defines that persistent
+//! form: a versioned, checksummed binary [`Snapshot`] with two kinds,
+//!
+//! * [`FixpointSnapshot`] — per-fixpoint-subformula progress entries (the set
+//!   of region tuples after the last completed stage) keyed by a structural
+//!   fingerprint of the subformula and its outer region bindings, plus the
+//!   evaluation statistics accumulated before the abort;
+//! * [`DatalogSnapshot`] — the IDB relations after the last completed round,
+//!   serialized through the constraint-formula surface syntax.
+//!
+//! The format is deliberately dependency-free: a fixed magic, a little-endian
+//! version word, an FNV-1a-64 checksum over the payload, and length-prefixed
+//! fields. Every way a file can be damaged — truncation, bit flips, a future
+//! version, trailing garbage — maps to a typed [`RecoverError`]; decoding
+//! never panics and never yields a silently wrong snapshot.
+//!
+//! Files are written atomically (temp file + rename) so a crash *during*
+//! checkpointing can leave a stale snapshot or none, but never a torn one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// File magic: the first eight bytes of every snapshot.
+pub const MAGIC: [u8; 8] = *b"LCDBSNAP";
+
+/// Current snapshot format version. Decoders reject anything else with
+/// [`RecoverError::UnsupportedVersion`] rather than guessing at layouts.
+pub const VERSION: u32 = 1;
+
+/// File extension used by [`Snapshot::write_to_dir`].
+pub const EXTENSION: &str = "lcdbsnap";
+
+/// FNV-1a 64-bit hash. Used both as the payload checksum and as the
+/// structural fingerprint hash for queries/subformulas: unlike `std`'s
+/// `RandomState`, it is stable across processes, which resuming in a fresh
+/// process requires.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint a string (UTF-8 bytes) with [`fnv1a64`].
+pub fn fingerprint_str(s: &str) -> u64 {
+    fnv1a64(s.as_bytes())
+}
+
+/// SplitMix64 step: derives well-mixed values from sequential or sparse
+/// seeds. Used by the fault-injection harness to turn `(seed, site)` into a
+/// deterministic trigger count.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Typed decoding/IO failures. Every corruption mode a snapshot file can
+/// exhibit maps to one of these; none of them panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoverError {
+    /// Filesystem error (open/read/write/rename), with the OS message.
+    Io {
+        /// The failing path.
+        path: PathBuf,
+        /// The OS error text.
+        message: String,
+    },
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The version word names a format this build does not understand.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The payload bytes do not hash to the header checksum (bit flip,
+    /// partial overwrite).
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+    /// The file ends before a declared field does (torn write, truncation).
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// Structurally invalid payload: unknown kind tag, non-UTF-8 string,
+    /// trailing bytes, or an implausible length prefix.
+    Malformed {
+        /// Human-readable description of the defect.
+        message: String,
+    },
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Io { path, message } => {
+                write!(f, "snapshot io error on {}: {}", path.display(), message)
+            }
+            RecoverError::BadMagic => write!(f, "not a snapshot: bad magic"),
+            RecoverError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads version {supported})"
+            ),
+            RecoverError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            RecoverError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            RecoverError::Malformed { message } => write!(f, "malformed snapshot: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// Evaluation counters persisted alongside the stage state so a resumed run
+/// carries over the work already spent (mirrors lcdb-core's `EvalStats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistedStats {
+    /// Completed fixed-point stages.
+    pub fix_iterations: u64,
+    /// Tuple membership tests inside fixpoints.
+    pub fix_tuple_tests: u64,
+    /// Quantifier-elimination calls.
+    pub qe_calls: u64,
+    /// Region-quantifier expansions.
+    pub region_expansions: u64,
+    /// Transitive-closure edge tests.
+    pub tc_edge_tests: u64,
+    /// Regions in the decomposition the run was evaluated against. Zero when
+    /// the abort happened before any decomposition existed; otherwise a
+    /// resume against a decomposition of a different size is rejected.
+    pub regions: u64,
+    /// Units (disjuncts, regions, tuples) quarantined by degraded mode.
+    pub quarantined: u64,
+}
+
+/// Which fixed-point operator a progress entry belongs to. Resume refuses to
+/// seed an entry into a loop of a different mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FixKind {
+    /// Least fixed point (positive body, monotone chain).
+    Lfp,
+    /// Inflationary fixed point.
+    Ifp,
+    /// Partial fixed point.
+    Pfp,
+}
+
+impl FixKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FixKind::Lfp => 0,
+            FixKind::Ifp => 1,
+            FixKind::Pfp => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, RecoverError> {
+        match b {
+            0 => Ok(FixKind::Lfp),
+            1 => Ok(FixKind::Ifp),
+            2 => Ok(FixKind::Pfp),
+            other => Err(RecoverError::Malformed {
+                message: format!("unknown fixpoint mode tag {other}"),
+            }),
+        }
+    }
+}
+
+/// The state of one fixpoint subformula after its last completed stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixProgress {
+    /// Structural fingerprint of `(mode, set variable, tuple variables,
+    /// body)` — identifies the subformula across processes.
+    pub fingerprint: u64,
+    /// Region ids bound to the body's free region variables at this
+    /// evaluation site (fixpoints under region quantifiers are evaluated
+    /// once per binding).
+    pub bindings: Vec<u64>,
+    /// The operator the entry was recorded under.
+    pub mode: FixKind,
+    /// Number of completed stages.
+    pub stage: u64,
+    /// Tuple arity (region ids per tuple).
+    pub arity: u32,
+    /// The region-tuple set after stage `stage`, sorted.
+    pub tuples: Vec<Vec<u64>>,
+}
+
+/// Snapshot of an aborted region-logic evaluation: all fixpoint progress
+/// entries recorded before the abort.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FixpointSnapshot {
+    /// Structural fingerprint of the whole query; resume rejects a snapshot
+    /// taken for a different query.
+    pub query_fingerprint: u64,
+    /// Counters accumulated before the abort.
+    pub stats: PersistedStats,
+    /// Per-fixpoint progress, one entry per `(fingerprint, bindings)` pair.
+    pub entries: Vec<FixProgress>,
+}
+
+/// One IDB relation in a datalog snapshot, serialized through the constraint
+/// surface syntax (the parser round-trips it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdbRelation {
+    /// Predicate name.
+    pub name: String,
+    /// Attribute variables, in order.
+    pub vars: Vec<String>,
+    /// Defining constraint formula, in `lcdb_logic` surface syntax.
+    pub formula: String,
+}
+
+/// Snapshot of an aborted datalog evaluation: the IDB after the last
+/// completed round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DatalogSnapshot {
+    /// Structural fingerprint of the program's rules.
+    pub program_fingerprint: u64,
+    /// Rounds completed before the abort.
+    pub rounds: u64,
+    /// The IDB relations after round `rounds`.
+    pub idb: Vec<IdbRelation>,
+}
+
+/// A resumable evaluation state, either kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Snapshot {
+    /// Region-logic fixpoint progress.
+    Fixpoint(FixpointSnapshot),
+    /// Datalog IDB rounds.
+    Datalog(DatalogSnapshot),
+}
+
+const KIND_FIXPOINT: u8 = 1;
+const KIND_DATALOG: u8 = 2;
+
+impl Snapshot {
+    /// The fingerprint of the query/program this snapshot belongs to; also
+    /// names the file under [`Snapshot::write_to_dir`].
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            Snapshot::Fixpoint(s) => s.query_fingerprint,
+            Snapshot::Datalog(s) => s.program_fingerprint,
+        }
+    }
+
+    /// Serialize to the on-disk byte layout (header + checksummed payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            Snapshot::Fixpoint(s) => {
+                payload.push(KIND_FIXPOINT);
+                put_u64(&mut payload, s.query_fingerprint);
+                put_stats(&mut payload, &s.stats);
+                put_u64(&mut payload, s.entries.len() as u64);
+                for e in &s.entries {
+                    put_u64(&mut payload, e.fingerprint);
+                    payload.push(e.mode.to_byte());
+                    put_u64(&mut payload, e.stage);
+                    put_u64(&mut payload, e.bindings.len() as u64);
+                    for &b in &e.bindings {
+                        put_u64(&mut payload, b);
+                    }
+                    put_u64(&mut payload, u64::from(e.arity));
+                    put_u64(&mut payload, e.tuples.len() as u64);
+                    for t in &e.tuples {
+                        for &r in t {
+                            put_u64(&mut payload, r);
+                        }
+                    }
+                }
+            }
+            Snapshot::Datalog(s) => {
+                payload.push(KIND_DATALOG);
+                put_u64(&mut payload, s.program_fingerprint);
+                put_u64(&mut payload, s.rounds);
+                put_u64(&mut payload, s.idb.len() as u64);
+                for rel in &s.idb {
+                    put_str(&mut payload, &rel.name);
+                    put_u64(&mut payload, rel.vars.len() as u64);
+                    for v in &rel.vars {
+                        put_str(&mut payload, v);
+                    }
+                    put_str(&mut payload, &rel.formula);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(28 + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode a snapshot, verifying magic, version, length, and checksum.
+    pub fn decode(bytes: &[u8]) -> Result<Self, RecoverError> {
+        if bytes.len() < MAGIC.len() {
+            // Too short to even hold the magic: if what is there matches a
+            // magic prefix this is a truncated snapshot, otherwise junk.
+            if bytes == &MAGIC[..bytes.len()] {
+                return Err(RecoverError::Truncated { context: "header" });
+            }
+            return Err(RecoverError::BadMagic);
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(RecoverError::BadMagic);
+        }
+        let mut cur = Cursor::new(&bytes[MAGIC.len()..]);
+        let version = cur.u32("version")?;
+        if version != VERSION {
+            return Err(RecoverError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let expected = cur.u64("checksum")?;
+        let len = cur.u64("payload length")?;
+        let payload = cur.bytes_exact(len, "payload")?;
+        if !cur.is_empty() {
+            return Err(RecoverError::Malformed {
+                message: format!("{} trailing bytes after payload", cur.remaining()),
+            });
+        }
+        let actual = fnv1a64(payload);
+        if actual != expected {
+            return Err(RecoverError::ChecksumMismatch { expected, actual });
+        }
+        Self::decode_payload(payload)
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, RecoverError> {
+        let mut cur = Cursor::new(payload);
+        let kind = cur.u8("kind tag")?;
+        let snap = match kind {
+            KIND_FIXPOINT => {
+                let query_fingerprint = cur.u64("query fingerprint")?;
+                let stats = get_stats(&mut cur)?;
+                let n = cur.len_prefix("entry count")?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let fingerprint = cur.u64("entry fingerprint")?;
+                    let mode = FixKind::from_byte(cur.u8("fixpoint mode")?)?;
+                    let stage = cur.u64("stage count")?;
+                    let nb = cur.len_prefix("binding count")?;
+                    let mut bindings = Vec::with_capacity(nb);
+                    for _ in 0..nb {
+                        bindings.push(cur.u64("binding")?);
+                    }
+                    let arity64 = cur.u64("arity")?;
+                    let arity = u32::try_from(arity64).map_err(|_| RecoverError::Malformed {
+                        message: format!("implausible tuple arity {arity64}"),
+                    })?;
+                    let nt = cur.len_prefix("tuple count")?;
+                    let mut tuples = Vec::with_capacity(nt);
+                    for _ in 0..nt {
+                        let mut t = Vec::with_capacity(arity as usize);
+                        for _ in 0..arity {
+                            t.push(cur.u64("tuple element")?);
+                        }
+                        tuples.push(t);
+                    }
+                    entries.push(FixProgress {
+                        fingerprint,
+                        bindings,
+                        mode,
+                        stage,
+                        arity,
+                        tuples,
+                    });
+                }
+                Snapshot::Fixpoint(FixpointSnapshot {
+                    query_fingerprint,
+                    stats,
+                    entries,
+                })
+            }
+            KIND_DATALOG => {
+                let program_fingerprint = cur.u64("program fingerprint")?;
+                let rounds = cur.u64("round count")?;
+                let n = cur.len_prefix("relation count")?;
+                let mut idb = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = cur.string("relation name")?;
+                    let nv = cur.len_prefix("variable count")?;
+                    let mut vars = Vec::with_capacity(nv);
+                    for _ in 0..nv {
+                        vars.push(cur.string("variable name")?);
+                    }
+                    let formula = cur.string("relation formula")?;
+                    idb.push(IdbRelation {
+                        name,
+                        vars,
+                        formula,
+                    });
+                }
+                Snapshot::Datalog(DatalogSnapshot {
+                    program_fingerprint,
+                    rounds,
+                    idb,
+                })
+            }
+            other => {
+                return Err(RecoverError::Malformed {
+                    message: format!("unknown snapshot kind tag {other}"),
+                })
+            }
+        };
+        if !cur.is_empty() {
+            return Err(RecoverError::Malformed {
+                message: format!("{} trailing bytes in payload", cur.remaining()),
+            });
+        }
+        Ok(snap)
+    }
+
+    /// Write atomically to `path`: the bytes land in a sibling temp file
+    /// first and are renamed into place, so a crash mid-write never leaves a
+    /// torn snapshot behind.
+    pub fn write_to(&self, path: &Path) -> Result<(), RecoverError> {
+        let io_err = |message: String| RecoverError::Io {
+            path: path.to_path_buf(),
+            message,
+        };
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| io_err("path has no file name".into()))?;
+        let mut tmp_name = file_name.to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let bytes = self.encode();
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(e.to_string()))?;
+        f.write_all(&bytes).map_err(|e| io_err(e.to_string()))?;
+        f.sync_all().map_err(|e| io_err(e.to_string()))?;
+        drop(f);
+        fs::rename(&tmp, path).map_err(|e| io_err(e.to_string()))
+    }
+
+    /// Write to `dir/snap-<fingerprint>.lcdbsnap` (creating `dir` if
+    /// needed) and return the path. The deterministic name lets a resuming
+    /// process find the snapshot for the query it is about to run.
+    pub fn write_to_dir(&self, dir: &Path) -> Result<PathBuf, RecoverError> {
+        fs::create_dir_all(dir).map_err(|e| RecoverError::Io {
+            path: dir.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let path = dir.join(format!("snap-{:016x}.{}", self.fingerprint(), EXTENSION));
+        self.write_to(&path)?;
+        Ok(path)
+    }
+
+    /// Read and decode a snapshot file.
+    pub fn read_from(path: &Path) -> Result<Self, RecoverError> {
+        let bytes = fs::read(path).map_err(|e| RecoverError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        Self::decode(&bytes)
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &PersistedStats) {
+    for v in [
+        s.fix_iterations,
+        s.fix_tuple_tests,
+        s.qe_calls,
+        s.region_expansions,
+        s.tc_edge_tests,
+        s.regions,
+        s.quarantined,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+fn get_stats(cur: &mut Cursor<'_>) -> Result<PersistedStats, RecoverError> {
+    Ok(PersistedStats {
+        fix_iterations: cur.u64("stats.fix_iterations")?,
+        fix_tuple_tests: cur.u64("stats.fix_tuple_tests")?,
+        qe_calls: cur.u64("stats.qe_calls")?,
+        region_expansions: cur.u64("stats.region_expansions")?,
+        tc_edge_tests: cur.u64("stats.tc_edge_tests")?,
+        regions: cur.u64("stats.regions")?,
+        quarantined: cur.u64("stats.quarantined")?,
+    })
+}
+
+/// Bounds-checked little-endian reader; every short read names the field it
+/// was reading so truncation errors are diagnosable.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], RecoverError> {
+        if self.remaining() < n {
+            return Err(RecoverError::Truncated { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, RecoverError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, RecoverError> {
+        let s = self.take(4, context)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, RecoverError> {
+        let s = self.take(8, context)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// A length prefix that must be satisfiable by the bytes remaining:
+    /// rejects implausible counts before `Vec::with_capacity` can OOM on a
+    /// corrupt length.
+    fn len_prefix(&mut self, context: &'static str) -> Result<usize, RecoverError> {
+        let n = self.u64(context)?;
+        // Each counted item occupies at least one byte of payload.
+        if n > self.remaining() as u64 {
+            return Err(RecoverError::Malformed {
+                message: format!("{context} {n} exceeds remaining payload"),
+            });
+        }
+        Ok(n as usize)
+    }
+
+    fn bytes_exact(&mut self, n: u64, context: &'static str) -> Result<&'a [u8], RecoverError> {
+        if n > self.remaining() as u64 {
+            return Err(RecoverError::Truncated { context });
+        }
+        self.take(n as usize, context)
+    }
+
+    fn string(&mut self, context: &'static str) -> Result<String, RecoverError> {
+        let n = self.u64(context)?;
+        let s = self.bytes_exact(n, context)?;
+        String::from_utf8(s.to_vec()).map_err(|_| RecoverError::Malformed {
+            message: format!("{context} is not valid UTF-8"),
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn sample_fixpoint() -> Snapshot {
+        Snapshot::Fixpoint(FixpointSnapshot {
+            query_fingerprint: 0xdead_beef_1234_5678,
+            stats: PersistedStats {
+                fix_iterations: 7,
+                fix_tuple_tests: 311,
+                qe_calls: 2,
+                region_expansions: 40,
+                tc_edge_tests: 9,
+                regions: 11,
+                quarantined: 1,
+            },
+            entries: vec![
+                FixProgress {
+                    fingerprint: 42,
+                    bindings: vec![],
+                    mode: FixKind::Lfp,
+                    stage: 3,
+                    arity: 2,
+                    tuples: vec![vec![0, 1], vec![1, 0], vec![2, 2]],
+                },
+                FixProgress {
+                    fingerprint: 43,
+                    bindings: vec![5, 9],
+                    mode: FixKind::Pfp,
+                    stage: 1,
+                    arity: 1,
+                    tuples: vec![vec![4]],
+                },
+            ],
+        })
+    }
+
+    fn sample_datalog() -> Snapshot {
+        Snapshot::Datalog(DatalogSnapshot {
+            program_fingerprint: 99,
+            rounds: 4,
+            idb: vec![IdbRelation {
+                name: "reach".into(),
+                vars: vec!["x".into(), "y".into()],
+                formula: "x < y and y < 1".into(),
+            }],
+        })
+    }
+
+    #[test]
+    fn roundtrip_fixpoint() {
+        let s = sample_fixpoint();
+        assert_eq!(Snapshot::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn roundtrip_datalog() {
+        let s = sample_datalog();
+        assert_eq!(Snapshot::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn roundtrip_empty_entries() {
+        let s = Snapshot::Fixpoint(FixpointSnapshot::default());
+        assert_eq!(Snapshot::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_fixpoint().encode();
+        bytes[0] ^= 0xff;
+        assert_eq!(Snapshot::decode(&bytes), Err(RecoverError::BadMagic));
+        assert_eq!(Snapshot::decode(b"junk"), Err(RecoverError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = sample_fixpoint().encode();
+        bytes[8] = 0x7f; // low byte of the LE version word
+        assert_eq!(
+            Snapshot::decode(&bytes),
+            Err(RecoverError::UnsupportedVersion {
+                found: 0x7f,
+                supported: VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        // Chop the file at every possible length: each prefix must decode to
+        // a typed error (truncated/short header), never panic, never Ok.
+        let bytes = sample_fixpoint().encode();
+        for n in 0..bytes.len() {
+            let r = Snapshot::decode(&bytes[..n]);
+            assert!(r.is_err(), "prefix of {n} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_is_checksum_mismatch() {
+        let bytes = sample_fixpoint().encode();
+        // Flip one bit in every payload byte; all must fail the checksum.
+        for i in 28..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0x01;
+            assert!(
+                matches!(
+                    Snapshot::decode(&b),
+                    Err(RecoverError::ChecksumMismatch { .. })
+                ),
+                "flip at {i} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample_datalog().encode();
+        bytes.push(0);
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(RecoverError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn implausible_length_prefix_rejected_without_allocation() {
+        // A corrupt entry count far beyond the payload size must be caught
+        // by the plausibility check (and re-checksummed to get there).
+        let mut payload = vec![1u8]; // kind
+        payload.extend_from_slice(&[0u8; 8]); // query fp
+        payload.extend_from_slice(&[0u8; 56]); // stats
+        payload.extend_from_slice(&u64::MAX.to_le_bytes()); // entry count
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(RecoverError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip_and_deterministic_name() {
+        let dir = std::env::temp_dir().join(format!("lcdb-recover-test-{}", std::process::id()));
+        let s = sample_fixpoint();
+        let path = s.write_to_dir(&dir).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("snap-deadbeef12345678"));
+        assert_eq!(Snapshot::read_from(&path).unwrap(), s);
+        // Overwrite is atomic and idempotent.
+        let path2 = s.write_to_dir(&dir).unwrap();
+        assert_eq!(path, path2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let r = Snapshot::read_from(Path::new("/nonexistent/lcdb/snap.lcdbsnap"));
+        assert!(matches!(r, Err(RecoverError::Io { .. })));
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Known FNV-1a 64 vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fingerprint_str("x"), fingerprint_str("y"));
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            RecoverError::BadMagic,
+            RecoverError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+            RecoverError::ChecksumMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            RecoverError::Truncated { context: "payload" },
+            RecoverError::Malformed {
+                message: "x".into(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -12,22 +12,26 @@
 //! * [`core`] — the region logics RegFO/RegLFP/RegIFP/RegPFP/RegTC/RegDTC,
 //! * [`tm`] — Turing machines and the capture experiment,
 //! * [`datalog`] — the naive spatial-datalog baseline (terminates only
-//!   sometimes; the motivation for region-restricted recursion).
+//!   sometimes; the motivation for region-restricted recursion),
+//! * [`budget`] — resource governance (budgets, deadlines, cancellation),
+//! * [`recover`] — crash safety: checkpoint snapshots and resume.
 
 #![forbid(unsafe_code)]
 
 pub use lcdb_arith as arith;
+pub use lcdb_budget as budget;
 pub use lcdb_core as core;
 pub use lcdb_datalog as datalog;
 pub use lcdb_geom as geom;
 pub use lcdb_linalg as linalg;
 pub use lcdb_logic as logic;
 pub use lcdb_lp as lp;
+pub use lcdb_recover as recover;
 pub use lcdb_tm as tm;
 
 pub use lcdb_arith::{rat, BigInt, BigUint, Rational};
 pub use lcdb_core::{
-    queries, BudgetError, CancelToken, Decomposition, EvalBudget, EvalError, EvalStats, Evaluator,
-    RegFormula, RegionExtension,
+    queries, BudgetError, CancelToken, Decomposition, EvalBudget, EvalError, EvalOutcome,
+    EvalStats, Evaluator, Quarantine, RecoverError, RegFormula, RegionExtension, Snapshot,
 };
 pub use lcdb_logic::{parse_formula, Database, Formula, Relation};

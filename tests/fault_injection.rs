@@ -1,0 +1,206 @@
+//! Deterministic fault-injection tests (enabled with `--features faults`).
+//!
+//! A seeded [`FaultPlan`] makes one injection site fail on a chosen
+//! execution; these tests prove that every such fault surfaces as a typed
+//! error accompanied by a valid (decodable) checkpoint — never a panic and
+//! never a corrupt snapshot — and that under `tolerate_faults` a localized
+//! fault is quarantined while the rest of the evaluation completes.
+//!
+//! The seed comes from `LCDB_FAULT_SEED` (default 3), so CI can sweep a
+//! seed matrix without recompiling.
+//!
+//! [`FaultPlan`]: lcdb::budget::faults::FaultPlan
+
+#![cfg(feature = "faults")]
+
+use lcdb::budget::faults::FaultPlan;
+use lcdb::core::{try_eval_sentence_arrangement_recoverable, RegionExtension};
+use lcdb::datalog::{DatalogError, Literal, Program, Rule};
+use lcdb::{
+    parse_formula, queries, BudgetError, EvalBudget, EvalError, EvalOutcome, Evaluator,
+    Relation, Snapshot,
+};
+use std::path::PathBuf;
+
+/// The injection sites of the region-logic pipeline, bottom to top.
+const REGION_SITES: &[&str] = &["arith.overflow", "lp.pivot", "geom.face_cap", "core.fix_stage"];
+
+fn seed() -> u64 {
+    std::env::var("LCDB_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+fn rel1(src: &str) -> Relation {
+    Relation::new(vec!["x".into()], &parse_formula(src).unwrap())
+}
+
+fn two_gaps() -> Relation {
+    rel1("(0 < x and x < 1) or (2 < x and x < 3)")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lcdb-faults-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every region-pipeline site, fired on its first execution, surfaces as
+/// `EvalError::InjectedFault` naming the site, with a decodable checkpoint
+/// on disk — whether the fault lands during decomposition construction or
+/// mid-fixpoint.
+#[test]
+fn each_site_yields_typed_error_and_valid_checkpoint() {
+    for site in REGION_SITES {
+        let dir = temp_dir(&site.replace('.', "-"));
+        let guard = FaultPlan::new().fail_on(site, 1).arm();
+        let result = try_eval_sentence_arrangement_recoverable(
+            &two_gaps(),
+            &queries::connectivity(),
+            &EvalBudget::unlimited(),
+            Some(&dir),
+            None,
+        );
+        drop(guard);
+        let (err, path) = result.expect_err("armed fault must abort");
+        match &err {
+            EvalError::InjectedFault { site: s, .. } => assert_eq!(s, site),
+            other => panic!("site {site}: expected InjectedFault, got {other}"),
+        }
+        assert!(err.is_recoverable(), "{err}");
+        let path = path.unwrap_or_else(|| panic!("site {site}: no checkpoint written"));
+        let snap = Snapshot::read_from(&path)
+            .unwrap_or_else(|e| panic!("site {site}: corrupt checkpoint: {e}"));
+
+        // The checkpoint is genuinely resumable: with the fault disarmed,
+        // the run completes with the correct verdict.
+        let (verdict, _) = try_eval_sentence_arrangement_recoverable(
+            &two_gaps(),
+            &queries::connectivity(),
+            &EvalBudget::unlimited(),
+            None,
+            Some(&snap),
+        )
+        .unwrap_or_else(|(e, _)| panic!("site {site}: resume failed: {e}"));
+        assert!(!verdict, "site {site}: wrong verdict after resume");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Seeded plans (the CI matrix entry point): whichever execution the seed
+/// picks, the outcome is a typed error with a valid checkpoint, or a clean
+/// completion if the chosen execution count is never reached. No panics.
+#[test]
+fn seeded_plans_never_panic_and_never_corrupt_snapshots() {
+    let base = seed();
+    for delta in 0..4u64 {
+        let dir = temp_dir(&format!("seeded-{delta}"));
+        let guard = FaultPlan::seeded(base.wrapping_add(delta), REGION_SITES, 3).arm();
+        let result = try_eval_sentence_arrangement_recoverable(
+            &two_gaps(),
+            &queries::connectivity(),
+            &EvalBudget::unlimited(),
+            Some(&dir),
+            None,
+        );
+        drop(guard);
+        match result {
+            Ok((verdict, _)) => assert!(!verdict),
+            Err((err, path)) => {
+                assert!(
+                    matches!(err, EvalError::InjectedFault { .. }),
+                    "seed {base}+{delta}: {err}"
+                );
+                let path = path.expect("recoverable abort checkpoints");
+                Snapshot::read_from(&path).expect("checkpoint decodes");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Under `tolerate_faults`, a fault local to one fixpoint evaluation is
+/// quarantined: the sentence still produces a verdict, marked partial, with
+/// the site recorded — instead of aborting the whole run.
+#[test]
+fn localized_fault_is_quarantined_in_degraded_mode() {
+    let ext = RegionExtension::arrangement(two_gaps());
+    let q = queries::connectivity();
+    let guard = FaultPlan::new().fail_on("core.fix_stage", 1).arm();
+    let ev = Evaluator::with_budget(&ext, EvalBudget::unlimited()).tolerate_faults();
+    let outcome = ev.try_eval_sentence_outcome(&q);
+    drop(guard);
+    match outcome.expect("degraded run completes") {
+        EvalOutcome::Partial { quarantined, .. } => {
+            assert!(!quarantined.is_empty());
+            assert!(
+                quarantined.sites.contains("core.fix_stage"),
+                "{:?}",
+                quarantined
+            );
+            assert!(ev.stats().quarantined > 0);
+        }
+        EvalOutcome::Complete(_) => panic!("armed fault was not quarantined"),
+    }
+
+    // Without degradation the same plan aborts the whole evaluation.
+    let guard = FaultPlan::new().fail_on("core.fix_stage", 1).arm();
+    let strict = Evaluator::with_budget(&ext, EvalBudget::unlimited());
+    let err = strict.try_eval_sentence(&q).expect_err("strict mode aborts");
+    drop(guard);
+    assert!(matches!(err, EvalError::InjectedFault { .. }), "{err}");
+}
+
+/// The datalog round loop has its own site: the fault surfaces as a
+/// `DatalogError::Budget` carrying `BudgetError::InjectedFault` plus the
+/// completed rounds, and the checkpoint resumes to the same verdict the
+/// uninterrupted run produces.
+#[test]
+fn datalog_round_fault_checkpoints_and_resumes() {
+    let mut edb = lcdb::Database::new();
+    edb.insert("S", rel1("0 <= x and x <= 1"));
+    let program = Program::new()
+        .rule(Rule::new(
+            "reach",
+            vec!["x".into()],
+            vec![Literal::Pred("S".into(), vec!["x".into()])],
+        ))
+        .rule(Rule::new(
+            "reach",
+            vec!["x".into()],
+            vec![
+                Literal::Pred("reach".into(), vec!["y".into()]),
+                Literal::Constraint(match parse_formula("x - y = 1").unwrap() {
+                    lcdb::Formula::Atom(a) => a,
+                    other => panic!("expected atom, got {other}"),
+                }),
+            ],
+        ));
+    let guard = FaultPlan::new().fail_on("datalog.round", 3).arm();
+    let err = program
+        .try_evaluate(&edb, 6, &EvalBudget::unlimited())
+        .expect_err("armed fault must abort");
+    drop(guard);
+    let rounds = match &err {
+        DatalogError::Budget { error, rounds, .. } => {
+            assert!(
+                matches!(error, BudgetError::InjectedFault { .. }),
+                "{error}"
+            );
+            *rounds
+        }
+        other => panic!("expected Budget error, got {other}"),
+    };
+    assert_eq!(rounds, 2, "fault on the 3rd round leaves 2 completed");
+    let snap = program.checkpoint(&err).expect("budget abort checkpoints");
+    let snap = Snapshot::decode(&snap.encode()).expect("round-trips");
+    match program.resume_from(&edb, 6, &EvalBudget::unlimited(), &snap) {
+        Ok(lcdb::datalog::EvalOutcome::Diverged { partial, rounds }) => {
+            assert_eq!(rounds, 6);
+            // Same frontier the uninterrupted 6-round run reaches.
+            assert!(partial["reach"].contains(&[lcdb::arith::int(5)]));
+        }
+        other => panic!("expected Diverged after 6 rounds, got {:?}", other.map(|_| ())),
+    }
+}
