@@ -201,6 +201,42 @@ impl Rational {
     pub fn bit_size(&self) -> u64 {
         self.num.bit_len() + self.den.bit_len()
     }
+
+    /// Both components as machine integers, when they fit — the gate for
+    /// the primitive-arithmetic fast path in the binary operators.
+    #[inline]
+    fn small(&self) -> Option<(i64, i64)> {
+        Some((self.num.to_i64()?, self.den.to_i64()?))
+    }
+}
+
+#[inline]
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Normalize an `i128` fraction without allocating limb vectors. Inputs are
+/// cross-products of `i64` components, so they fit `i128` with headroom and
+/// `den` is nonzero whenever the caller's denominators were.
+fn from_i128_frac(num: i128, den: i128) -> Rational {
+    // Same deferred fault-injection site as `Rational::new`, so the fast
+    // path does not change which operations can be made to fail.
+    #[cfg(feature = "faults")]
+    lcdb_budget::faults::hit("arith.overflow");
+    if num == 0 {
+        return Rational::zero();
+    }
+    let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+    let g = gcd_u128(num.unsigned_abs(), den.unsigned_abs()) as i128;
+    Rational {
+        num: BigInt::from(num / g),
+        den: BigInt::from(den / g),
+    }
 }
 
 impl Default for Rational {
@@ -230,6 +266,9 @@ impl From<BigInt> for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        if let (Some((an, ad)), Some((bn, bd))) = (self.small(), other.small()) {
+            return (an as i128 * bd as i128).cmp(&(bn as i128 * ad as i128));
+        }
         (&self.num * &other.den).cmp(&(&other.num * &self.den))
     }
 }
@@ -290,20 +329,35 @@ macro_rules! forward_binop_rational {
     };
 }
 
-forward_binop_rational!(Add, add, |a: &Rational, b: &Rational| Rational::new(
-    &a.num * &b.den + &b.num * &a.den,
-    &a.den * &b.den
-));
-forward_binop_rational!(Sub, sub, |a: &Rational, b: &Rational| Rational::new(
-    &a.num * &b.den - &b.num * &a.den,
-    &a.den * &b.den
-));
-forward_binop_rational!(Mul, mul, |a: &Rational, b: &Rational| Rational::new(
-    &a.num * &b.num,
-    &a.den * &b.den
-));
+forward_binop_rational!(Add, add, |a: &Rational, b: &Rational| {
+    if let (Some((an, ad)), Some((bn, bd))) = (a.small(), b.small()) {
+        return from_i128_frac(
+            an as i128 * bd as i128 + bn as i128 * ad as i128,
+            ad as i128 * bd as i128,
+        );
+    }
+    Rational::new(&a.num * &b.den + &b.num * &a.den, &a.den * &b.den)
+});
+forward_binop_rational!(Sub, sub, |a: &Rational, b: &Rational| {
+    if let (Some((an, ad)), Some((bn, bd))) = (a.small(), b.small()) {
+        return from_i128_frac(
+            an as i128 * bd as i128 - bn as i128 * ad as i128,
+            ad as i128 * bd as i128,
+        );
+    }
+    Rational::new(&a.num * &b.den - &b.num * &a.den, &a.den * &b.den)
+});
+forward_binop_rational!(Mul, mul, |a: &Rational, b: &Rational| {
+    if let (Some((an, ad)), Some((bn, bd))) = (a.small(), b.small()) {
+        return from_i128_frac(an as i128 * bn as i128, ad as i128 * bd as i128);
+    }
+    Rational::new(&a.num * &b.num, &a.den * &b.den)
+});
 forward_binop_rational!(Div, div, |a: &Rational, b: &Rational| {
     assert!(!b.is_zero(), "rational division by zero");
+    if let (Some((an, ad)), Some((bn, bd))) = (a.small(), b.small()) {
+        return from_i128_frac(an as i128 * bd as i128, ad as i128 * bn as i128);
+    }
     Rational::new(&a.num * &b.den, &a.den * &b.num)
 });
 
@@ -468,5 +522,49 @@ mod tests {
     #[test]
     fn bit_size_grows() {
         assert!(rat(1, 3).bit_size() < rat(123456789, 987654321).bit_size());
+    }
+
+    #[test]
+    fn fast_path_agrees_with_bigint_path_at_the_i64_boundary() {
+        // Values straddling the i64 gate: `big` exceeds i64 (slow path),
+        // `edge` sits exactly on the boundary (fast path), and their
+        // mixtures exercise one-side-fast/one-side-slow.
+        let big = Rational::from_integer(BigInt::from(i64::MAX)) + Rational::one();
+        let edge = Rational::from_integer(BigInt::from(i64::MAX));
+        let min = Rational::from_integer(BigInt::from(i64::MIN));
+        assert_eq!((&big - &Rational::one()), edge);
+        assert_eq!((&edge + &Rational::one()), big);
+        assert_eq!(&edge - &edge, Rational::zero());
+        assert_eq!(&min + &edge, -Rational::one());
+        assert!(min < edge && edge < big);
+        // Products that overflow i64 but not the normalized result.
+        let h = Rational::from_i64s(i64::MAX, 2);
+        assert_eq!(&h + &h, edge);
+        assert_eq!(&h * &rat(2, 1), edge);
+        assert_eq!(&edge / &rat(1, 2), &edge * &rat(2, 1));
+        // Normalization still applies on the fast path.
+        let q = Rational::from_i64s(6 * (1 << 40), 4 * (1 << 40));
+        assert_eq!(q, rat(3, 2));
+        assert_eq!((&rat(1, 3) + &rat(1, 6)), rat(1, 2));
+    }
+
+    #[test]
+    fn fast_path_ordering_matches_cross_multiplication() {
+        let cases = [
+            (rat(1, 3), rat(1, 2)),
+            (rat(-7, 5), rat(-3, 2)),
+            (
+                Rational::from_i64s(i64::MAX, 3),
+                Rational::from_i64s(i64::MAX, 2),
+            ),
+            (
+                Rational::from_i64s(i64::MIN, 7),
+                Rational::from_i64s(i64::MIN, 9),
+            ),
+        ];
+        for (a, b) in cases {
+            let slow = (a.numer() * b.denom()).cmp(&(b.numer() * a.denom()));
+            assert_eq!(a.cmp(&b), slow, "{a} vs {b}");
+        }
     }
 }

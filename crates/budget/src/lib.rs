@@ -23,9 +23,8 @@
 
 #![forbid(unsafe_code)]
 
-use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -222,19 +221,23 @@ impl EvalBudget {
     /// A fresh amortized-interrupt meter bound to this budget's pacing.
     pub fn meter(&self) -> Meter {
         Meter {
-            ticks: Cell::new(0),
+            ticks: AtomicU64::new(0),
         }
     }
 }
 
 /// Amortizes clock/cancellation checks over hot loops.
 ///
-/// `tick` is cheap (a counter increment) except every [`Meter::PERIOD`]-th
-/// call, which performs a full [`EvalBudget::check_interrupt`]. Uses
-/// interior mutability so evaluators holding `&self` can meter.
+/// `tick` is cheap (a relaxed atomic increment) except every
+/// [`Meter::PERIOD`]-th call, which performs a full
+/// [`EvalBudget::check_interrupt`]. The counter is atomic so one meter can
+/// be shared by every worker of a thread pool: each worker contributes
+/// ticks, and whichever worker crosses a period boundary runs the interrupt
+/// check, keeping cancellation and deadline reaction time bounded by the
+/// *combined* work rate rather than per-thread rates.
 #[derive(Debug, Default)]
 pub struct Meter {
-    ticks: Cell<u64>,
+    ticks: AtomicU64,
 }
 
 impl Meter {
@@ -252,8 +255,7 @@ impl Meter {
     /// Count one unit of work; every [`Meter::PERIOD`] units, run the
     /// budget's interrupt check.
     pub fn tick(&self, budget: &EvalBudget) -> Result<(), BudgetError> {
-        let t = self.ticks.get().wrapping_add(1);
-        self.ticks.set(t);
+        let t = self.ticks.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
         // `u64::is_multiple_of` needs a newer MSRV than the workspace floor.
         #[allow(clippy::manual_is_multiple_of)]
         if t % Self::PERIOD == 0 {
@@ -358,6 +360,15 @@ impl std::error::Error for BudgetError {}
 /// hit-count per site from a seed via SplitMix64, so a CI seed matrix
 /// explores different abort positions deterministically.
 ///
+/// Worker threads spawned by a pool start with *no* armed plan — the
+/// `thread_local!` registration is empty on a fresh thread — so a pool that
+/// wants injected faults to keep firing inside its workers must [`export`]
+/// the caller's armed state and [`install`] it in each worker. The state
+/// behind a handle is shared, not copied: hit counts accumulate globally,
+/// each site still fires at most once per arming no matter which thread
+/// reaches it first, and a deferred fault recorded by a worker surfaces at
+/// the next interrupt check on *any* participating thread.
+///
 /// With the feature disabled this module does not exist and the sites
 /// compile to nothing.
 #[cfg(feature = "faults")]
@@ -366,6 +377,7 @@ pub mod faults {
     use lcdb_recover::{fingerprint_str, splitmix64};
     use std::cell::RefCell;
     use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex};
 
     struct SiteState {
         hits: u64,
@@ -373,10 +385,22 @@ pub mod faults {
         fired: bool,
     }
 
+    /// The armed sites plus the deferred-fault slot, shared by every thread
+    /// participating in one arming.
+    #[derive(Default)]
+    struct ArmedState {
+        sites: BTreeMap<String, SiteState>,
+        pending: Option<String>,
+    }
+
     thread_local! {
-        static INJECTOR: RefCell<Option<BTreeMap<String, SiteState>>> =
-            const { RefCell::new(None) };
-        static PENDING: RefCell<Option<String>> = const { RefCell::new(None) };
+        static INJECTOR: RefCell<Option<Arc<Mutex<ArmedState>>>> = const { RefCell::new(None) };
+    }
+
+    fn with_state<R>(f: impl FnOnce(&mut ArmedState) -> R) -> Option<R> {
+        let state = INJECTOR.with(|i| i.borrow().clone())?;
+        let mut guard = state.lock().unwrap_or_else(|p| p.into_inner());
+        Some(f(&mut guard))
     }
 
     /// Which sites fail, and on which execution. Build one, then [`arm`]
@@ -454,8 +478,11 @@ pub mod faults {
                     )
                 })
                 .collect();
-            INJECTOR.with(|i| *i.borrow_mut() = Some(map));
-            PENDING.with(|p| *p.borrow_mut() = None);
+            let state = Arc::new(Mutex::new(ArmedState {
+                sites: map,
+                pending: None,
+            }));
+            INJECTOR.with(|i| *i.borrow_mut() = Some(state));
             Armed(())
         }
     }
@@ -467,17 +494,48 @@ pub mod faults {
     impl Drop for Armed {
         fn drop(&mut self) {
             INJECTOR.with(|i| *i.borrow_mut() = None);
-            PENDING.with(|p| *p.borrow_mut() = None);
+        }
+    }
+
+    /// A clonable, `Send` handle to the current thread's armed fault state.
+    ///
+    /// Obtained with [`export`], handed across a thread boundary, and made
+    /// active on the worker with [`install`]. All handles alias the *same*
+    /// state as the original arming.
+    #[derive(Clone)]
+    pub struct ArmedHandle(Arc<Mutex<ArmedState>>);
+
+    /// Export the current thread's armed state (if any) for installation in
+    /// a worker thread. Returns `None` when no plan is armed, in which case
+    /// workers need no installation.
+    pub fn export() -> Option<ArmedHandle> {
+        INJECTOR.with(|i| i.borrow().clone()).map(ArmedHandle)
+    }
+
+    /// Make an exported arming active on the current (worker) thread.
+    /// Dropping the returned guard detaches this thread again; the shared
+    /// state itself lives until the original [`Armed`] guard drops.
+    pub fn install(handle: &ArmedHandle) -> Installed {
+        let previous = INJECTOR.with(|i| i.borrow_mut().replace(handle.0.clone()));
+        Installed { previous }
+    }
+
+    /// RAII guard for an [`install`]ed fault-state handle.
+    #[must_use = "the handle is uninstalled when the guard drops"]
+    pub struct Installed {
+        previous: Option<Arc<Mutex<ArmedState>>>,
+    }
+
+    impl Drop for Installed {
+        fn drop(&mut self) {
+            let previous = self.previous.take();
+            INJECTOR.with(|i| *i.borrow_mut() = previous);
         }
     }
 
     fn fire(site: &str) -> bool {
-        INJECTOR.with(|i| {
-            let mut guard = i.borrow_mut();
-            let Some(map) = guard.as_mut() else {
-                return false;
-            };
-            let Some(state) = map.get_mut(site) else {
+        with_state(|st| {
+            let Some(state) = st.sites.get_mut(site) else {
                 return false;
             };
             if state.fired {
@@ -491,15 +549,30 @@ pub mod faults {
                 false
             }
         })
+        .unwrap_or(false)
     }
 
     /// Injection site for infallible code: if the armed plan fires here, the
     /// fault is recorded as pending and surfaces at the next
-    /// [`EvalBudget::check_interrupt`](super::EvalBudget::check_interrupt).
+    /// [`EvalBudget::check_interrupt`](super::EvalBudget::check_interrupt)
+    /// on any thread sharing the arming. An already pending fault is never
+    /// overwritten, so the first deferred site wins deterministically.
     pub fn hit(site: &str) {
-        if fire(site) {
-            PENDING.with(|p| *p.borrow_mut() = Some(site.to_string()));
-        }
+        with_state(|st| {
+            let Some(state) = st.sites.get_mut(site) else {
+                return;
+            };
+            if state.fired {
+                return;
+            }
+            state.hits += 1;
+            if state.hits >= state.fire_on {
+                state.fired = true;
+                if st.pending.is_none() {
+                    st.pending = Some(site.to_string());
+                }
+            }
+        });
     }
 
     /// Injection site for fallible code: fails immediately with
@@ -518,7 +591,9 @@ pub mod faults {
     /// [`EvalBudget::check_interrupt`](super::EvalBudget::check_interrupt);
     /// tests normally never need it directly.
     pub fn take_pending() -> Option<BudgetError> {
-        PENDING.with(|p| p.borrow_mut().take()).map(|site| BudgetError::InjectedFault { site })
+        with_state(|st| st.pending.take())
+            .flatten()
+            .map(|site| BudgetError::InjectedFault { site })
     }
 
     #[cfg(test)]
@@ -580,6 +655,51 @@ pub mod faults {
             }
             let c = FaultPlan::seeded(8, &["p", "q"], 1_000_000);
             assert_ne!(format!("{a:?}"), format!("{c:?}"));
+        }
+
+        #[test]
+        fn export_is_none_when_disarmed() {
+            assert!(export().is_none());
+        }
+
+        #[test]
+        fn exported_state_is_shared_across_threads() {
+            let _g = FaultPlan::new().fail_on("w", 2).arm();
+            let handle = export().unwrap();
+            assert!(check("w").is_ok()); // hit 1 on the arming thread
+            let fired_in_worker = std::thread::scope(|s| {
+                s.spawn(|| {
+                    // A fresh thread sees nothing until the handle installs.
+                    assert!(check("w").is_ok());
+                    let _i = install(&handle);
+                    check("w").is_err() // hit 2: fires here
+                })
+                .join()
+                .unwrap()
+            });
+            assert!(fired_in_worker);
+            // One-shot globally: the arming thread cannot fire it again.
+            for _ in 0..5 {
+                assert!(check("w").is_ok());
+            }
+        }
+
+        #[test]
+        fn worker_deferred_hit_surfaces_on_arming_thread() {
+            let _g = FaultPlan::new().fail_on("d2", 1).arm();
+            let handle = export().unwrap();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _i = install(&handle);
+                    hit("d2");
+                })
+                .join()
+                .unwrap();
+            });
+            assert_eq!(
+                take_pending(),
+                Some(BudgetError::InjectedFault { site: "d2".into() })
+            );
         }
 
         #[test]

@@ -25,10 +25,18 @@
 //! budget). `--allow-partial` quarantines localized faults instead of
 //! aborting: the verdict is still produced, marked partial, and the process
 //! exits with code 8 (an unquarantined injected fault exits with 9).
+//!
+//! Parallelism: `--threads N` (or the `LCDB_THREADS` environment variable)
+//! fans arrangement construction and evaluation out over N worker threads.
+//! Verdicts, query answers, exit codes and checkpoints are identical to a
+//! serial run; the work counters in `stats:` lines measure actual work,
+//! which can exceed a serial run's (per-worker caches recompute shared
+//! sub-results). `--allow-partial` degrades to serial evaluation because
+//! quarantine accounting is order-dependent.
 
 use lcdb_core::{
     empty_checkpoint, parse_regformula, queries, Decomposition, EvalBudget, EvalError,
-    EvalOutcome, EvalStats, Evaluator, Quarantine, RegFormula, RegionExtension, Snapshot,
+    EvalOutcome, EvalStats, Evaluator, Pool, Quarantine, RegFormula, RegionExtension, Snapshot,
 };
 use lcdb_logic::{parse_formula, Database, Relation};
 use std::io::{BufRead, Write};
@@ -48,6 +56,9 @@ struct Limits {
     resume: Option<PathBuf>,
     /// Quarantine localized faults instead of aborting (exit code 8).
     allow_partial: bool,
+    /// Worker threads for arrangement construction and evaluation
+    /// (`--threads N`; `LCDB_THREADS` env fallback; default serial).
+    threads: Option<usize>,
 }
 
 impl Limits {
@@ -180,6 +191,8 @@ struct Shell {
     spatial: Option<String>,
     decomposition: DecompositionKind,
     limits: Limits,
+    /// Worker pool shared by arrangement construction and evaluation.
+    pool: Pool,
     /// Cached extension; rebuilt when the database or settings change.
     ext: Option<RegionExtension>,
     /// Exit code of the most recent failed command (0 when all succeeded).
@@ -194,11 +207,13 @@ enum DecompositionKind {
 
 impl Shell {
     fn with_limits(limits: Limits) -> Self {
+        let pool = Pool::resolve(limits.threads);
         Shell {
             db: Database::new(),
             spatial: None,
             decomposition: DecompositionKind::Arrangement,
             limits,
+            pool,
             ext: None,
             exit_code: 0,
         }
@@ -212,9 +227,12 @@ impl Shell {
                 )
             })?;
             let ext = match self.decomposition {
-                DecompositionKind::Arrangement => {
-                    RegionExtension::try_arrangement_db(self.db.clone(), &spatial, budget)?
-                }
+                DecompositionKind::Arrangement => RegionExtension::try_arrangement_db_pool(
+                    self.db.clone(),
+                    &spatial,
+                    budget,
+                    &self.pool,
+                )?,
                 DecompositionKind::Nc1 => {
                     RegionExtension::try_nc1_db(self.db.clone(), &spatial, budget)?
                 }
@@ -254,7 +272,7 @@ impl Shell {
             .ext
             .as_ref()
             .ok_or_else(|| CmdError::Usage("extension cache invariant broken".to_string()))?;
-        let mut ev = Evaluator::with_budget(ext, budget.clone());
+        let mut ev = Evaluator::with_budget(ext, budget.clone()).with_pool(self.pool.clone());
         if allow_partial {
             ev = ev.tolerate_faults();
         }
@@ -327,6 +345,7 @@ impl Shell {
                 writeln!(out, "  --checkpoint-dir DIR   write a snapshot when a budget kills a run")?;
                 writeln!(out, "  --resume FILE          continue the next evaluation from a snapshot")?;
                 writeln!(out, "  --allow-partial        quarantine localized faults (exit code 8)")?;
+                writeln!(out, "  --threads N            parallel evaluation (default 1; LCDB_THREADS env)")?;
             }
             "rel" => match parse_rel_definition(rest) {
                 Ok((name, vars, formula)) => {
@@ -552,6 +571,13 @@ fn parse_limit_flags(args: &[String]) -> Result<(Limits, Vec<String>), String> {
             "--allow-partial" => {
                 limits.allow_partial = true;
             }
+            "--threads" => {
+                let v = value(&mut it)?;
+                limits.threads = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --threads '{}': {}", v, e))?,
+                );
+            }
             _ => rest.push(arg.clone()),
         }
     }
@@ -767,6 +793,53 @@ mod tests {
     }
 
     const GAPPED: &str = "rel S(x) := (0 < x and x < 1) or (2 < x and x < 3)";
+
+    #[test]
+    fn threads_flag_parsing() {
+        let (limits, rest) = parse_limit_flags(&["--threads=4".to_string()]).unwrap();
+        assert_eq!(limits.threads, Some(4));
+        assert!(rest.is_empty());
+        assert!(parse_limit_flags(&["--threads".to_string(), "many".to_string()]).is_err());
+        assert!(parse_limit_flags(&["--threads".to_string()]).is_err());
+    }
+
+    #[test]
+    fn threaded_run_output_matches_serial() {
+        // Work counters measure actual work and may exceed a serial run's
+        // under threads, so compare the semantic output with the counter
+        // annotations stripped.
+        fn semantic(out: &str) -> String {
+            out.lines()
+                .filter(|l| !l.trim_start().starts_with("stats:"))
+                .map(|l| l.split("   (lfp stages").next().unwrap_or(l))
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+        let cmds = [GAPPED, "connected", "sentence exists R. R subset S", "regions"];
+        let (serial, code_s) = run_shell(Limits::default(), &cmds);
+        let (par, code_p) = run_shell(
+            Limits {
+                threads: Some(4),
+                ..Limits::default()
+            },
+            &cmds,
+        );
+        assert_eq!(semantic(&serial), semantic(&par));
+        assert_eq!(code_s, code_p);
+    }
+
+    #[test]
+    fn threaded_budget_exit_code_matches_serial() {
+        let lim = |threads| Limits {
+            max_iterations: Some(1),
+            threads,
+            ..Limits::default()
+        };
+        let (out_s, code_s) = run_shell(lim(None), &[GAPPED, "connected"]);
+        let (out_p, code_p) = run_shell(lim(Some(2)), &[GAPPED, "connected"]);
+        assert_eq!(code_s, 3, "{}", out_s);
+        assert_eq!(code_p, 3, "{}", out_p);
+    }
 
     #[test]
     fn checkpoint_then_resume_completes() {

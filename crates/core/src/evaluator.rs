@@ -30,6 +30,7 @@ use crate::regfo::{FixMode, RegFormula, RegionVar, SetVar};
 use crate::region::Decomposition;
 use lcdb_arith::{Rational, Sign};
 use lcdb_budget::{BudgetError, EvalBudget, Meter};
+use lcdb_exec::Pool;
 use lcdb_logic::dnf::{to_dnf_pruned, Dnf};
 use lcdb_logic::{qe, Formula, Rel, Var};
 use lcdb_recover::{
@@ -278,6 +279,79 @@ pub struct Evaluator<'a> {
     /// Progress installed by [`Evaluator::resume_from`]: fixpoint loops seed
     /// their first stage from here instead of starting at the bottom.
     resume: RefCell<BTreeMap<ProgressKey, FixLive>>,
+    /// Worker pool for region-quantifier expansions and fixpoint tuple
+    /// sweeps. Serial by default; see [`Evaluator::with_threads`].
+    pool: Pool,
+}
+
+/// Shared ingredients for the per-worker child evaluators of a parallel
+/// fan-out: the (now `Sync`) decomposition, a clone of the budget (sharing
+/// its deadline and cancellation token), and the resume map so seeded
+/// fixpoints restart from their checkpointed stage inside workers too.
+struct ParSetup<'a> {
+    ext: &'a dyn Decomposition,
+    budget: EvalBudget,
+    resume: BTreeMap<ProgressKey, FixLive>,
+}
+
+impl<'a> ParSetup<'a> {
+    /// A fresh child evaluator for one worker. Children are always serial
+    /// (no nested fan-out) and never degrade — parallel evaluation falls
+    /// back to serial under [`Evaluator::tolerate_faults`].
+    fn spawn(&self) -> Evaluator<'a> {
+        let ev = Evaluator::with_budget(self.ext, self.budget.clone());
+        *ev.resume.borrow_mut() = self.resume.clone();
+        ev
+    }
+}
+
+/// One worker item's outcome plus the side state the ordered merge replays
+/// into the parent: the work-counter delta and the child's checkpointable
+/// fixpoint progress.
+struct ChildOut<T> {
+    result: Result<T, Stop>,
+    stats: EvalStats,
+    progress: BTreeMap<ProgressKey, FixLive>,
+}
+
+/// Run one item on a worker's child evaluator, capturing the stats delta it
+/// caused and the child's accumulated fixpoint progress.
+fn run_child<'a, T>(
+    ev: &Evaluator<'a>,
+    f: impl FnOnce(&Evaluator<'a>) -> Result<T, Stop>,
+) -> ChildOut<T> {
+    let before = ev.stats();
+    let result = f(ev);
+    let after = ev.stats();
+    ChildOut {
+        result,
+        stats: EvalStats {
+            fix_iterations: after.fix_iterations - before.fix_iterations,
+            fix_tuple_tests: after.fix_tuple_tests - before.fix_tuple_tests,
+            qe_calls: after.qe_calls - before.qe_calls,
+            region_expansions: after.region_expansions - before.region_expansions,
+            tc_edge_tests: after.tc_edge_tests - before.tc_edge_tests,
+            regions: 0,
+            quarantined: 0,
+        },
+        progress: ev.progress.borrow().clone(),
+    }
+}
+
+/// Rebuild a worker-local [`Env`] from the flattened (Sync) form the fan-out
+/// closures capture: `Rc` set bindings cannot cross threads, so sets travel
+/// as plain `BTreeSet`s and are re-wrapped per worker.
+fn rebuild_env(
+    regions: &[(RegionVar, usize)],
+    sets: &[(SetVar, BTreeSet<Vec<usize>>)],
+) -> Env {
+    Env {
+        regions: regions.iter().cloned().collect(),
+        sets: sets
+            .iter()
+            .map(|(k, s)| (k.clone(), Rc::new(s.clone())))
+            .collect(),
+    }
 }
 
 impl<'a> Evaluator<'a> {
@@ -319,7 +393,36 @@ impl<'a> Evaluator<'a> {
             quarantine: RefCell::new(Quarantine::default()),
             progress: RefCell::new(BTreeMap::new()),
             resume: RefCell::new(BTreeMap::new()),
+            pool: Pool::serial(),
         }
+    }
+
+    /// Fan region-quantifier expansions and fixpoint tuple sweeps out over
+    /// `threads` worker threads. Semantic results are *identical* to serial
+    /// evaluation — verdicts, query answers, short-circuit points, and which
+    /// item's error wins all follow the input order, because workers only
+    /// compute and the merge replays the serial protocol over the ordered
+    /// results. Work *counters* ([`EvalStats`]) measure actual work, which
+    /// can exceed a serial run's: per-worker caches recompute sub-results
+    /// (memoized fixpoints, cached boolean nodes) that a serial sweep
+    /// computes once, so each counter is `>=` its serial value and budget
+    /// caps remain hard bounds on real resource use. `threads <= 1` keeps
+    /// evaluation serial; so does [`Evaluator::tolerate_faults`], whose
+    /// quarantine accounting is inherently order-dependent.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = Pool::new(threads);
+        self
+    }
+
+    /// Like [`Evaluator::with_threads`], with an explicit [`Pool`].
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The number of worker threads evaluation fans out over (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// Enable graceful degradation: a fault confined to one disjunct, one
@@ -465,6 +568,46 @@ impl<'a> Evaluator<'a> {
     fn note_region_expansion(&self) -> Result<(), Stop> {
         self.stats.borrow_mut().region_expansions += 1;
         self.meter.tick(&self.budget)?;
+        Ok(())
+    }
+
+    /// Should this fan-out run on the pool? Degraded mode stays serial: its
+    /// quarantine accounting depends on evaluation order.
+    fn parallel(&self, items: usize) -> bool {
+        !self.pool.is_serial() && !self.degrade && items > 1
+    }
+
+    fn par_setup(&self) -> ParSetup<'a> {
+        ParSetup {
+            ext: self.ext,
+            budget: self.budget.clone(),
+            resume: self.resume.borrow().clone(),
+        }
+    }
+
+    /// Ordered-merge bookkeeping for one worker item: fold the child's
+    /// counter delta and fixpoint progress into the parent, then re-check
+    /// the capped counters at their new totals — so a cap that a serial run
+    /// would have tripped mid-item trips here at the same item.
+    fn merge_child(
+        &self,
+        delta: EvalStats,
+        progress: BTreeMap<ProgressKey, FixLive>,
+    ) -> Result<(), Stop> {
+        self.progress.borrow_mut().extend(progress);
+        let totals = {
+            let mut s = self.stats.borrow_mut();
+            s.fix_iterations += delta.fix_iterations;
+            s.fix_tuple_tests += delta.fix_tuple_tests;
+            s.qe_calls += delta.qe_calls;
+            s.region_expansions += delta.region_expansions;
+            s.tc_edge_tests += delta.tc_edge_tests;
+            *s
+        };
+        self.budget
+            .check_fix_iterations(totals.fix_iterations as u64)?;
+        self.budget
+            .check_tuple_tests((totals.fix_tuple_tests + totals.tc_edge_tests) as u64)?;
         Ok(())
     }
 
@@ -900,38 +1043,10 @@ impl<'a> Evaluator<'a> {
                 qe::eliminate_one_cells(&sub, v, false)
             }
             RegFormula::ExistsRegion(v, inner) => {
-                let mut parts = Vec::new();
-                let mut env2 = env.clone();
-                env2.regions.insert(v.clone(), 0);
-                for id in self.ext.region_ids() {
-                    self.note_region_expansion()?;
-                    *env2.regions.get_mut(v).expect("just inserted") = id;
-                    match self.eval(inner, &env2) {
-                        Ok(Formula::True) => return Ok(Formula::True),
-                        Ok(Formula::False) => {}
-                        Ok(other) => parts.push(other),
-                        // Degraded mode: skip this region's disjunct.
-                        Err(stop) => self.absorb(stop, QuarantineUnit::Region(id))?,
-                    }
-                }
-                Formula::or(parts)
+                self.eval_region_quantifier(v, inner, env, true)?
             }
             RegFormula::ForallRegion(v, inner) => {
-                let mut parts = Vec::new();
-                let mut env2 = env.clone();
-                env2.regions.insert(v.clone(), 0);
-                for id in self.ext.region_ids() {
-                    self.note_region_expansion()?;
-                    *env2.regions.get_mut(v).expect("just inserted") = id;
-                    match self.eval(inner, &env2) {
-                        Ok(Formula::False) => return Ok(Formula::False),
-                        Ok(Formula::True) => {}
-                        Ok(other) => parts.push(other),
-                        // Degraded mode: skip this region's conjunct.
-                        Err(stop) => self.absorb(stop, QuarantineUnit::Region(id))?,
-                    }
-                }
-                Formula::and(parts)
+                self.eval_region_quantifier(v, inner, env, false)?
             }
             RegFormula::SetApp(m, vars) => {
                 let set = env
@@ -1001,6 +1116,76 @@ impl<'a> Evaluator<'a> {
                 );
                 other.eval(&BTreeMap::new())
             }
+        })
+    }
+
+    /// Expand a region quantifier over every region: disjunction for ∃R,
+    /// conjunction for ∀R (Theorem 4.3's expansion). With a worker pool
+    /// installed, region bodies evaluate concurrently on per-worker child
+    /// evaluators; the merge then replays the serial protocol in region
+    /// order — same short-circuits, same counters, same first error.
+    fn eval_region_quantifier(
+        &self,
+        v: &RegionVar,
+        inner: &RegFormula,
+        env: &Env,
+        existential: bool,
+    ) -> Result<Formula, Stop> {
+        let ids: Vec<usize> = self.ext.region_ids().collect();
+        let mut parts = Vec::new();
+        if !self.parallel(ids.len()) {
+            let mut env2 = env.clone();
+            env2.regions.insert(v.clone(), 0);
+            for id in ids {
+                self.note_region_expansion()?;
+                *env2.regions.get_mut(v).expect("just inserted") = id;
+                match self.eval(inner, &env2) {
+                    Ok(Formula::True) if existential => return Ok(Formula::True),
+                    Ok(Formula::False) if !existential => return Ok(Formula::False),
+                    Ok(Formula::True) | Ok(Formula::False) => {}
+                    Ok(other) => parts.push(other),
+                    // Degraded mode: skip this region's disjunct/conjunct.
+                    Err(stop) => self.absorb(stop, QuarantineUnit::Region(id))?,
+                }
+            }
+        } else {
+            let setup = self.par_setup();
+            let regions_env: Vec<(RegionVar, usize)> = {
+                let mut m = env.regions.clone();
+                m.insert(v.clone(), 0);
+                m.into_iter().collect()
+            };
+            let sets_env: Vec<(SetVar, BTreeSet<Vec<usize>>)> = env
+                .sets
+                .iter()
+                .map(|(k, s)| (k.clone(), (**s).clone()))
+                .collect();
+            let out = self.pool.map_init(
+                &ids,
+                || (setup.spawn(), rebuild_env(&regions_env, &sets_env)),
+                |state, _, &id| {
+                    let (ev, wenv) = state;
+                    *wenv.regions.get_mut(v).expect("pre-inserted") = id;
+                    run_child(ev, |ev| ev.eval(inner, wenv))
+                },
+            );
+            for item in out {
+                self.note_region_expansion()?;
+                self.merge_child(item.stats, item.progress)?;
+                match item.result {
+                    Ok(Formula::True) if existential => return Ok(Formula::True),
+                    Ok(Formula::False) if !existential => return Ok(Formula::False),
+                    Ok(Formula::True) | Ok(Formula::False) => {}
+                    Ok(other) => parts.push(other),
+                    // First error in region order wins, exactly as serial.
+                    Err(stop) => return Err(stop),
+                }
+            }
+        }
+        Ok(if existential {
+            Formula::or(parts)
+        } else {
+            Formula::and(parts)
         })
     }
 
@@ -1107,22 +1292,61 @@ impl<'a> Evaluator<'a> {
             for v in vars {
                 env2.regions.insert(v.clone(), 0);
             }
-            for tuple in &tuples {
-                if mode == FixMode::Ifp && next.contains(tuple) {
-                    continue;
-                }
-                self.note_fix_tuple_test()?;
-                for (v, &id) in vars.iter().zip(tuple) {
-                    *env2.regions.get_mut(v).expect("pre-inserted") = id;
-                }
-                match self.eval_bool(body, &env2) {
-                    Ok(true) => {
-                        next.insert(tuple.clone());
+            // IFP carries `current` into `next`, and serial evaluation skips
+            // tuples already present. Candidates are pairwise distinct, so
+            // the skip set is exactly the stage-start `next` — which makes
+            // the surviving tuple tests independent and safe to fan out.
+            let sweep: Vec<&Vec<usize>> = tuples
+                .iter()
+                .filter(|t| !(mode == FixMode::Ifp && next.contains(*t)))
+                .collect();
+            if !self.parallel(sweep.len()) {
+                for tuple in sweep {
+                    self.note_fix_tuple_test()?;
+                    for (v, &id) in vars.iter().zip(tuple) {
+                        *env2.regions.get_mut(v).expect("pre-inserted") = id;
                     }
-                    Ok(false) => {}
-                    // Degraded mode: a fault confined to one tuple test
-                    // leaves that tuple out of the stage.
-                    Err(stop) => self.absorb(stop, QuarantineUnit::Tuple)?,
+                    match self.eval_bool(body, &env2) {
+                        Ok(true) => {
+                            next.insert(tuple.clone());
+                        }
+                        Ok(false) => {}
+                        // Degraded mode: a fault confined to one tuple test
+                        // leaves that tuple out of the stage.
+                        Err(stop) => self.absorb(stop, QuarantineUnit::Tuple)?,
+                    }
+                }
+            } else {
+                let setup = self.par_setup();
+                let regions_env: Vec<(RegionVar, usize)> =
+                    env2.regions.iter().map(|(k, &r)| (k.clone(), r)).collect();
+                let sets_env: Vec<(SetVar, BTreeSet<Vec<usize>>)> = env2
+                    .sets
+                    .iter()
+                    .map(|(k, s)| (k.clone(), (**s).clone()))
+                    .collect();
+                let out = self.pool.map_init(
+                    &sweep,
+                    || (setup.spawn(), rebuild_env(&regions_env, &sets_env)),
+                    |state, _, t| {
+                        let (ev, wenv) = state;
+                        for (v, &id) in vars.iter().zip(t.iter()) {
+                            *wenv.regions.get_mut(v).expect("pre-inserted") = id;
+                        }
+                        run_child(ev, |ev| ev.eval_bool(body, wenv))
+                    },
+                );
+                for (tuple, item) in sweep.iter().zip(out) {
+                    self.note_fix_tuple_test()?;
+                    self.merge_child(item.stats, item.progress)?;
+                    match item.result {
+                        Ok(true) => {
+                            next.insert((*tuple).clone());
+                        }
+                        Ok(false) => {}
+                        // First error in tuple order wins, exactly as serial.
+                        Err(stop) => return Err(stop),
+                    }
                 }
             }
             // The stage completed: record it so an abort in a *later* stage
@@ -1807,6 +2031,94 @@ mod tests {
             "fixpoint recomputed per argument pair: {} iterations",
             s.fix_iterations
         );
+    }
+
+    #[test]
+    fn parallel_sentence_evaluation_matches_serial() {
+        let ext = RegionExtension::arrangement(relation(
+            "(0 < x and x < 1) or (2 < x and x < 3)",
+            &["x"],
+        ));
+        let conn = crate::queries::connectivity();
+        let serial = Evaluator::new(&ext).eval_sentence(&conn);
+        for threads in [2, 4, 8] {
+            let ev = Evaluator::new(&ext).with_threads(threads);
+            assert_eq!(ev.eval_sentence(&conn), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_query_output_matches_serial() {
+        let ext = interval_ext();
+        // { y : ∃x (S(x) ∧ y = x + 1) }, evaluated through a region
+        // quantifier so the fan-out actually runs.
+        let q = RegFormula::exists_region(
+            "R",
+            RegFormula::and(vec![
+                RegFormula::SubsetOf("R".into(), "S".into()),
+                RegFormula::exists_elem(
+                    "x",
+                    RegFormula::and(vec![
+                        RegFormula::In(vec![LinExpr::var("x")], "R".into()),
+                        RegFormula::Lin(Atom::new(
+                            LinExpr::var("y"),
+                            Rel::Eq,
+                            LinExpr::var("x").add(&LinExpr::constant(int(1))),
+                        )),
+                    ]),
+                ),
+            ]),
+        );
+        let serial = Evaluator::new(&ext).eval_query(&q);
+        for threads in [2, 8] {
+            let par = Evaluator::new(&ext).with_threads(threads).eval_query(&q);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_budget_error_matches_serial() {
+        let ext = RegionExtension::arrangement(relation(
+            "(0 < x and x < 1) or (2 < x and x < 3)",
+            &["x"],
+        ));
+        let conn = crate::queries::connectivity();
+        let budget = crate::EvalBudget::unlimited().with_max_tuple_tests(10);
+        let serial_err = Evaluator::with_budget(&ext, budget.clone())
+            .try_eval_sentence(&conn)
+            .expect_err("cap must trip");
+        let par_err = Evaluator::with_budget(&ext, budget)
+            .with_threads(4)
+            .try_eval_sentence(&conn)
+            .expect_err("cap must trip");
+        assert_eq!(
+            std::mem::discriminant(&serial_err),
+            std::mem::discriminant(&par_err)
+        );
+    }
+
+    #[test]
+    fn parallel_counters_bound_serial_work() {
+        // Counters measure actual work: a worker's warm-cache set for item i
+        // is always a subset of the serial sweep's (items < i on the same
+        // worker vs. all items < i), so every parallel counter is >= its
+        // serial value — while the semantic result stays identical.
+        let ext = RegionExtension::arrangement(relation(
+            "(0 < x and x < 1) or (2 < x and x < 3)",
+            &["x"],
+        ));
+        let conn = crate::queries::connectivity();
+        let sev = Evaluator::new(&ext);
+        let serial_verdict = sev.eval_sentence(&conn);
+        let s = sev.stats();
+        let pev = Evaluator::new(&ext).with_threads(3);
+        assert_eq!(pev.eval_sentence(&conn), serial_verdict);
+        let p = pev.stats();
+        assert_eq!(p.regions, s.regions);
+        assert_eq!(p.quarantined, 0);
+        assert!(p.fix_iterations >= s.fix_iterations, "{p:?} vs {s:?}");
+        assert!(p.fix_tuple_tests >= s.fix_tuple_tests, "{p:?} vs {s:?}");
+        assert!(p.region_expansions >= s.region_expansions, "{p:?} vs {s:?}");
     }
 
     #[test]

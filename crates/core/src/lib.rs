@@ -38,6 +38,7 @@ pub use evaluator::{
     empty_checkpoint, query_fingerprint, EvalOutcome, EvalStats, Evaluator, Quarantine,
 };
 pub use lcdb_budget::{BudgetError, CancelToken, EvalBudget};
+pub use lcdb_exec::Pool;
 pub use lcdb_recover::{RecoverError, Snapshot};
 pub use parser::parse_regformula;
 pub use regfo::{FixMode, RegFormula, RegionVar, SetVar};
@@ -72,8 +73,20 @@ pub fn try_eval_sentence_arrangement(
     sentence: &RegFormula,
     budget: &EvalBudget,
 ) -> Result<(bool, EvalStats), EvalError> {
-    let ext = RegionExtension::try_arrangement(relation.clone(), budget)?;
-    let ev = Evaluator::with_budget(&ext, budget.clone());
+    try_eval_sentence_arrangement_pool(relation, sentence, budget, &Pool::serial())
+}
+
+/// Threaded form of [`try_eval_sentence_arrangement`]: both the arrangement
+/// construction and the evaluation fan out over `pool`'s workers. Results
+/// (verdict, typed errors) are identical to the serial run.
+pub fn try_eval_sentence_arrangement_pool(
+    relation: &lcdb_logic::Relation,
+    sentence: &RegFormula,
+    budget: &EvalBudget,
+    pool: &Pool,
+) -> Result<(bool, EvalStats), EvalError> {
+    let ext = RegionExtension::try_arrangement_pool(relation.clone(), budget, pool)?;
+    let ev = Evaluator::with_budget(&ext, budget.clone()).with_pool(pool.clone());
     let verdict = ev.try_eval_sentence(sentence)?;
     Ok((verdict, ev.stats()))
 }
@@ -105,7 +118,30 @@ pub fn try_eval_sentence_arrangement_recoverable(
     checkpoint_dir: Option<&std::path::Path>,
     resume: Option<&Snapshot>,
 ) -> Result<(bool, EvalStats), (EvalError, Option<std::path::PathBuf>)> {
-    let ext = match RegionExtension::try_arrangement(relation.clone(), budget) {
+    try_eval_sentence_arrangement_recoverable_pool(
+        relation,
+        sentence,
+        budget,
+        checkpoint_dir,
+        resume,
+        &Pool::serial(),
+    )
+}
+
+/// Threaded form of [`try_eval_sentence_arrangement_recoverable`]: the same
+/// checkpoint/resume contract, with construction and evaluation fanned out
+/// over `pool`. Snapshots taken by a threaded run resume in a serial run and
+/// vice versa — checkpoint progress is merged back in deterministic order.
+#[allow(clippy::type_complexity)]
+pub fn try_eval_sentence_arrangement_recoverable_pool(
+    relation: &lcdb_logic::Relation,
+    sentence: &RegFormula,
+    budget: &EvalBudget,
+    checkpoint_dir: Option<&std::path::Path>,
+    resume: Option<&Snapshot>,
+    pool: &Pool,
+) -> Result<(bool, EvalStats), (EvalError, Option<std::path::PathBuf>)> {
+    let ext = match RegionExtension::try_arrangement_pool(relation.clone(), budget, pool) {
         Ok(ext) => ext,
         Err(e) => {
             // Aborted before any evaluator existed: persist an *empty*
@@ -130,7 +166,7 @@ pub fn try_eval_sentence_arrangement_recoverable(
             };
         }
     };
-    let ev = Evaluator::with_budget(&ext, budget.clone());
+    let ev = Evaluator::with_budget(&ext, budget.clone()).with_pool(pool.clone());
     if let Some(snap) = resume {
         ev.resume_from(sentence, snap).map_err(|e| (e, None))?;
     }

@@ -10,8 +10,8 @@ use lcdb_geom::nc1::{Nc1Decomposition, RegionKind};
 use lcdb_geom::{Arrangement, Hyperplane, VPolyhedron};
 use lcdb_linalg::QVector;
 use lcdb_logic::{Database, Formula, LinExpr, Relation};
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Per-region metadata exposed to the logics.
 #[derive(Clone, Debug)]
@@ -29,7 +29,11 @@ pub struct RegionData {
 /// A decomposition of `ℝ^d` into finitely many regions, together with the
 /// database it was derived from. This is the second sort of `B^Reg`; the
 /// logics of §4–§7 are parametric in it (Note 7.1).
-pub trait Decomposition {
+///
+/// Decompositions are `Sync` so parallel evaluation can share one across
+/// the worker threads of a pool: all queries are `&self`, and the lazy
+/// caches of [`Nc1Regions`] sit behind a mutex.
+pub trait Decomposition: Sync {
     /// Ambient dimension `d`.
     fn ambient_dim(&self) -> usize;
 
@@ -92,6 +96,18 @@ impl ArrangementRegions {
     /// ceiling, the deadline, or the cancellation token trips — *before* the
     /// O(n^d) face table (Theorem 3.1) is fully materialized.
     pub fn try_new(db: Database, spatial: &str, budget: &EvalBudget) -> Result<Self, EvalError> {
+        Self::try_new_pool(db, spatial, budget, &lcdb_exec::Pool::serial())
+    }
+
+    /// Like [`ArrangementRegions::try_new`], but fans the per-level sign
+    /// refinement of the arrangement out over `pool`'s workers. The merge is
+    /// ordered, so the result is bit-for-bit identical to serial.
+    pub fn try_new_pool(
+        db: Database,
+        spatial: &str,
+        budget: &EvalBudget,
+        pool: &lcdb_exec::Pool,
+    ) -> Result<Self, EvalError> {
         let d = db
             .relation(spatial)
             .ok_or_else(|| {
@@ -110,7 +126,7 @@ impl ArrangementRegions {
                 }
             }
         }
-        let arrangement = Arrangement::try_build(d, hyperplanes, budget)
+        let arrangement = Arrangement::try_build_pool(d, hyperplanes, budget, pool)
             .map_err(|e| EvalError::from_budget(e, EvalStats::default()))?;
         let data = arrangement
             .faces()
@@ -193,8 +209,8 @@ pub struct Nc1Regions {
     spatial: String,
     decomposition: Nc1Decomposition,
     data: Vec<RegionData>,
-    adjacency: RefCell<HashMap<(usize, usize), bool>>,
-    formulas: RefCell<HashMap<usize, Formula>>,
+    adjacency: Mutex<HashMap<(usize, usize), bool>>,
+    formulas: Mutex<HashMap<usize, Formula>>,
 }
 
 impl Nc1Regions {
@@ -230,8 +246,8 @@ impl Nc1Regions {
             spatial: spatial.to_string(),
             decomposition,
             data,
-            adjacency: RefCell::new(HashMap::new()),
-            formulas: RefCell::new(HashMap::new()),
+            adjacency: Mutex::new(HashMap::new()),
+            formulas: Mutex::new(HashMap::new()),
         })
     }
 
@@ -276,11 +292,11 @@ impl Decomposition for Nc1Regions {
             return false;
         }
         let key = (a.min(b), a.max(b));
-        if let Some(&v) = self.adjacency.borrow().get(&key) {
+        if let Some(&v) = lock(&self.adjacency).get(&key) {
             return v;
         }
         let v = self.vpoly(a).adjacent(self.vpoly(b));
-        self.adjacency.borrow_mut().insert(key, v);
+        lock(&self.adjacency).insert(key, v);
         v
     }
 
@@ -289,7 +305,7 @@ impl Decomposition for Nc1Regions {
     }
 
     fn region_formula(&self, id: usize, vars: &[String]) -> Formula {
-        if let Some(f) = self.formulas.borrow().get(&id) {
+        if let Some(f) = lock(&self.formulas).get(&id) {
             return rename_region_formula(f, self.ambient_dim(), vars);
         }
         // Build `x ∈ openconv(points; rays)` as an existential formula over
@@ -338,7 +354,7 @@ impl Decomposition for Nc1Regions {
             f = Formula::Exists(v.clone(), Box::new(f));
         }
         let qf = lcdb_logic::qe::eliminate_quantifiers(&f);
-        self.formulas.borrow_mut().insert(id, qf.clone());
+        lock(&self.formulas).insert(id, qf.clone());
         rename_region_formula(&qf, d, vars)
     }
 
@@ -353,6 +369,12 @@ impl Decomposition for Nc1Regions {
 
 fn canonical_var(i: usize) -> String {
     format!("__x{}", i)
+}
+
+/// Cache locking; these mutexes only guard idempotent memo tables, so a
+/// poisoned lock (a panic mid-insert on another thread) is safe to reuse.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Rename the canonical coordinate variables of a cached region formula to
@@ -403,6 +425,30 @@ impl RegionExtension {
     ) -> Result<Self, EvalError> {
         Ok(RegionExtension {
             inner: Box::new(ArrangementRegions::try_new(db, spatial, budget)?),
+        })
+    }
+
+    /// Like [`RegionExtension::try_arrangement`], with the arrangement's sign
+    /// refinement fanned out over `pool` (result identical to serial).
+    pub fn try_arrangement_pool(
+        relation: Relation,
+        budget: &EvalBudget,
+        pool: &lcdb_exec::Pool,
+    ) -> Result<Self, EvalError> {
+        let mut db = Database::new();
+        db.insert("S", relation);
+        Self::try_arrangement_db_pool(db, "S", budget, pool)
+    }
+
+    /// Like [`RegionExtension::try_arrangement_db`], threaded over `pool`.
+    pub fn try_arrangement_db_pool(
+        db: Database,
+        spatial: &str,
+        budget: &EvalBudget,
+        pool: &lcdb_exec::Pool,
+    ) -> Result<Self, EvalError> {
+        Ok(RegionExtension {
+            inner: Box::new(ArrangementRegions::try_new_pool(db, spatial, budget, pool)?),
         })
     }
 

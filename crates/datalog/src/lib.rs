@@ -15,9 +15,14 @@
 //!
 //! * [`Program`] — rules `head(x̄) :- atom₁, …, atomₖ` whose body atoms are
 //!   EDB/IDB predicate applications or linear constraints;
-//! * [`Program::evaluate`] — bounded naive evaluation; each stage computes
+//! * [`Program::evaluate`] — bounded evaluation; each stage computes
 //!   the immediate consequence as a quantifier-free formula, and
-//!   *semantic* convergence is detected by two LP-backed inclusion tests;
+//!   *semantic* convergence is detected by LP-backed inclusion tests.
+//!   Rounds are **semi-naive** by default (each round joins against the
+//!   per-predicate *delta* of the previous round instead of the full IDB;
+//!   [`Strategy::Naive`] recomputes everything, for comparison), and the
+//!   independent rule-consequence computations of one round can fan out
+//!   over an [`lcdb_exec::Pool`];
 //! * [`EvalOutcome`] — either a fixpoint (with its round count) or
 //!   `Diverged` when the stage budget is exhausted — which genuinely happens
 //!   (see the `westward_translation` test and experiment E19).
@@ -26,11 +31,34 @@
 #![warn(missing_docs)]
 
 use lcdb_budget::{BudgetError, EvalBudget};
+use lcdb_exec::Pool;
 use lcdb_logic::dnf::{to_dnf_pruned, Dnf};
 use lcdb_logic::{parse_formula, qe, Database, Formula, LinExpr, Relation, Var};
 use lcdb_recover::{fingerprint_str, DatalogSnapshot, IdbRelation, Snapshot};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// How fixpoint rounds compute the immediate consequence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// Recompute every rule against the full IDB each round.
+    Naive,
+    /// Delta-driven rounds: after the first round, a rule only re-fires
+    /// through body positions bound to the previous round's *delta* (the
+    /// tuples new in that round); combinations that only use older tuples
+    /// were already derived. Reaches the same fixpoint in the same number
+    /// of rounds as [`Strategy::Naive`] — datalog is positive, so the round
+    /// operator is monotone and the delta expansion is exhaustive.
+    #[default]
+    SemiNaive,
+}
+
+/// One consequence computation of a round: a rule, and — in semi-naive
+/// rounds — which body position reads the delta relation.
+struct Job<'r> {
+    rule: &'r Rule,
+    delta_lit: Option<usize>,
+}
 
 /// A body literal of a rule.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -169,12 +197,11 @@ impl Program {
         out
     }
 
-    /// Naive bounded evaluation over a database of EDB relations.
+    /// Bounded evaluation over a database of EDB relations, with the
+    /// default semi-naive rounds.
     ///
-    /// Each round recomputes every IDB relation from the immediate
-    /// consequence of all its rules; convergence is semantic (mutual
-    /// inclusion of consecutive stages, decided by LP satisfiability of the
-    /// difference formulas).
+    /// Convergence is semantic (inclusion of consecutive stages, decided by
+    /// LP satisfiability of the difference formulas).
     ///
     /// # Panics
     /// Panics if a rule body references an unknown predicate. Use
@@ -184,24 +211,39 @@ impl Program {
             .unwrap_or_else(|e| panic!("{}", e))
     }
 
-    /// Budget-governed naive evaluation. In addition to the `max_rounds`
-    /// stage bound (which yields [`EvalOutcome::Diverged`], the *expected*
-    /// non-termination verdict), the budget's deadline, cancellation token,
-    /// and fixed-point iteration cap are checked between rounds; tripping
-    /// one aborts with [`DatalogError::Budget`] carrying the IDB state after
-    /// the last completed round.
+    /// Budget-governed evaluation (semi-naive, serial). In addition to the
+    /// `max_rounds` stage bound (which yields [`EvalOutcome::Diverged`], the
+    /// *expected* non-termination verdict), the budget's deadline,
+    /// cancellation token, and fixed-point iteration cap are checked between
+    /// rounds; tripping one aborts with [`DatalogError::Budget`] carrying
+    /// the IDB state after the last completed round.
     pub fn try_evaluate(
         &self,
         edb: &Database,
         max_rounds: usize,
         budget: &EvalBudget,
     ) -> Result<EvalOutcome, DatalogError> {
+        self.try_evaluate_with(edb, max_rounds, budget, Strategy::default(), &Pool::serial())
+    }
+
+    /// Full-control evaluation: pick the round [`Strategy`] and fan each
+    /// round's independent rule-consequence computations out over `pool`.
+    /// The merge is ordered (predicate, rule, delta-position), so results
+    /// and round counts are identical across strategies and thread counts.
+    pub fn try_evaluate_with(
+        &self,
+        edb: &Database,
+        max_rounds: usize,
+        budget: &EvalBudget,
+        strategy: Strategy,
+        pool: &Pool,
+    ) -> Result<EvalOutcome, DatalogError> {
         let mut idb: BTreeMap<String, Relation> = BTreeMap::new();
         for (name, arity) in self.idb_predicates() {
             let vars: Vec<Var> = (0..arity).map(|i| format!("x{}", i)).collect();
             idb.insert(name, Relation::new(vars, &Formula::False));
         }
-        self.run_rounds(edb, budget, idb, 0, max_rounds)
+        self.run_rounds(edb, budget, pool, strategy, idb, 0, max_rounds)
     }
 
     /// A structural fingerprint of the program's rules; two programs with the
@@ -243,16 +285,37 @@ impl Program {
     /// Resume an evaluation aborted by a budget from a [`Snapshot`] written
     /// by [`Program::checkpoint`]. The snapshot must carry this program's
     /// fingerprint; its IDB relations seed the round loop, which continues
-    /// from the first uncompleted round (naive evaluation recomputes every
-    /// round from the full current IDB, so restarting from the last completed
-    /// stage is sound). Pass a *fresh* budget — the counters that tripped the
-    /// original abort are not carried over.
+    /// from the first uncompleted round. The first resumed round evaluates
+    /// every rule against the full restored IDB (the true delta is not
+    /// persisted), which is sound and re-establishes the delta chain for
+    /// the semi-naive rounds that follow. Pass a *fresh* budget — the
+    /// counters that tripped the original abort are not carried over.
     pub fn resume_from(
         &self,
         edb: &Database,
         max_rounds: usize,
         budget: &EvalBudget,
         snapshot: &Snapshot,
+    ) -> Result<EvalOutcome, DatalogError> {
+        self.resume_from_with(
+            edb,
+            max_rounds,
+            budget,
+            snapshot,
+            Strategy::default(),
+            &Pool::serial(),
+        )
+    }
+
+    /// [`Program::resume_from`] with an explicit [`Strategy`] and [`Pool`].
+    pub fn resume_from_with(
+        &self,
+        edb: &Database,
+        max_rounds: usize,
+        budget: &EvalBudget,
+        snapshot: &Snapshot,
+        strategy: Strategy,
+        pool: &Pool,
     ) -> Result<EvalOutcome, DatalogError> {
         let snap = match snapshot {
             Snapshot::Datalog(s) => s,
@@ -301,21 +364,43 @@ impl Program {
             })?;
             idb.insert(saved.name.clone(), Relation::new(saved.vars.clone(), &formula));
         }
-        self.run_rounds(edb, budget, idb, snap.rounds as usize, max_rounds)
+        self.run_rounds(
+            edb,
+            budget,
+            pool,
+            strategy,
+            idb,
+            snap.rounds as usize,
+            max_rounds,
+        )
     }
 
-    /// The naive round loop, shared by fresh evaluation (`completed = 0`)
-    /// and resumption (`completed` = rounds already persisted). Round
-    /// numbers are absolute, so budget and abort bookkeeping stay
-    /// comparable across an abort/resume boundary.
+    /// The round loop, shared by fresh evaluation (`completed = 0`) and
+    /// resumption (`completed` = rounds already persisted). Round numbers
+    /// are absolute, so budget and abort bookkeeping stay comparable across
+    /// an abort/resume boundary.
+    ///
+    /// The first round of any run evaluates every rule against the full
+    /// IDB — which on a fresh start *is* the naive first round, and on
+    /// resume conservatively re-fires everything (the persisted snapshot
+    /// has no delta). Each completed round then records the per-predicate
+    /// delta `next \ current`, and under [`Strategy::SemiNaive`] later
+    /// rounds only fire rules through delta-bound body positions.
+    #[allow(clippy::too_many_arguments)]
     fn run_rounds(
         &self,
         edb: &Database,
         budget: &EvalBudget,
+        pool: &Pool,
+        strategy: Strategy,
         mut idb: BTreeMap<String, Relation>,
         completed: usize,
         max_rounds: usize,
     ) -> Result<EvalOutcome, DatalogError> {
+        let preds = self.idb_predicates();
+        // The previous round's delta; `None` until a round completes in
+        // this process (semi-naive needs a predecessor round to diff).
+        let mut delta: Option<BTreeMap<String, Relation>> = None;
         for round in (completed + 1)..=max_rounds {
             let abort = |error: BudgetError, idb: &BTreeMap<String, Relation>| {
                 DatalogError::Budget {
@@ -335,25 +420,48 @@ impl Program {
             if let Err(e) = budget.check_fix_iterations(round as u64) {
                 return Err(abort(e, &idb));
             }
+            // The round's independent consequence computations, in
+            // deterministic (predicate, rule, delta-position) order.
+            let jobs = self.round_jobs(strategy, delta.as_ref());
+            let consequences = pool.map(&jobs, |_, job| {
+                let bound = job.delta_lit.map(|i| {
+                    let d = delta.as_ref().expect("delta jobs only exist once a delta does");
+                    (i, d)
+                });
+                self.rule_consequence(job.rule, edb, &idb, bound)
+            });
             let mut next: BTreeMap<String, Relation> = BTreeMap::new();
-            for (name, arity) in self.idb_predicates() {
-                let vars: Vec<Var> = (0..arity).map(|i| format!("x{}", i)).collect();
-                let mut disjuncts = Vec::new();
-                for rule in self.rules.iter().filter(|r| r.head == name) {
-                    disjuncts.push(self.rule_consequence(rule, edb, &idb, &vars)?);
+            let mut new_delta: BTreeMap<String, Relation> = BTreeMap::new();
+            let mut converged = true;
+            for (name, arity) in &preds {
+                let vars: Vec<Var> = (0..*arity).map(|i| format!("x{}", i)).collect();
+                let mut fresh = Vec::new();
+                for (job, result) in jobs.iter().zip(&consequences) {
+                    if job.rule.head == *name {
+                        // First error in job order wins — same verdict as a
+                        // serial left-to-right sweep.
+                        fresh.push(result.clone()?);
+                    }
                 }
+                let fresh = Formula::or(fresh);
                 // Monotone accumulation (datalog is positive).
-                disjuncts.push(idb[&name].dnf().to_formula());
-                let formula = Formula::or(disjuncts);
+                let formula = Formula::or(vec![fresh.clone(), idb[name].dnf().to_formula()]);
                 let dnf = to_dnf_pruned(&formula).simplify();
-                next.insert(name.clone(), Relation::from_dnf(vars, dnf));
+                next.insert(name.clone(), Relation::from_dnf(vars.clone(), dnf));
+                // Delta = the genuinely new tuples; the round converged when
+                // every delta is empty (next ⊆ current, LP-decided).
+                let exprs: Vec<LinExpr> =
+                    vars.iter().map(|v| LinExpr::var(v.clone())).collect();
+                let diff = Formula::and(vec![
+                    fresh,
+                    Formula::not(idb[name].apply(&exprs)),
+                ]);
+                let diff_dnf = to_dnf_pruned(&diff).simplify();
+                converged &= !diff_dnf.is_satisfiable();
+                new_delta.insert(name.clone(), Relation::from_dnf(vars, diff_dnf));
             }
-            // Semantic convergence: next ⊆ current suffices (monotone).
-            let converged = self
-                .idb_predicates()
-                .iter()
-                .all(|(name, _)| subset_of(&next[name], &idb[name]));
             idb = next;
+            delta = Some(new_delta);
             if converged {
                 return Ok(EvalOutcome::Fixpoint { idb, rounds: round });
             }
@@ -364,24 +472,85 @@ impl Program {
         })
     }
 
+    /// The consequence computations of one round. Naive rounds (and the
+    /// first round of any run) fire every rule against the full IDB; a
+    /// semi-naive round with a predecessor delta fires one job per
+    /// (rule, IDB body position), binding that position to the delta, and
+    /// skips non-recursive rules entirely (their consequences are already
+    /// in the IDB after round one).
+    fn round_jobs<'r>(
+        &'r self,
+        strategy: Strategy,
+        delta: Option<&BTreeMap<String, Relation>>,
+    ) -> Vec<Job<'r>> {
+        let mut jobs = Vec::new();
+        for (name, _) in self.idb_predicates() {
+            for rule in self.rules.iter().filter(|r| r.head == name) {
+                let delta_capable = strategy == Strategy::SemiNaive && delta.is_some();
+                let idb_lits: Vec<usize> = if delta_capable {
+                    rule.body
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, lit)| match lit {
+                            Literal::Pred(p, _)
+                                if self.idb_predicates().iter().any(|(n, _)| n == p) =>
+                            {
+                                Some(i)
+                            }
+                            _ => None,
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                if delta_capable {
+                    for i in idb_lits {
+                        jobs.push(Job {
+                            rule,
+                            delta_lit: Some(i),
+                        });
+                    }
+                    // No IDB literal: nothing new can fire after round one.
+                } else {
+                    jobs.push(Job {
+                        rule,
+                        delta_lit: None,
+                    });
+                }
+            }
+        }
+        jobs
+    }
+
     /// The quantifier-free formula for one rule's immediate consequence,
-    /// over the canonical head variables.
+    /// over the canonical head variables `x0..`. With `delta`, the body
+    /// literal at the given index reads the delta relation instead of the
+    /// full IDB (the semi-naive variant of the rule).
     fn rule_consequence(
         &self,
         rule: &Rule,
         edb: &Database,
         idb: &BTreeMap<String, Relation>,
-        head_vars: &[Var],
+        delta: Option<(usize, &BTreeMap<String, Relation>)>,
     ) -> Result<Formula, DatalogError> {
+        let head_vars: Vec<Var> = (0..rule.head_vars.len())
+            .map(|i| format!("x{}", i))
+            .collect();
+        let head_vars = &head_vars;
         // Conjoin body literals, expanding predicates to their definitions.
         let mut parts = Vec::new();
-        for lit in &rule.body {
+        for (i, lit) in rule.body.iter().enumerate() {
             match lit {
                 Literal::Constraint(a) => parts.push(Formula::Atom(a.clone())),
                 Literal::Pred(name, args) => {
-                    let rel = idb.get(name).or_else(|| edb.relation(name)).ok_or_else(
-                        || DatalogError::UnknownPredicate { name: name.clone() },
-                    )?;
+                    let delta_rel = match delta {
+                        Some((j, d)) if j == i => d.get(name),
+                        _ => None,
+                    };
+                    let rel = delta_rel
+                        .or_else(|| idb.get(name))
+                        .or_else(|| edb.relation(name))
+                        .ok_or_else(|| DatalogError::UnknownPredicate { name: name.clone() })?;
                     let exprs: Vec<LinExpr> =
                         args.iter().map(|v| LinExpr::var(v.clone())).collect();
                     parts.push(rel.apply(&exprs));
@@ -721,6 +890,72 @@ mod tests {
         assert!(program
             .checkpoint(&DatalogError::UnknownPredicate { name: "q".into() })
             .is_none());
+    }
+
+    /// Semi-naive and naive rounds land on the same semantic fixpoint in
+    /// the same number of rounds, serial or threaded.
+    #[test]
+    fn semi_naive_matches_naive() {
+        let (edb, program) = bounded_reach_program();
+        let budget = EvalBudget::unlimited();
+        let outcomes: Vec<(BTreeMap<String, Relation>, usize)> = [
+            (Strategy::Naive, 1),
+            (Strategy::Naive, 4),
+            (Strategy::SemiNaive, 1),
+            (Strategy::SemiNaive, 4),
+        ]
+        .into_iter()
+        .map(|(strategy, threads)| {
+            match program
+                .try_evaluate_with(&edb, 20, &budget, strategy, &Pool::new(threads))
+                .unwrap()
+            {
+                EvalOutcome::Fixpoint { idb, rounds } => (idb, rounds),
+                other => panic!("{:?}", other),
+            }
+        })
+        .collect();
+        let (ref_idb, ref_rounds) = &outcomes[0];
+        for (idb, rounds) in &outcomes[1..] {
+            assert_eq!(rounds, ref_rounds);
+            for (name, rel) in ref_idb {
+                assert!(same_relation(rel, &idb[name]), "relation '{name}' differs");
+            }
+        }
+    }
+
+    /// Divergence verdicts agree across strategies: the unbounded program
+    /// is still (correctly) non-terminating under semi-naive rounds.
+    #[test]
+    fn semi_naive_diverges_like_naive() {
+        let mut edb = Database::new();
+        edb.insert("S", rel1("0 <= x and x <= 1"));
+        let program = Program::new()
+            .rule(Rule::new(
+                "reach",
+                vec!["x".into()],
+                vec![Literal::Pred("S".into(), vec!["x".into()])],
+            ))
+            .rule(Rule::new(
+                "reach",
+                vec!["x".into()],
+                vec![
+                    Literal::Pred("reach".into(), vec!["y".into()]),
+                    Literal::Constraint(atom("x - y = 1")),
+                ],
+            ));
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            match program
+                .try_evaluate_with(&edb, 8, &EvalBudget::unlimited(), strategy, &Pool::new(2))
+                .unwrap()
+            {
+                EvalOutcome::Diverged { partial, rounds } => {
+                    assert_eq!(rounds, 8, "{strategy:?}");
+                    assert!(partial["reach"].contains(&[int(7)]), "{strategy:?}");
+                }
+                other => panic!("{strategy:?}: {other:?}"),
+            }
+        }
     }
 
     #[test]

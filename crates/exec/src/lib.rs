@@ -1,0 +1,284 @@
+//! Scoped-thread worker pool with *ordered* result merge.
+//!
+//! The engine's hot loops — per-level sign-vector refinement (Theorem 3.1),
+//! region-quantifier expansion, fixpoint tuple sweeps (Theorem 6.1), and
+//! datalog rule bodies — are all embarrassingly parallel maps over an input
+//! slice whose per-item work is a pure function of the item. This crate
+//! provides exactly that shape and nothing more, on `std::thread` alone (the
+//! vendored dependency set has no rayon):
+//!
+//! * [`Pool::map`] / [`Pool::map_init`] fan a slice out to scoped workers in
+//!   contiguous chunks claimed off a shared atomic cursor, then merge the
+//!   results back **in input order**. Callers replay order-dependent effects
+//!   (budget metering, short-circuiting, error selection) over the merged
+//!   vector, which makes parallel evaluation bit-for-bit identical to serial
+//!   — including *which* error wins when several items fail (first in input
+//!   order, exactly as a serial loop would have reported).
+//! * [`Pool::map_init`] builds per-worker scratch state *inside* the worker
+//!   via an `init` closure, so the state only needs to be constructible from
+//!   `Sync` captures — it never crosses a thread boundary itself. This is
+//!   how non-`Send` evaluators (interior caches) ride along: each worker
+//!   owns a private one.
+//! * Under the `faults` feature, workers re-arm the spawning thread's
+//!   fault-injection plan ([`lcdb_budget::faults::export`] /
+//!   [`install`](lcdb_budget::faults::install)), so deterministic fault
+//!   tests keep firing inside the pool instead of silently escaping it.
+//!
+//! A [`Pool`] is a configuration, not a set of live threads: workers are
+//! scoped to each call, so borrows of caller state flow into the closures
+//! without `'static` bounds, and an idle pool costs nothing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A worker-pool configuration: how many threads a fan-out may use.
+///
+/// `threads == 1` (the default) runs every map inline on the caller's
+/// thread with zero overhead, which keeps serial evaluation the baseline
+/// and makes "parallel ≡ serial" trivially true at one thread.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl Pool {
+    /// The inline pool: every map runs on the caller's thread.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// A pool using up to `threads` workers per fan-out (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Resolve the worker count from an explicit request (e.g. a
+    /// `--threads` flag) falling back to the `LCDB_THREADS` environment
+    /// variable, then to serial. Invalid or zero values mean serial.
+    pub fn resolve(explicit: Option<usize>) -> Self {
+        let threads = explicit
+            .or_else(|| {
+                std::env::var("LCDB_THREADS")
+                    .ok()
+                    .and_then(|s| s.trim().parse::<usize>().ok())
+            })
+            .unwrap_or(1);
+        Self::new(threads)
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when maps run inline on the caller's thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Map `f` over `items`, returning results in input order.
+    ///
+    /// `f` receives the item's index alongside the item so workers can
+    /// label work without threading context through captures.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map_init(items, || (), |(), i, t| f(i, t))
+    }
+
+    /// Map `f` over `items` with per-worker scratch state, returning
+    /// results in input order.
+    ///
+    /// `init` runs once per worker *inside* that worker, so the state `S`
+    /// need not be `Send` — only the `init` and `f` closures (and their
+    /// captures) must be `Sync`. Workers claim contiguous chunks off a
+    /// shared cursor, so the assignment of items to workers is dynamic, but
+    /// the merged output order (and therefore everything the caller derives
+    /// from it) is not.
+    pub fn map_init<S, T, R, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            let mut state = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut state, i, t))
+                .collect();
+        }
+        // Chunked claims amortize cursor contention while still balancing
+        // load: ~8 chunks per worker keeps the tail short even when item
+        // costs are skewed.
+        let chunk = (items.len() / (workers * 8)).max(1);
+        let cursor = AtomicUsize::new(0);
+        #[cfg(feature = "faults")]
+        let fault_state = lcdb_budget::faults::export();
+        let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let init = &init;
+                    let f = &f;
+                    #[cfg(feature = "faults")]
+                    let fault_state = fault_state.clone();
+                    scope.spawn(move || {
+                        #[cfg(feature = "faults")]
+                        let _armed = fault_state.as_ref().map(lcdb_budget::faults::install);
+                        let mut state = init();
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                                out.push((i, f(&mut state, i, item)));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        let mut merged: Vec<Option<R>> = Vec::with_capacity(items.len());
+        merged.resize_with(items.len(), || None);
+        for part in parts {
+            for (i, r) in part {
+                merged[i] = Some(r);
+            }
+        }
+        merged
+            .into_iter()
+            .map(|r| r.expect("pool covered every index exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn results_arrive_in_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_index_visited_exactly_once() {
+        let items: Vec<usize> = (0..257).collect();
+        let seen = Mutex::new(Vec::new());
+        let pool = Pool::new(4);
+        pool.map(&items, |i, _| {
+            seen.lock().expect("test mutex").push(i);
+        });
+        let mut seen = seen.into_inner().expect("test mutex");
+        seen.sort_unstable();
+        assert_eq!(seen, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_state_is_per_worker_and_reused() {
+        let items: Vec<u32> = (0..64).collect();
+        let pool = Pool::new(3);
+        // Each worker's state is a distinct counter; the per-item results
+        // record (first-item-index, position-in-worker) pairs. Every item
+        // must be processed by exactly one worker with a monotonically
+        // growing local position.
+        let out = pool.map_init(
+            &items,
+            || 0u32,
+            |count, _i, _x| {
+                *count += 1;
+                *count
+            },
+        );
+        // Positions within a worker start at 1 and increase; summed over
+        // workers they cover all 64 items.
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().all(|&c| (1..=64).contains(&c)));
+    }
+
+    #[test]
+    fn worker_count_caps_at_item_count() {
+        // More threads than items must not panic or duplicate work.
+        let items = [10usize, 20];
+        let out = Pool::new(16).map(&items, |_, &x| x + 1);
+        assert_eq!(out, vec![11, 21]);
+        let out = Pool::new(16).map(&[] as &[usize], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let order = Mutex::new(BTreeSet::new());
+        let items: Vec<usize> = (0..10).collect();
+        let out = Pool::serial().map_init(
+            &items,
+            || (),
+            |(), i, &x| {
+                order.lock().expect("test mutex").insert(i);
+                x
+            },
+        );
+        assert_eq!(out, items);
+        assert_eq!(order.into_inner().expect("test mutex").len(), 10);
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_over_env() {
+        assert_eq!(Pool::resolve(Some(4)).threads(), 4);
+        assert_eq!(Pool::resolve(Some(0)).threads(), 1);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn workers_rearm_the_callers_fault_plan() {
+        use lcdb_budget::faults::FaultPlan;
+        let _g = FaultPlan::new().fail_on("exec.test", 1).arm();
+        let items: Vec<usize> = (0..8).collect();
+        let fired = Pool::new(2).map(&items, |_, _| {
+            lcdb_budget::faults::check("exec.test").is_err()
+        });
+        assert_eq!(
+            fired.iter().filter(|&&f| f).count(),
+            1,
+            "the armed site fires exactly once, inside a pool worker"
+        );
+    }
+}

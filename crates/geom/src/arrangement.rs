@@ -11,6 +11,7 @@
 use crate::Hyperplane;
 use lcdb_arith::{Rational, Sign};
 use lcdb_budget::{BudgetError, EvalBudget};
+use lcdb_exec::Pool;
 use lcdb_linalg::{Matrix, QVector};
 use lcdb_logic::{Atom, LinExpr, Relation};
 use lcdb_lp::{LinConstraint, Rel};
@@ -79,6 +80,26 @@ impl Arrangement {
         hyperplanes: Vec<Hyperplane>,
         budget: &EvalBudget,
     ) -> Result<Self, BudgetError> {
+        Arrangement::try_build_pool(dim, hyperplanes, budget, &Pool::serial())
+    }
+
+    /// [`Arrangement::try_build`] with the per-level sign-vector refinement
+    /// and the face-finalization pass fanned out over `pool`.
+    ///
+    /// Each partial vector's three LP feasibility probes are independent of
+    /// every other partial vector at the same level, so workers expand
+    /// parents concurrently; the children are merged back **in parent
+    /// order** and the budget protocol (meter ticks, face-cap checks, the
+    /// injected-fault site) is replayed serially over that merge. The
+    /// resulting arrangement — and, when a budget trips, the error and the
+    /// parent position it is charged to — is bit-for-bit identical to a
+    /// serial build.
+    pub fn try_build_pool(
+        dim: usize,
+        hyperplanes: Vec<Hyperplane>,
+        budget: &EvalBudget,
+        pool: &Pool,
+    ) -> Result<Self, BudgetError> {
         assert!(dim > 0, "arrangements need a positive ambient dimension");
         for h in &hyperplanes {
             assert_eq!(h.dim(), dim, "hyperplane dimension mismatch");
@@ -88,49 +109,95 @@ impl Arrangement {
         let mut partial: Vec<(SignVector, QVector)> =
             vec![(Vec::new(), vec![Rational::zero(); dim])];
         for (k, h) in hyperplanes.iter().enumerate() {
-            let mut next = Vec::with_capacity(partial.len() * 2);
-            for (signs, witness) in &partial {
-                meter.tick(budget)?;
+            let expand = |signs: &SignVector, witness: &QVector| {
                 let carried = h.side_of(witness);
+                let mut children: Vec<(SignVector, QVector)> = Vec::with_capacity(3);
                 for side in [Sign::Negative, Sign::Zero, Sign::Positive] {
                     let mut child = signs.clone();
                     child.push(side);
                     if side == carried {
-                        next.push((child, witness.clone()));
+                        children.push((child, witness.clone()));
                     } else {
                         let cons = sign_constraints(&hyperplanes[..=k], &child);
                         if let Some(w) = lcdb_lp::feasible(dim, &cons) {
-                            next.push((child, w));
+                            children.push((child, w));
                         }
                     }
                 }
-                budget.check_faces(next.len())?;
-                // Fault-injection site: a spurious face-cap trip mid-refinement.
-                #[cfg(feature = "faults")]
-                lcdb_budget::faults::check("geom.face_cap")?;
+                children
+            };
+            let mut next = Vec::with_capacity(partial.len() * 2);
+            if pool.is_serial() {
+                for (signs, witness) in &partial {
+                    meter.tick(budget)?;
+                    next.extend(expand(signs, witness));
+                    budget.check_faces(next.len())?;
+                    // Fault-injection site: a spurious face-cap trip mid-refinement.
+                    #[cfg(feature = "faults")]
+                    lcdb_budget::faults::check("geom.face_cap")?;
+                }
+            } else {
+                // Workers also feed the shared meter, so deadlines and
+                // cancellation are noticed while LP probes are in flight.
+                // The merge below replays the per-parent budget protocol in
+                // parent order: the first failing parent (in that order)
+                // determines the returned error, exactly as a serial loop's
+                // short-circuit would.
+                let expanded = pool.map(&partial, |_, (signs, witness)| {
+                    meter.tick(budget)?;
+                    Ok::<_, BudgetError>(expand(signs, witness))
+                });
+                for children in expanded {
+                    next.extend(children?);
+                    budget.check_faces(next.len())?;
+                    #[cfg(feature = "faults")]
+                    lcdb_budget::faults::check("geom.face_cap")?;
+                }
             }
             partial = next;
         }
 
-        let mut faces = Vec::with_capacity(partial.len());
-        let mut index = HashMap::with_capacity(partial.len());
-        for (id, (signs, witness)) in partial.into_iter().enumerate() {
-            meter.tick(budget)?;
-            let dim_face = face_dimension(dim, &hyperplanes, &signs);
-            let closed: Vec<LinConstraint> = sign_constraints(&hyperplanes, &signs)
+        let finalize = |signs: &SignVector| {
+            let dim_face = face_dimension(dim, &hyperplanes, signs);
+            let closed: Vec<LinConstraint> = sign_constraints(&hyperplanes, signs)
                 .iter()
                 .map(|c| c.closed())
                 .collect();
             let bounded = lcdb_lp::is_bounded(dim, &closed)
                 .expect("face is nonempty, so its closure is nonempty");
-            index.insert(signs.clone(), id);
-            faces.push(Face {
-                id,
-                signs,
-                dim: dim_face,
-                witness,
-                bounded,
+            (dim_face, bounded)
+        };
+        let mut faces = Vec::with_capacity(partial.len());
+        let mut index = HashMap::with_capacity(partial.len());
+        if pool.is_serial() {
+            for (id, (signs, witness)) in partial.into_iter().enumerate() {
+                meter.tick(budget)?;
+                let (dim_face, bounded) = finalize(&signs);
+                index.insert(signs.clone(), id);
+                faces.push(Face {
+                    id,
+                    signs,
+                    dim: dim_face,
+                    witness,
+                    bounded,
+                });
+            }
+        } else {
+            let finalized = pool.map(&partial, |_, (signs, _)| {
+                meter.tick(budget)?;
+                Ok::<_, BudgetError>(finalize(signs))
             });
+            for (id, ((signs, witness), entry)) in partial.into_iter().zip(finalized).enumerate() {
+                let (dim_face, bounded) = entry?;
+                index.insert(signs.clone(), id);
+                faces.push(Face {
+                    id,
+                    signs,
+                    dim: dim_face,
+                    witness,
+                    bounded,
+                });
+            }
         }
         Ok(Arrangement {
             dim,
@@ -559,6 +626,38 @@ mod tests {
                 .collect();
             assert!(atoms.iter().all(|at| at.eval(&env)), "{}", f);
         }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_for_bit_serial() {
+        let hs = vec![h(&[1, 0], 0), h(&[0, 1], 0), h(&[1, 1], 1), h(&[1, -1], 2)];
+        let serial = Arrangement::build(2, hs.clone());
+        for threads in [2, 4, 8] {
+            let par = Arrangement::try_build_pool(
+                2,
+                hs.clone(),
+                &EvalBudget::unlimited(),
+                &Pool::new(threads),
+            )
+            .unwrap();
+            assert_eq!(par.num_faces(), serial.num_faces());
+            for (a, b) in serial.faces().iter().zip(par.faces()) {
+                assert_eq!(a.signs, b.signs);
+                assert_eq!(a.dim, b.dim);
+                assert_eq!(a.bounded, b.bounded);
+                assert_eq!(a.witness, b.witness, "witness of {}", a);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_reports_the_same_face_cap_error() {
+        let hs = vec![h(&[1, 0], 0), h(&[0, 1], 0), h(&[1, 1], 1)];
+        let budget = EvalBudget::unlimited().with_max_faces(5);
+        let serial = Arrangement::try_build(2, hs.clone(), &budget).unwrap_err();
+        let parallel =
+            Arrangement::try_build_pool(2, hs.clone(), &budget, &Pool::new(4)).unwrap_err();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -2,11 +2,16 @@
 //! paper's invariants as properties.
 
 use lcdb::arith::{int, Rational};
-use lcdb::geom::Arrangement;
+use lcdb::core::parse_regformula;
+use lcdb::geom::{extract_hyperplanes, Arrangement};
 use lcdb::logic::{dnf, qe, Atom, Formula, LinExpr, Rel};
-use lcdb::{Relation};
+use lcdb::{queries, EvalBudget, Evaluator, Pool, RegionExtension, Relation};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+
+/// Thread counts the determinism properties sweep: serial, small, and
+/// oversubscribed relative to the tiny inputs.
+const THREADS: &[usize] = &[1, 2, 8];
 
 /// Random linear atoms over `x`, `y` with small coefficients.
 fn arb_atom() -> impl Strategy<Value = Atom> {
@@ -192,4 +197,204 @@ proptest! {
             prop_assert!(!atom.expr.mentions("y"));
         }
     }
+}
+
+/// A random 1-D relation: a union of short open intervals.
+fn arb_intervals() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((-4i64..=4, 1i64..=3), 1..4).prop_map(|spans| {
+        let f = Formula::or(
+            spans
+                .into_iter()
+                .map(|(a, w)| {
+                    Formula::and(vec![
+                        Formula::Atom(Atom::new(
+                            LinExpr::constant(int(a)),
+                            Rel::Lt,
+                            LinExpr::var("x"),
+                        )),
+                        Formula::Atom(Atom::new(
+                            LinExpr::var("x"),
+                            Rel::Lt,
+                            LinExpr::constant(int(a + w)),
+                        )),
+                    ])
+                })
+                .collect(),
+        );
+        Relation::new(vec!["x".into()], &f)
+    })
+}
+
+/// A face census an arrangement can be compared by: every public attribute
+/// of every face plus the adjacency matrix, in face order.
+#[allow(clippy::type_complexity)]
+fn census(arr: &Arrangement) -> (Vec<(usize, String, usize, Vec<Rational>, bool)>, Vec<bool>) {
+    let faces = arr
+        .faces()
+        .iter()
+        .map(|f| {
+            (
+                f.id,
+                format!("{:?}", f.signs),
+                f.dim,
+                f.witness.clone(),
+                f.bounded,
+            )
+        })
+        .collect();
+    let n = arr.num_faces();
+    let mut adj = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            adj.push(arr.adjacent(i, j));
+        }
+    }
+    (faces, adj)
+}
+
+/// (verdict, stringified query answer, stats) from one thread count's run.
+type EvalObservation = (
+    Result<bool, String>,
+    Result<String, String>,
+    lcdb::EvalStats,
+);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel evaluation is deterministic where it must be: sentence
+    /// verdicts and open-query answers are identical across thread counts.
+    /// Work counters measure actual work (per-worker caches may recompute
+    /// shared sub-results), so they are bounded below by the serial run's,
+    /// with the semantic region count exactly equal.
+    #[test]
+    fn parallel_evaluation_deterministic(rel in arb_intervals()) {
+        let sentence = queries::connectivity();
+        let query = parse_regformula("exists x. S(x) and y = x + 1")
+            .expect("query parses");
+        let ext = RegionExtension::arrangement(rel);
+        let mut baseline: Option<EvalObservation> = None;
+        for &t in THREADS {
+            let ev = Evaluator::with_budget(&ext, EvalBudget::unlimited()).with_threads(t);
+            let verdict = ev.try_eval_sentence(&sentence).map_err(|e| e.to_string());
+            let answer = ev
+                .try_eval_query(&query)
+                .map(|f| f.to_string())
+                .map_err(|e| e.to_string());
+            let stats = ev.stats();
+            match &baseline {
+                None => baseline = Some((verdict, answer, stats)),
+                Some((v0, a0, s0)) => {
+                    prop_assert_eq!(&verdict, v0, "verdict differs at {} threads", t);
+                    prop_assert_eq!(&answer, a0, "query answer differs at {} threads", t);
+                    prop_assert_eq!(stats.regions, s0.regions, "region count at {} threads", t);
+                    prop_assert!(
+                        stats.fix_iterations >= s0.fix_iterations
+                            && stats.fix_tuple_tests >= s0.fix_tuple_tests
+                            && stats.region_expansions >= s0.region_expansions,
+                        "parallel counters below serial at {} threads: {:?} vs {:?}",
+                        t, stats, s0
+                    );
+                }
+            }
+        }
+    }
+
+    /// The parallel arrangement build produces the identical face census —
+    /// ids, sign vectors, dimensions, witnesses, boundedness, adjacency —
+    /// at every thread count.
+    #[test]
+    fn parallel_arrangement_census_deterministic(
+        atoms in proptest::collection::vec(arb_atom(), 1..5),
+    ) {
+        let f = Formula::and(atoms.into_iter().map(Formula::Atom).collect());
+        let rel = Relation::new(vec!["x".into(), "y".into()], &f);
+        let hyperplanes = extract_hyperplanes(&rel);
+        let budget = EvalBudget::unlimited();
+        let serial = Arrangement::try_build_pool(2, hyperplanes.clone(), &budget, &Pool::serial())
+            .expect("unlimited build succeeds");
+        let want = census(&serial);
+        for &t in &THREADS[1..] {
+            let arr = Arrangement::try_build_pool(2, hyperplanes.clone(), &budget, &Pool::new(t))
+                .expect("unlimited build succeeds");
+            prop_assert_eq!(&census(&arr), &want, "census differs at {} threads", t);
+        }
+    }
+
+    /// Semi-naive datalog reaches the same fixpoint as naive, in the same
+    /// number of rounds, at every thread count — on random bounded
+    /// reachability programs (random step, bound, and seed interval).
+    #[test]
+    fn semi_naive_matches_naive_on_random_programs(
+        step in 1i64..=3,
+        bound in 2i64..=7,
+        lo in -2i64..=2,
+    ) {
+        use lcdb::datalog::{EvalOutcome, Literal, Program, Rule, Strategy};
+        let constraint = |src: &str| match lcdb::parse_formula(src).expect("atom parses") {
+            Formula::Atom(a) => Literal::Constraint(a),
+            other => panic!("expected atom, got {other}"),
+        };
+        let mut edb = lcdb::Database::new();
+        edb.insert(
+            "S",
+            rel1(&format!("{} <= x and x <= {}", lo, lo + 1)),
+        );
+        let program = Program::new()
+            .rule(Rule::new(
+                "reach",
+                vec!["x".into()],
+                vec![Literal::Pred("S".into(), vec!["x".into()])],
+            ))
+            .rule(Rule::new(
+                "reach",
+                vec!["x".into()],
+                vec![
+                    Literal::Pred("reach".into(), vec!["y".into()]),
+                    constraint(&format!("x - y = {}", step)),
+                    constraint(&format!("x <= {}", bound)),
+                ],
+            ));
+        let budget = EvalBudget::unlimited();
+        let mut baseline: Option<(usize, lcdb::Relation)> = None;
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            for &t in THREADS {
+                let outcome = program
+                    .try_evaluate_with(&edb, 64, &budget, strategy, &Pool::new(t))
+                    .expect("unlimited budget cannot trip");
+                let (idb, rounds) = match outcome {
+                    EvalOutcome::Fixpoint { idb, rounds } => (idb, rounds),
+                    EvalOutcome::Diverged { rounds, .. } => {
+                        panic!("bounded program diverged after {rounds} rounds")
+                    }
+                };
+                let reach = idb.get("reach").expect("head predicate present").clone();
+                match &baseline {
+                    None => baseline = Some((rounds, reach)),
+                    Some((r0, rel0)) => {
+                        prop_assert_eq!(rounds, *r0,
+                            "round count differs ({:?}, {} threads)", strategy, t);
+                        // Semantic agreement on a half-integer grid that
+                        // covers the reachable frontier and beyond.
+                        for num in (2 * (lo - 2))..=(2 * (bound + 2)) {
+                            let p = vec![Rational::from_i64s(num, 2)];
+                            prop_assert_eq!(
+                                reach.contains(&p),
+                                rel0.contains(&p),
+                                "fixpoints disagree at {}/2 ({:?}, {} threads)",
+                                num, strategy, t
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn rel1(src: &str) -> Relation {
+    Relation::new(
+        vec!["x".into()],
+        &lcdb::parse_formula(src).expect("formula parses"),
+    )
 }
