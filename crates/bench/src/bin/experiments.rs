@@ -7,13 +7,14 @@
 //!
 //! Every run writes a machine-readable summary to `BENCH_3.json`
 //! (override the path with `LCDB_BENCH_OUT`): per-experiment wall clock,
-//! the thread count, and the detailed `BENCH` rows emitted by E19, E20
-//! and E21.
+//! the thread count, and the detailed `BENCH` rows emitted by E19, E20,
+//! E21 and E22.
 
 use lcdb_arith::{int, rat, Rational};
 use lcdb_bench::*;
 use lcdb_core::{
-    queries, Decomposition, EvalBudget, Evaluator, FixMode, Pool, RegFormula, RegionExtension,
+    compile, queries, Decomposition, EvalBudget, Evaluator, FixMode, Pool, RegFormula,
+    RegionExtension,
 };
 use lcdb_geom::{Arrangement, VPolyhedron};
 use lcdb_logic::{parse_formula, qe, Database, Formula, LinExpr, Relation};
@@ -81,6 +82,7 @@ fn main() {
     exp!("E19", e19_datalog_baseline(&pool, &mut rows));
     exp!("E20", e20_checkpoint_overhead(&mut rows));
     exp!("E21", e21_parallel_scaling(&mut rows));
+    exp!("E22", e22_plan_economics(&mut rows));
 
     let json = format!(
         "{{\"bench\":\"BENCH_3\",\"threads\":{},\"experiments\":[{}],\"rows\":[{}]}}\n",
@@ -958,4 +960,96 @@ fn e21_parallel_scaling(rows: &mut Vec<String>) {
     }
     println!("  results are identical at every thread count; the ordered merge only");
     println!("  reorders the work, never the answer\n");
+}
+
+/// E22: plan compilation economics — how long lowering + rewrite passes
+/// take relative to end-to-end evaluation, and how often the plan-driven
+/// executor's per-`PlanId` memo turns a node evaluation into a cache hit
+/// (shared subplans are evaluated once per binding, not once per mention).
+fn e22_plan_economics(rows: &mut Vec<String>) {
+    header("E22", "plan IR economics: lowering overhead and plan-cache hit rate");
+    let river_ext = || {
+        let mut db = Database::new();
+        db.insert("S", rel1("0 <= x and x <= 10"));
+        db.insert("river", rel1("0 <= x and x <= 10"));
+        db.insert("spring", rel1("x = 0"));
+        db.insert("chem1", rel1("1 < x and x < 2"));
+        db.insert("chem2", rel1("4 < x and x < 5"));
+        RegionExtension::arrangement_db(db, "S")
+    };
+    let cases: Vec<(&str, RegionExtension, RegFormula)> = vec![
+        (
+            "conn",
+            RegionExtension::arrangement(rel1("(0 < x and x < 1) or (2 < x and x < 3)")),
+            queries::connectivity(),
+        ),
+        ("gis_river", river_ext(), queries::river_pollution()),
+        (
+            "isolated_point",
+            RegionExtension::arrangement(rel1("x = 0 or (1 < x and x < 2)")),
+            queries::has_isolated_point(),
+        ),
+    ];
+    println!(
+        "  {:<16} {:>10} {:>10} {:>9} {:>10} {:>8} {:>9}",
+        "query", "lower", "eval", "overhead", "lookups", "hits", "hit-rate"
+    );
+    for (name, ext, q) in cases {
+        // Lowering alone, repeated so the measurement is not all clock noise.
+        const REPS: u32 = 100;
+        let t = Instant::now();
+        for _ in 0..REPS {
+            let _ = compile(&q);
+        }
+        let lower_us = t.elapsed().as_micros() as f64 / f64::from(REPS);
+        let ev = Evaluator::with_budget(&ext, experiment_budget());
+        let t = Instant::now();
+        let verdict = match ev.try_eval_sentence(&q) {
+            Ok(v) => v,
+            Err(e) => {
+                println!("  {:<16} aborted: {}", name, e);
+                continue;
+            }
+        };
+        let eval_us = t.elapsed().as_micros();
+        let st = ev.stats();
+        let hit_rate = if st.plan_cache_lookups == 0 {
+            0.0
+        } else {
+            st.plan_cache_hits as f64 / st.plan_cache_lookups as f64
+        };
+        let overhead = lower_us / (eval_us as f64).max(1.0);
+        println!(
+            "  {:<16} {:>8.1}us {:>8}us {:>8.2}% {:>10} {:>8} {:>8.1}%",
+            name,
+            lower_us,
+            eval_us,
+            overhead * 100.0,
+            st.plan_cache_lookups,
+            st.plan_cache_hits,
+            hit_rate * 100.0
+        );
+        let row = format!(
+            "{{\"experiment\":\"E22\",\"query\":\"{}\",\"verdict\":{},\"lower_us\":{:.2},\"eval_us\":{},\"lowering_overhead\":{:.6},\"plan_cache_lookups\":{},\"plan_cache_hits\":{},\"hit_rate\":{:.4}}}",
+            name,
+            verdict,
+            lower_us,
+            eval_us,
+            overhead,
+            st.plan_cache_lookups,
+            st.plan_cache_hits,
+            hit_rate
+        );
+        println!("  BENCH {}", row);
+        rows.push(row);
+        // The Conn query re-evaluates its shared fixpoint body across
+        // stages: memoization must be doing real work there.
+        if name == "conn" {
+            assert!(
+                st.plan_cache_hits > 0,
+                "shared-subplan memoization produced no hits on Conn"
+            );
+        }
+    }
+    println!();
 }

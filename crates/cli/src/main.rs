@@ -33,10 +33,16 @@
 //! which can exceed a serial run's (per-worker caches recompute shared
 //! sub-results). `--allow-partial` degrades to serial evaluation because
 //! quarantine accounting is order-dependent.
+//!
+//! Plan inspection: the `explain REGFORMULA` command — or the `--explain`
+//! flag, which turns `sentence`/`query`/`connected` into explain-only
+//! commands — prints the optimized plan DAG with per-node canonical hashes
+//! and deterministic cost annotations, without evaluating anything.
 
 use lcdb_core::{
-    empty_checkpoint, parse_regformula, queries, Decomposition, EvalBudget, EvalError,
-    EvalOutcome, EvalStats, Evaluator, Pool, Quarantine, RegFormula, RegionExtension, Snapshot,
+    empty_checkpoint, explain_query, parse_regformula, queries, Decomposition, EvalBudget,
+    EvalError, EvalOutcome, EvalStats, Evaluator, Pool, Quarantine, RegFormula, RegionExtension,
+    Snapshot,
 };
 use lcdb_logic::{parse_formula, Database, Relation};
 use std::io::{BufRead, Write};
@@ -59,6 +65,9 @@ struct Limits {
     /// Worker threads for arrangement construction and evaluation
     /// (`--threads N`; `LCDB_THREADS` env fallback; default serial).
     threads: Option<usize>,
+    /// Print the optimized plan for each evaluation command instead of
+    /// evaluating it (`--explain`).
+    explain: bool,
 }
 
 impl Limits {
@@ -337,6 +346,7 @@ impl Shell {
                 writeln!(out, "  sentence REGFORMULA              evaluate a boolean region-logic sentence")?;
                 writeln!(out, "  query REGFORMULA                 evaluate an open query to a QF formula")?;
                 writeln!(out, "  connected                        run the §5 connectivity query")?;
+                writeln!(out, "  explain REGFORMULA               print the optimized plan with cost annotations")?;
                 writeln!(out, "  encode                           print the β(B) tape encoding")?;
                 writeln!(out, "  contains NAME p1 p2 …            membership test for a point")?;
                 writeln!(out, "  quit                             leave")?;
@@ -346,6 +356,7 @@ impl Shell {
                 writeln!(out, "  --resume FILE          continue the next evaluation from a snapshot")?;
                 writeln!(out, "  --allow-partial        quarantine localized faults (exit code 8)")?;
                 writeln!(out, "  --threads N            parallel evaluation (default 1; LCDB_THREADS env)")?;
+                writeln!(out, "  --explain              print plans instead of evaluating sentence/query/connected")?;
             }
             "rel" => match parse_rel_definition(rest) {
                 Ok((name, vars, formula)) => {
@@ -404,7 +415,15 @@ impl Shell {
                 }
                 Ok(())
             })?,
+            "explain" => match parse_regformula(rest) {
+                Ok(f) => writeln!(out, "{}", explain_query(&f))?,
+                Err(e) => {
+                    self.exit_code = 1;
+                    writeln!(out, "parse error: {}", e)?;
+                }
+            },
             "sentence" => match parse_regformula(rest) {
+                Ok(f) if self.limits.explain => writeln!(out, "{}", explain_query(&f))?,
                 Ok(f) => self.run_command(out, |sh, out| {
                     let (verdict, q, st) =
                         sh.eval_recoverable(out, &f, |ev| ev.try_eval_sentence_outcome(&f))?;
@@ -423,6 +442,7 @@ impl Shell {
                 }
             },
             "query" => match parse_regformula(rest) {
+                Ok(f) if self.limits.explain => writeln!(out, "{}", explain_query(&f))?,
                 Ok(f) => self.run_command(out, |sh, out| {
                     let (answer, q, _) =
                         sh.eval_recoverable(out, &f, |ev| ev.try_eval_query_outcome(&f))?;
@@ -435,6 +455,9 @@ impl Shell {
                     writeln!(out, "parse error: {}", e)?;
                 }
             },
+            "connected" if self.limits.explain => {
+                writeln!(out, "{}", explain_query(&queries::connectivity()))?;
+            }
             "connected" => self.run_command(out, |sh, out| {
                 let f = queries::connectivity();
                 let (verdict, q, _) =
@@ -570,6 +593,9 @@ fn parse_limit_flags(args: &[String]) -> Result<(Limits, Vec<String>), String> {
             }
             "--allow-partial" => {
                 limits.allow_partial = true;
+            }
+            "--explain" => {
+                limits.explain = true;
             }
             "--threads" => {
                 let v = value(&mut it)?;
@@ -793,6 +819,35 @@ mod tests {
     }
 
     const GAPPED: &str = "rel S(x) := (0 < x and x < 1) or (2 < x and x < 3)";
+
+    #[test]
+    fn explain_command_and_flag() {
+        // The command needs no relation: plans are pure syntax.
+        let out = run(&["explain exists R. R subset S"]);
+        assert!(out.contains("plan"), "{}", out);
+        assert!(out.contains("cost="), "{}", out);
+        assert!(out.contains("subset"), "{}", out);
+        // The flag turns evaluation commands into explain-only ones; no
+        // extension is built, so no `rel` is needed and no stats appear.
+        let (out, code) = run_shell(
+            Limits {
+                explain: true,
+                ..Limits::default()
+            },
+            &["sentence exists R. R subset S", "connected", "query exists x. x in S"],
+        );
+        assert_eq!(code, 0, "{}", out);
+        assert!(out.contains("cost="), "{}", out);
+        assert!(!out.contains("stats:"), "{}", out);
+        // Flag parsing.
+        let (limits, rest) = parse_limit_flags(&["--explain".to_string()]).unwrap();
+        assert!(limits.explain);
+        assert!(rest.is_empty());
+        // Parse errors still report.
+        let (out, code) = run_shell(Limits::default(), &["explain ((("]);
+        assert!(out.contains("parse error"), "{}", out);
+        assert_eq!(code, 1);
+    }
 
     #[test]
     fn threads_flag_parsing() {

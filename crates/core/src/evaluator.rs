@@ -1,6 +1,10 @@
-//! Evaluation of region-logic queries against a region extension.
+//! Plan-driven evaluation of region-logic queries against a region extension.
 //!
-//! The evaluator implements the algorithms behind Theorems 4.3, 6.1 and 7.3:
+//! Queries no longer interpret the `RegFormula` tree directly: every entry
+//! point first lowers the formula through [`crate::lower`] into an interned
+//! [`lcdb_plan::Plan`] DAG (NNF, constant folding, common-subplan sharing,
+//! region-quantifier hoisting), then executes the plan node-by-node. The
+//! executor implements the algorithms behind Theorems 4.3, 6.1 and 7.3:
 //!
 //! * region quantifiers expand into finite disjunctions/conjunctions over
 //!   the region sort;
@@ -12,20 +16,26 @@
 //! * `TC`/`DTC` compute reachability over tuples of regions;
 //! * `rBIT` extracts the binary representation of a defined rational.
 //!
-//! Fixed points and TC edge relations are memoized per operator node and
-//! outer environment, which is what makes e.g. the connectivity query cost
-//! one fixed-point computation instead of `|Reg|²` of them.
+//! Because plan nodes are hash-consed, memoization is per [`PlanId`]: shared
+//! subplans are evaluated once per distinct region binding — including
+//! across fixed-point rounds, and (via memo seeding) across the worker
+//! chunks of a parallel fan-out. Fixed points and TC edge relations keep
+//! their own per-operator caches, which is what makes e.g. the connectivity
+//! query cost one fixed-point computation instead of `|Reg|²` of them.
 //!
 //! Every recursion path is *fallible*: internally the evaluator threads a
 //! private `Stop` error channel so that an [`EvalBudget`] limit (deadline,
 //! iteration cap, tuple-test cap, memory ceiling, cancellation) or a
 //! malformed query unwinds cleanly to the entry point, where it is reported
-//! as an [`EvalError`] carrying the partial [`EvalStats`]. The legacy
-//! infallible entry points (`eval_sentence`, …) wrap the `try_*` variants
-//! with an unlimited budget, so for them only query defects can surface —
-//! as panics, preserving the historical contract.
+//! as an [`EvalError`] carrying the partial [`EvalStats`]. Budget and
+//! cancellation checks happen at plan-node granularity (metered, so the
+//! common case is a counter increment). The legacy infallible entry points
+//! (`eval_sentence`, …) wrap the `try_*` variants with an unlimited budget,
+//! so for them only query defects can surface — as panics, preserving the
+//! historical contract.
 
 use crate::error::EvalError;
+use crate::lower;
 use crate::regfo::{FixMode, RegFormula, RegionVar, SetVar};
 use crate::region::Decomposition;
 use lcdb_arith::{Rational, Sign};
@@ -33,12 +43,13 @@ use lcdb_budget::{BudgetError, EvalBudget, Meter};
 use lcdb_exec::Pool;
 use lcdb_logic::dnf::{to_dnf_pruned, Dnf};
 use lcdb_logic::{qe, Formula, Rel, Var};
-use lcdb_recover::{
-    fingerprint_str, FixKind, FixProgress, FixpointSnapshot, PersistedStats, Snapshot,
-};
+use lcdb_plan::{NodeFacts, Plan, PlanId, PlanNode};
+use lcdb_recover::{FixKind, FixProgress, FixpointSnapshot, PersistedStats, Snapshot};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
+
+pub use crate::lower::query_fingerprint;
 
 /// Counters describing the work an evaluation performed.
 ///
@@ -61,6 +72,13 @@ pub struct EvalStats {
     /// Units (disjuncts, regions, fixpoint tuples) quarantined by
     /// fault-tolerant evaluation ([`Evaluator::tolerate_faults`]).
     pub quarantined: usize,
+    /// Interned plan nodes in the last compiled query.
+    pub plan_nodes: usize,
+    /// Plan-memo lookups (boolean and formula caches, keyed by `PlanId`
+    /// plus region bindings).
+    pub plan_cache_lookups: usize,
+    /// Plan-memo hits — work avoided by shared-subplan evaluation.
+    pub plan_cache_hits: usize,
 }
 
 /// What fault-tolerant evaluation walled off: the units whose local faults
@@ -146,16 +164,8 @@ struct FixLive {
 
 /// Key for checkpoint progress: a stable structural fingerprint of the
 /// fixpoint operator plus the region ids bound to its outer dependencies.
-/// Unlike interned node ids, this survives across processes.
+/// Unlike plan ids, this survives across processes.
 type ProgressKey = (u64, Vec<u64>);
-
-/// Stable structural fingerprint of a query: snapshots carry it so a resume
-/// against a *different* query is rejected instead of silently seeding wrong
-/// state. FNV-1a over the debug rendering — deterministic across processes,
-/// unlike `std`'s randomized hasher.
-pub fn query_fingerprint(f: &RegFormula) -> u64 {
-    fingerprint_str(&format!("{:?}", f))
-}
 
 /// An entry-less checkpoint for aborts that happen before any evaluator
 /// exists (typically during decomposition construction). Resuming from it
@@ -176,10 +186,6 @@ pub fn empty_checkpoint(query: &RegFormula, stats: EvalStats) -> Snapshot {
         },
         entries: Vec::new(),
     })
-}
-
-fn fix_fingerprint(mode: FixMode, set_var: &str, vars: &[RegionVar], body: &RegFormula) -> u64 {
-    fingerprint_str(&format!("{:?}|{}|{:?}|{:?}", mode, set_var, vars, body))
 }
 
 fn fix_kind(mode: FixMode) -> FixKind {
@@ -228,26 +234,16 @@ impl From<BudgetError> for Stop {
     }
 }
 
-/// Static facts about a formula node, computed once and keyed by the node's
-/// address (stable while the query AST is borrowed).
-#[derive(Clone)]
-struct NodeInfo {
-    elem_free: bool,
-    set_free: bool,
-    /// Free region variables, sorted by name.
-    free_regions: Rc<Vec<RegionVar>>,
-}
+/// Cache key: plan node id plus the bindings of its free region variables
+/// (in name order). Only set-variable-free nodes are cached this way.
+type NodeKey = (PlanId, Vec<usize>);
 
-/// Cache key: interned node id plus the bindings of its free region
-/// variables (in name order). Only set-variable-free nodes are cached this
-/// way.
-type NodeKey = (u32, Vec<usize>);
-
-/// Evaluator for region-logic formulas over a fixed region extension.
+/// Plan-driven executor for region-logic formulas over a fixed region
+/// extension.
 ///
-/// Caches are keyed by node addresses within the formulas passed to the
-/// public entry points; they are cleared on every entry call, so results
-/// never leak between different query ASTs.
+/// Every public entry point lowers its query through [`crate::lower`] into
+/// an interned plan and executes that; memo tables are keyed by [`PlanId`]
+/// and cleared on every entry call, so results never leak between queries.
 ///
 /// Construct with [`Evaluator::new`] for unlimited evaluation or
 /// [`Evaluator::with_budget`] to enforce resource limits, in which case the
@@ -256,16 +252,13 @@ pub struct Evaluator<'a> {
     ext: &'a dyn Decomposition,
     budget: EvalBudget,
     meter: Meter,
-    /// Structural interning: formulas that are equal share one id, so
-    /// repeated instances of e.g. the order predicates share cache entries.
-    intern: RefCell<HashMap<RegFormula, u32>>,
-    /// Address → interned id, so the structural lookup happens once per node.
-    addr_to_id: RefCell<HashMap<usize, u32>>,
-    node_info: RefCell<HashMap<u32, NodeInfo>>,
     fix_cache: RefCell<HashMap<NodeKey, Rc<BTreeSet<Vec<usize>>>>>,
     tc_cache: RefCell<HashMap<NodeKey, Rc<Vec<Vec<usize>>>>>,
     bool_cache: RefCell<HashMap<NodeKey, bool>>,
-    positivity_checked: RefCell<HashSet<u32>>,
+    /// Formula-valued memo for set-free composite nodes: shared subplans
+    /// (hash-consed to one `PlanId`) evaluate once per region binding.
+    formula_memo: RefCell<HashMap<NodeKey, Formula>>,
+    positivity_checked: RefCell<HashSet<PlanId>>,
     stats: RefCell<EvalStats>,
     zero_dim_order: Vec<usize>,
     /// Fault-tolerant mode: quarantine localized faults instead of aborting.
@@ -286,21 +279,43 @@ pub struct Evaluator<'a> {
 
 /// Shared ingredients for the per-worker child evaluators of a parallel
 /// fan-out: the (now `Sync`) decomposition, a clone of the budget (sharing
-/// its deadline and cancellation token), and the resume map so seeded
-/// fixpoints restart from their checkpointed stage inside workers too.
+/// its deadline and cancellation token), the resume map so seeded fixpoints
+/// restart from their checkpointed stage inside workers too, and snapshots
+/// of the parent's memo tables — plan ids are stable across the fan-out, so
+/// subplans the parent already evaluated are not recomputed per worker.
 struct ParSetup<'a> {
     ext: &'a dyn Decomposition,
     budget: EvalBudget,
     resume: BTreeMap<ProgressKey, FixLive>,
+    bool_seed: HashMap<NodeKey, bool>,
+    formula_seed: HashMap<NodeKey, Formula>,
+    fix_seed: HashMap<NodeKey, BTreeSet<Vec<usize>>>,
+    tc_seed: HashMap<NodeKey, Vec<Vec<usize>>>,
 }
 
 impl<'a> ParSetup<'a> {
     /// A fresh child evaluator for one worker. Children are always serial
     /// (no nested fan-out) and never degrade — parallel evaluation falls
-    /// back to serial under [`Evaluator::tolerate_faults`].
+    /// back to serial under [`Evaluator::tolerate_faults`]. The parent's
+    /// memo snapshots are installed so shared subplans evaluated before the
+    /// fan-out stay evaluated-once across worker chunks; the seed is a
+    /// subset of what a serial run would have cached at any item, so the
+    /// "parallel counters bound serial work" invariant is preserved.
     fn spawn(&self) -> Evaluator<'a> {
         let ev = Evaluator::with_budget(self.ext, self.budget.clone());
         *ev.resume.borrow_mut() = self.resume.clone();
+        *ev.bool_cache.borrow_mut() = self.bool_seed.clone();
+        *ev.formula_memo.borrow_mut() = self.formula_seed.clone();
+        *ev.fix_cache.borrow_mut() = self
+            .fix_seed
+            .iter()
+            .map(|(k, s)| (k.clone(), Rc::new(s.clone())))
+            .collect();
+        *ev.tc_cache.borrow_mut() = self
+            .tc_seed
+            .iter()
+            .map(|(k, e)| (k.clone(), Rc::new(e.clone())))
+            .collect();
         ev
     }
 }
@@ -333,6 +348,9 @@ fn run_child<'a, T>(
             tc_edge_tests: after.tc_edge_tests - before.tc_edge_tests,
             regions: 0,
             quarantined: 0,
+            plan_nodes: 0,
+            plan_cache_lookups: after.plan_cache_lookups - before.plan_cache_lookups,
+            plan_cache_hits: after.plan_cache_hits - before.plan_cache_hits,
         },
         progress: ev.progress.borrow().clone(),
     }
@@ -377,12 +395,10 @@ impl<'a> Evaluator<'a> {
             ext,
             budget,
             meter,
-            intern: RefCell::new(HashMap::new()),
-            addr_to_id: RefCell::new(HashMap::new()),
-            node_info: RefCell::new(HashMap::new()),
             fix_cache: RefCell::new(HashMap::new()),
             tc_cache: RefCell::new(HashMap::new()),
             bool_cache: RefCell::new(HashMap::new()),
+            formula_memo: RefCell::new(HashMap::new()),
             positivity_checked: RefCell::new(HashSet::new()),
             stats: RefCell::new(EvalStats {
                 regions: ext.num_regions(),
@@ -436,29 +452,13 @@ impl<'a> Evaluator<'a> {
         self
     }
 
-    /// Interned id of a node: one structural hash per address, shared across
-    /// structurally equal nodes.
-    fn node_id(&self, f: &RegFormula) -> u32 {
-        let addr = f as *const RegFormula as usize;
-        if let Some(&id) = self.addr_to_id.borrow().get(&addr) {
-            return id;
-        }
-        let mut intern = self.intern.borrow_mut();
-        let next = intern.len() as u32;
-        let id = *intern.entry(f.clone()).or_insert(next);
-        self.addr_to_id.borrow_mut().insert(addr, id);
-        id
-    }
-
-    /// Address-keyed caches are only valid for the AST they were built from;
+    /// Plan-keyed caches are only valid for the plan they were built from;
     /// clear them when a new query enters.
     fn clear_caches(&self) {
-        self.intern.borrow_mut().clear();
-        self.addr_to_id.borrow_mut().clear();
-        self.node_info.borrow_mut().clear();
         self.fix_cache.borrow_mut().clear();
         self.tc_cache.borrow_mut().clear();
         self.bool_cache.borrow_mut().clear();
+        self.formula_memo.borrow_mut().clear();
         self.positivity_checked.borrow_mut().clear();
         // Per-entry recovery state: the quarantine and checkpointable
         // progress belong to one entry call. The *resume* map is kept — it
@@ -467,22 +467,8 @@ impl<'a> Evaluator<'a> {
         self.progress.borrow_mut().clear();
     }
 
-    fn info(&self, f: &RegFormula) -> (u32, NodeInfo) {
-        let id = self.node_id(f);
-        if let Some(i) = self.node_info.borrow().get(&id) {
-            return (id, i.clone());
-        }
-        let info = NodeInfo {
-            elem_free: f.free_element_vars().is_empty(),
-            set_free: f.free_set_vars().is_empty(),
-            free_regions: Rc::new(f.free_region_vars().into_iter().collect()),
-        };
-        self.node_info.borrow_mut().insert(id, info.clone());
-        (id, info)
-    }
-
-    fn bindings(&self, info: &NodeInfo, env: &Env) -> Result<Vec<usize>, Stop> {
-        info.free_regions.iter().map(|v| env.region(v)).collect()
+    fn bindings(&self, facts: &NodeFacts, env: &Env) -> Result<Vec<usize>, Stop> {
+        facts.free_regions.iter().map(|v| env.region(v)).collect()
     }
 
     /// The accumulated work counters.
@@ -582,6 +568,20 @@ impl<'a> Evaluator<'a> {
             ext: self.ext,
             budget: self.budget.clone(),
             resume: self.resume.borrow().clone(),
+            bool_seed: self.bool_cache.borrow().clone(),
+            formula_seed: self.formula_memo.borrow().clone(),
+            fix_seed: self
+                .fix_cache
+                .borrow()
+                .iter()
+                .map(|(k, s)| (k.clone(), (**s).clone()))
+                .collect(),
+            tc_seed: self
+                .tc_cache
+                .borrow()
+                .iter()
+                .map(|(k, e)| (k.clone(), (**e).clone()))
+                .collect(),
         }
     }
 
@@ -602,6 +602,8 @@ impl<'a> Evaluator<'a> {
             s.qe_calls += delta.qe_calls;
             s.region_expansions += delta.region_expansions;
             s.tc_edge_tests += delta.tc_edge_tests;
+            s.plan_cache_lookups += delta.plan_cache_lookups;
+            s.plan_cache_hits += delta.plan_cache_hits;
             *s
         };
         self.budget
@@ -702,12 +704,13 @@ impl<'a> Evaluator<'a> {
     /// entry call restarts every recorded fixpoint from its last completed
     /// stage, with the snapshot's work counters carried over.
     ///
-    /// The snapshot must match this evaluation: same query (by structural
-    /// fingerprint) and a decomposition with the same number of regions —
-    /// region ids are only meaningful relative to the decomposition they
-    /// came from. Resume with a *fresh or larger* budget: the carried-over
-    /// counters count against the new budget's caps, so re-running under the
-    /// budget that aborted the original run trips immediately.
+    /// The snapshot must match this evaluation: same query (by canonical
+    /// plan-hash fingerprint) and a decomposition with the same number of
+    /// regions — region ids are only meaningful relative to the
+    /// decomposition they came from. Resume with a *fresh or larger*
+    /// budget: the carried-over counters count against the new budget's
+    /// caps, so re-running under the budget that aborted the original run
+    /// trips immediately.
     pub fn resume_from(&self, query: &RegFormula, snapshot: &Snapshot) -> Result<(), EvalError> {
         let Snapshot::Fixpoint(snap) = snapshot else {
             return Err(self.query_error(
@@ -802,9 +805,11 @@ impl<'a> Evaluator<'a> {
         if !f.free_set_vars().is_empty() {
             return Err(self.query_error("sentence has free set variables"));
         }
+        let (plan, root) = lower::compile(f);
         self.clear_caches();
+        self.stats.borrow_mut().plan_nodes = plan.len();
         let out = self
-            .eval(f, &Env::default())
+            .eval_node(&plan, root, &Env::default())
             .map_err(|s| self.stop_error(s))?;
         Ok(self.outcome(out.eval(&BTreeMap::new())))
     }
@@ -849,9 +854,11 @@ impl<'a> Evaluator<'a> {
         if !f.free_set_vars().is_empty() {
             return Err(self.query_error("query has free set variables"));
         }
+        let (plan, root) = lower::compile(f);
         self.clear_caches();
+        self.stats.borrow_mut().plan_nodes = plan.len();
         let out = self
-            .eval(f, &Env::default())
+            .eval_node(&plan, root, &Env::default())
             .map_err(|s| self.stop_error(s))?;
         Ok(self.outcome(to_dnf_pruned(&out).simplify_strong().to_formula()))
     }
@@ -913,54 +920,100 @@ impl<'a> Evaluator<'a> {
                 .collect(),
             sets: BTreeMap::new(),
         };
+        let (plan, root) = lower::compile(f);
         self.clear_caches();
-        self.eval(f, &env).map_err(|s| self.stop_error(s))
+        self.stats.borrow_mut().plan_nodes = plan.len();
+        self.eval_node(&plan, root, &env)
+            .map_err(|s| self.stop_error(s))
     }
 
-    /// Core recursion: produces a quantifier-free formula over the free
-    /// element variables of `f` (constants `True`/`False` when none).
-    fn eval(&self, f: &RegFormula, env: &Env) -> Result<Formula, Stop> {
-        // Memoize boolean-valued quantifier nodes per free-variable bindings:
-        // order formulas like succ/first are re-evaluated inside fixed-point
-        // bodies thousands of times with the same bindings. Set-variable
-        // contents change between fixed-point stages, so only set-free
-        // subformulas are cached.
+    /// Core plan execution: produces a quantifier-free formula over the
+    /// free element variables of node `id` (constants `True`/`False` when
+    /// none). Budget and cancellation checks run here, at node granularity
+    /// (metered, so the common case is one counter increment).
+    ///
+    /// Two memo layers sit in front of the recursion, both keyed by
+    /// `(PlanId, free-region bindings)`:
+    ///
+    /// * a boolean cache for *closed* quantifier nodes — order formulas
+    ///   like succ/first are re-evaluated inside fixed-point bodies
+    ///   thousands of times with the same bindings;
+    /// * a formula memo for set-free composite nodes, which is what makes
+    ///   hash-consed shared subplans evaluate once — including across
+    ///   fixed-point rounds and (via [`ParSetup`] seeding) across the
+    ///   worker chunks of a parallel fan-out.
+    ///
+    /// Set-variable contents change between fixed-point stages, so nodes
+    /// reading set variables are never cached. Degraded mode keeps the
+    /// boolean cache but disables the formula memo: quarantine accounting
+    /// is order-dependent, and a memoized partial answer would replay one
+    /// order's quarantine into another.
+    fn eval_node(&self, plan: &Plan, id: PlanId, env: &Env) -> Result<Formula, Stop> {
+        self.meter.tick(&self.budget)?;
+        let facts = plan.facts(id);
+        let node = plan.node(id);
         if matches!(
-            f,
-            RegFormula::ExistsElem(..)
-                | RegFormula::ForallElem(..)
-                | RegFormula::ExistsRegion(..)
-                | RegFormula::ForallRegion(..)
-        ) {
-            let (id, info) = self.info(f);
-            if info.elem_free && info.set_free {
-                let key = (id, self.bindings(&info, env)?);
-                if let Some(&b) = self.bool_cache.borrow().get(&key) {
-                    return Ok(bool_formula(b));
-                }
-                let out = self.eval_uncached(f, env)?;
-                let b = match out {
-                    Formula::True => true,
-                    Formula::False => false,
-                    other => other.eval(&BTreeMap::new()),
-                };
-                self.bool_cache.borrow_mut().insert(key, b);
+            node,
+            PlanNode::ExistsElem(..)
+                | PlanNode::ForallElem(..)
+                | PlanNode::ExistsRegion(..)
+                | PlanNode::ForallRegion(..)
+        ) && facts.elem_free()
+            && facts.set_free()
+        {
+            let key = (id, self.bindings(facts, env)?);
+            self.stats.borrow_mut().plan_cache_lookups += 1;
+            if let Some(&b) = self.bool_cache.borrow().get(&key) {
+                self.stats.borrow_mut().plan_cache_hits += 1;
                 return Ok(bool_formula(b));
             }
+            let out = self.eval_node_uncached(plan, id, env)?;
+            let b = match out {
+                Formula::True => true,
+                Formula::False => false,
+                other => other.eval(&BTreeMap::new()),
+            };
+            self.bool_cache.borrow_mut().insert(key, b);
+            return Ok(bool_formula(b));
         }
-        self.eval_uncached(f, env)
+        if !self.degrade
+            && facts.set_free()
+            && matches!(
+                node,
+                PlanNode::And(_)
+                    | PlanNode::Or(_)
+                    | PlanNode::Not(_)
+                    | PlanNode::ExistsElem(..)
+                    | PlanNode::ForallElem(..)
+                    | PlanNode::ExistsRegion(..)
+                    | PlanNode::ForallRegion(..)
+                    | PlanNode::In(..)
+                    | PlanNode::Pred(..)
+            )
+        {
+            let key = (id, self.bindings(facts, env)?);
+            self.stats.borrow_mut().plan_cache_lookups += 1;
+            if let Some(cached) = self.formula_memo.borrow().get(&key) {
+                self.stats.borrow_mut().plan_cache_hits += 1;
+                return Ok(cached.clone());
+            }
+            let out = self.eval_node_uncached(plan, id, env)?;
+            self.formula_memo.borrow_mut().insert(key, out.clone());
+            return Ok(out);
+        }
+        self.eval_node_uncached(plan, id, env)
     }
 
-    fn eval_uncached(&self, f: &RegFormula, env: &Env) -> Result<Formula, Stop> {
-        Ok(match f {
-            RegFormula::True => Formula::True,
-            RegFormula::False => Formula::False,
-            RegFormula::Lin(a) => match a.constant_truth() {
+    fn eval_node_uncached(&self, plan: &Plan, id: PlanId, env: &Env) -> Result<Formula, Stop> {
+        Ok(match plan.node(id) {
+            PlanNode::True => Formula::True,
+            PlanNode::False => Formula::False,
+            PlanNode::Lin(a) => match a.constant_truth() {
                 Some(true) => Formula::True,
                 Some(false) => Formula::False,
                 None => Formula::Atom(a.clone()),
             },
-            RegFormula::Pred(name, args) => {
+            PlanNode::Pred(name, args) => {
                 let rel = self
                     .ext
                     .database()
@@ -968,8 +1021,8 @@ impl<'a> Evaluator<'a> {
                     .ok_or_else(|| Stop::Query(format!("unknown relation '{}'", name)))?;
                 rel.apply(args)
             }
-            RegFormula::In(args, rvar) => {
-                let id = env.region(rvar)?;
+            PlanNode::In(args, rvar) => {
+                let rid = env.region(rvar)?;
                 let d = self.ext.ambient_dim();
                 if args.len() != d {
                     return Err(Stop::Query(format!(
@@ -979,17 +1032,17 @@ impl<'a> Evaluator<'a> {
                     )));
                 }
                 let tmp: Vec<String> = (0..d).map(|i| format!("__in{}", i)).collect();
-                let mut formula = self.ext.region_formula(id, &tmp);
+                let mut formula = self.ext.region_formula(rid, &tmp);
                 for (t, arg) in tmp.iter().zip(args) {
                     formula = formula.substitute(t, arg);
                 }
                 formula
             }
-            RegFormula::Adj(a, b) => {
+            PlanNode::Adj(a, b) => {
                 bool_formula(self.ext.adjacent(env.region(a)?, env.region(b)?))
             }
-            RegFormula::RegionEq(a, b) => bool_formula(env.region(a)? == env.region(b)?),
-            RegFormula::SubsetOf(r, name) => {
+            PlanNode::RegionEq(a, b) => bool_formula(env.region(a)? == env.region(b)?),
+            PlanNode::SubsetOf(r, name) => {
                 // The Decomposition trait's subset_of is infallible and
                 // panics on unknown names; reject those here instead.
                 if self.ext.database().relation(name).is_none() {
@@ -997,16 +1050,16 @@ impl<'a> Evaluator<'a> {
                 }
                 bool_formula(self.ext.subset_of(env.region(r)?, name))
             }
-            RegFormula::DimEq(r, k) => {
+            PlanNode::DimEq(r, k) => {
                 bool_formula(self.ext.region(env.region(r)?).dim == *k)
             }
-            RegFormula::Bounded(r) => {
+            PlanNode::Bounded(r) => {
                 bool_formula(self.ext.region(env.region(r)?).bounded)
             }
-            RegFormula::And(fs) => {
+            PlanNode::And(fs) => {
                 let mut parts = Vec::with_capacity(fs.len());
-                for sub in fs {
-                    match self.eval(sub, env)? {
+                for &sub in fs {
+                    match self.eval_node(plan, sub, env)? {
                         Formula::False => return Ok(Formula::False),
                         Formula::True => {}
                         other => parts.push(other),
@@ -1014,10 +1067,10 @@ impl<'a> Evaluator<'a> {
                 }
                 Formula::and(parts)
             }
-            RegFormula::Or(fs) => {
+            PlanNode::Or(fs) => {
                 let mut parts = Vec::with_capacity(fs.len());
-                for sub in fs {
-                    match self.eval(sub, env) {
+                for &sub in fs {
+                    match self.eval_node(plan, sub, env) {
                         Ok(Formula::True) => return Ok(Formula::True),
                         Ok(Formula::False) => {}
                         Ok(other) => parts.push(other),
@@ -1029,26 +1082,26 @@ impl<'a> Evaluator<'a> {
                 }
                 Formula::or(parts)
             }
-            RegFormula::Not(inner) => Formula::not(self.eval(inner, env)?),
-            RegFormula::ExistsElem(v, inner) => {
-                let sub = self.eval(inner, env)?;
+            PlanNode::Not(inner) => Formula::not(self.eval_node(plan, *inner, env)?),
+            PlanNode::ExistsElem(v, inner) => {
+                let sub = self.eval_node(plan, *inner, env)?;
                 self.stats.borrow_mut().qe_calls += 1;
                 self.budget.check_interrupt()?;
                 qe::eliminate_one_cells(&sub, v, true)
             }
-            RegFormula::ForallElem(v, inner) => {
-                let sub = self.eval(inner, env)?;
+            PlanNode::ForallElem(v, inner) => {
+                let sub = self.eval_node(plan, *inner, env)?;
                 self.stats.borrow_mut().qe_calls += 1;
                 self.budget.check_interrupt()?;
                 qe::eliminate_one_cells(&sub, v, false)
             }
-            RegFormula::ExistsRegion(v, inner) => {
-                self.eval_region_quantifier(v, inner, env, true)?
+            PlanNode::ExistsRegion(v, inner) => {
+                self.eval_region_quantifier(plan, v, *inner, env, true)?
             }
-            RegFormula::ForallRegion(v, inner) => {
-                self.eval_region_quantifier(v, inner, env, false)?
+            PlanNode::ForallRegion(v, inner) => {
+                self.eval_region_quantifier(plan, v, *inner, env, false)?
             }
-            RegFormula::SetApp(m, vars) => {
+            PlanNode::SetApp(m, vars) => {
                 let set = env
                     .sets
                     .get(m)
@@ -1059,34 +1112,26 @@ impl<'a> Evaluator<'a> {
                     .collect::<Result<_, _>>()?;
                 bool_formula(set.contains(&tuple))
             }
-            RegFormula::Fix {
-                mode,
-                set_var,
-                vars,
-                body,
-                args,
-            } => {
-                let fixpoint = self.fixpoint_set(*mode, set_var, vars, body, env)?;
+            PlanNode::Fix { args, .. } => {
+                let fixpoint = self.fixpoint_set(plan, id, env)?;
                 let tuple: Vec<usize> = args
                     .iter()
                     .map(|v| env.region(v))
                     .collect::<Result<_, _>>()?;
                 bool_formula(fixpoint.contains(&tuple))
             }
-            RegFormula::Rbit { var, body, rn, rd } => bool_formula(self.eval_rbit(
+            PlanNode::Rbit { var, body, rn, rd } => bool_formula(self.eval_rbit(
+                plan,
                 var,
-                body,
+                *body,
                 env.region(rn)?,
                 env.region(rd)?,
                 env,
             )?),
-            RegFormula::Tc {
-                deterministic,
-                left,
-                right,
-                body,
+            PlanNode::Tc {
                 arg_left,
                 arg_right,
+                ..
             } => {
                 let src: Vec<usize> = arg_left
                     .iter()
@@ -1096,16 +1141,14 @@ impl<'a> Evaluator<'a> {
                     .iter()
                     .map(|v| env.region(v))
                     .collect::<Result<_, _>>()?;
-                bool_formula(
-                    self.eval_tc(f, *deterministic, left, right, body, env, &src, &dst)?,
-                )
+                bool_formula(self.eval_tc(plan, id, env, &src, &dst)?)
             }
         })
     }
 
-    /// Evaluate a formula with no free element variables to a boolean.
-    fn eval_bool(&self, f: &RegFormula, env: &Env) -> Result<bool, Stop> {
-        let out = self.eval(f, env)?;
+    /// Evaluate a node with no free element variables to a boolean.
+    fn eval_bool(&self, plan: &Plan, id: PlanId, env: &Env) -> Result<bool, Stop> {
+        let out = self.eval_node(plan, id, env)?;
         Ok(match out {
             Formula::True => true,
             Formula::False => false,
@@ -1126,8 +1169,9 @@ impl<'a> Evaluator<'a> {
     /// order — same short-circuits, same counters, same first error.
     fn eval_region_quantifier(
         &self,
-        v: &RegionVar,
-        inner: &RegFormula,
+        plan: &Plan,
+        v: &str,
+        inner: PlanId,
         env: &Env,
         existential: bool,
     ) -> Result<Formula, Stop> {
@@ -1135,11 +1179,11 @@ impl<'a> Evaluator<'a> {
         let mut parts = Vec::new();
         if !self.parallel(ids.len()) {
             let mut env2 = env.clone();
-            env2.regions.insert(v.clone(), 0);
+            env2.regions.insert(v.to_string(), 0);
             for id in ids {
                 self.note_region_expansion()?;
                 *env2.regions.get_mut(v).expect("just inserted") = id;
-                match self.eval(inner, &env2) {
+                match self.eval_node(plan, inner, &env2) {
                     Ok(Formula::True) if existential => return Ok(Formula::True),
                     Ok(Formula::False) if !existential => return Ok(Formula::False),
                     Ok(Formula::True) | Ok(Formula::False) => {}
@@ -1152,7 +1196,7 @@ impl<'a> Evaluator<'a> {
             let setup = self.par_setup();
             let regions_env: Vec<(RegionVar, usize)> = {
                 let mut m = env.regions.clone();
-                m.insert(v.clone(), 0);
+                m.insert(v.to_string(), 0);
                 m.into_iter().collect()
             };
             let sets_env: Vec<(SetVar, BTreeSet<Vec<usize>>)> = env
@@ -1166,7 +1210,7 @@ impl<'a> Evaluator<'a> {
                 |state, _, &id| {
                     let (ev, wenv) = state;
                     *wenv.regions.get_mut(v).expect("pre-inserted") = id;
-                    run_child(ev, |ev| ev.eval(inner, wenv))
+                    run_child(ev, |ev| ev.eval_node(plan, inner, wenv))
                 },
             );
             for item in out {
@@ -1193,25 +1237,33 @@ impl<'a> Evaluator<'a> {
     /// outer environment.
     fn fixpoint_set(
         &self,
-        mode: FixMode,
-        set_var: &str,
-        vars: &[RegionVar],
-        body: &RegFormula,
+        plan: &Plan,
+        fix_id: PlanId,
         env: &Env,
     ) -> Result<Rc<BTreeSet<Vec<usize>>>, Stop> {
+        let PlanNode::Fix {
+            mode,
+            set_var,
+            vars,
+            body,
+            ..
+        } = plan.node(fix_id)
+        else {
+            unreachable!("fixpoint_set called on a non-Fix node")
+        };
+        let (mode, body) = (*mode, *body);
         // Key on the *body*: the fixed point depends only on (body, tuple
         // variables, set variable, outer bindings), never on the applied
         // args, so distinct application sites of the same operator share
-        // one computation.
-        let id = self.node_id(body);
-        if self.positivity_checked.borrow_mut().insert(id) {
-            if !body.free_element_vars().is_empty() {
+        // one computation — hash-consing makes such sites one node.
+        if self.positivity_checked.borrow_mut().insert(body) {
+            if !plan.facts(body).elem_free() {
                 return Err(Stop::Query(
                     "fixed-point bodies must not have free element variables (Definition 5.1)"
                         .into(),
                 ));
             }
-            if mode == FixMode::Lfp && !body.positive_in(set_var) {
+            if mode == FixMode::Lfp && !plan.positive_in(body, set_var) {
                 return Err(Stop::Query(format!(
                     "LFP requires the body to be positive in '{}'",
                     set_var
@@ -1224,14 +1276,14 @@ impl<'a> Evaluator<'a> {
         // that read outer set variables are not memoized (their contents
         // change between outer fixed-point stages).
         let (deps, body_set_free) = {
-            let (_, info) = self.info(body);
-            let deps: Vec<RegionVar> = info
+            let facts = plan.facts(body);
+            let deps: Vec<RegionVar> = facts
                 .free_regions
                 .iter()
                 .filter(|v| !vars.contains(v))
                 .cloned()
                 .collect();
-            let set_free = body.free_set_vars().iter().all(|m| m == set_var);
+            let set_free = facts.free_sets.iter().all(|m| m == set_var);
             (deps, set_free)
         };
         let cache_key = if body_set_free {
@@ -1239,7 +1291,7 @@ impl<'a> Evaluator<'a> {
                 .iter()
                 .map(|v| env.region(v))
                 .collect::<Result<_, _>>()?;
-            let key = (id, bound);
+            let key = (body, bound);
             if let Some(cached) = self.fix_cache.borrow().get(&key) {
                 return Ok(Rc::clone(cached));
             }
@@ -1248,13 +1300,14 @@ impl<'a> Evaluator<'a> {
             None
         };
         // Checkpointable progress is keyed by a process-stable fingerprint
-        // (interned ids are not stable across runs). Only memoizable
-        // fixpoints — bodies free of *outer* set variables — are recorded:
-        // a body reading an outer set variable computes a different fixpoint
-        // per outer stage, which the key cannot distinguish.
+        // derived from the canonical plan hash (plan ids are not stable
+        // across runs). Only memoizable fixpoints — bodies free of *outer*
+        // set variables — are recorded: a body reading an outer set variable
+        // computes a different fixpoint per outer stage, which the key
+        // cannot distinguish.
         let progress_key: Option<ProgressKey> = cache_key.as_ref().map(|(_, bound)| {
             (
-                fix_fingerprint(mode, set_var, vars, body),
+                plan.fix_fingerprint(fix_id),
                 bound.iter().map(|&b| b as u64).collect(),
             )
         });
@@ -1288,7 +1341,7 @@ impl<'a> Evaluator<'a> {
                 BTreeSet::new()
             };
             let mut env2 = env.clone();
-            env2.sets.insert(set_var.to_string(), Rc::clone(&current));
+            env2.sets.insert(set_var.clone(), Rc::clone(&current));
             for v in vars {
                 env2.regions.insert(v.clone(), 0);
             }
@@ -1306,7 +1359,7 @@ impl<'a> Evaluator<'a> {
                     for (v, &id) in vars.iter().zip(tuple) {
                         *env2.regions.get_mut(v).expect("pre-inserted") = id;
                     }
-                    match self.eval_bool(body, &env2) {
+                    match self.eval_bool(plan, body, &env2) {
                         Ok(true) => {
                             next.insert(tuple.clone());
                         }
@@ -1333,7 +1386,7 @@ impl<'a> Evaluator<'a> {
                         for (v, &id) in vars.iter().zip(t.iter()) {
                             *wenv.regions.get_mut(v).expect("pre-inserted") = id;
                         }
-                        run_child(ev, |ev| ev.eval_bool(body, wenv))
+                        run_child(ev, |ev| ev.eval_bool(plan, body, wenv))
                     },
                 );
                 for (tuple, item) in sweep.iter().zip(out) {
@@ -1384,23 +1437,30 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Reachability for the TC/DTC operators: is `dst` reachable from `src`
-    /// (reflexively) via the step relation defined by `body`?
-    #[allow(clippy::too_many_arguments)]
+    /// (reflexively) via the step relation defined by the node's body?
     fn eval_tc(
         &self,
-        node: &RegFormula,
-        deterministic: bool,
-        left: &[RegionVar],
-        right: &[RegionVar],
-        body: &RegFormula,
+        plan: &Plan,
+        tc_id: PlanId,
         env: &Env,
         src: &[usize],
         dst: &[usize],
     ) -> Result<bool, Stop> {
+        let PlanNode::Tc {
+            deterministic,
+            left,
+            right,
+            body,
+            ..
+        } = plan.node(tc_id)
+        else {
+            unreachable!("eval_tc called on a non-Tc node")
+        };
+        let (deterministic, body) = (*deterministic, *body);
         if left.len() != right.len() {
             return Err(Stop::Query("TC tuple arity mismatch".into()));
         }
-        if !body.free_element_vars().is_empty() {
+        if !plan.facts(body).elem_free() {
             return Err(Stop::Query(
                 "TC bodies must not have free element variables".into(),
             ));
@@ -1409,23 +1469,22 @@ impl<'a> Evaluator<'a> {
             return Ok(true); // a path of length one (n = 1 in Definition 7.2)
         }
         let m = left.len();
-        let id = self.node_id(node);
         let (deps, body_set_free) = {
-            let (_, info) = self.info(body);
-            let deps: Vec<RegionVar> = info
+            let facts = plan.facts(body);
+            let deps: Vec<RegionVar> = facts
                 .free_regions
                 .iter()
                 .filter(|v| !left.contains(v) && !right.contains(v))
                 .cloned()
                 .collect();
-            (deps, info.set_free)
+            (deps, facts.set_free())
         };
         let cache_key = if body_set_free {
             let bound: Vec<usize> = deps
                 .iter()
                 .map(|v| env.region(v))
                 .collect::<Result<_, _>>()?;
-            Some((id, bound))
+            Some((tc_id, bound))
         } else {
             None
         };
@@ -1455,7 +1514,7 @@ impl<'a> Evaluator<'a> {
                         for (v, &id) in right.iter().zip(t2) {
                             *env2.regions.get_mut(v).expect("pre-inserted") = id;
                         }
-                        if self.eval_bool(body, &env2)? {
+                        if self.eval_bool(plan, body, &env2)? {
                             out[i].push(tuple_index[t2]);
                         }
                     }
@@ -1501,13 +1560,14 @@ impl<'a> Evaluator<'a> {
     /// The `rBIT` operator (Definition 5.1).
     fn eval_rbit(
         &self,
-        var: &Var,
-        body: &RegFormula,
+        plan: &Plan,
+        var: &str,
+        body: PlanId,
         rn: usize,
         rd: usize,
         env: &Env,
     ) -> Result<bool, Stop> {
-        let formula = self.eval(body, env)?;
+        let formula = self.eval_node(plan, body, env)?;
         let free = formula.free_vars();
         if !(free.is_empty() || (free.len() == 1 && free.contains(var))) {
             return Err(Stop::Query(format!(

@@ -28,6 +28,7 @@
 
 mod error;
 mod evaluator;
+pub mod lower;
 mod parser;
 pub mod queries;
 mod region;
@@ -37,6 +38,7 @@ pub use error::EvalError;
 pub use evaluator::{
     empty_checkpoint, query_fingerprint, EvalOutcome, EvalStats, Evaluator, Quarantine,
 };
+pub use lower::{compile, explain_query};
 pub use lcdb_budget::{BudgetError, CancelToken, EvalBudget};
 pub use lcdb_exec::Pool;
 pub use lcdb_recover::{RecoverError, Snapshot};
@@ -110,7 +112,7 @@ pub fn try_eval_sentence_nc1(
 /// stages into `checkpoint_dir` — the written path is returned with the
 /// error. Checkpoint write failures are reported in favour of the
 /// evaluation error, which they would otherwise mask.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::result_large_err)]
 pub fn try_eval_sentence_arrangement_recoverable(
     relation: &lcdb_logic::Relation,
     sentence: &RegFormula,
@@ -132,7 +134,7 @@ pub fn try_eval_sentence_arrangement_recoverable(
 /// checkpoint/resume contract, with construction and evaluation fanned out
 /// over `pool`. Snapshots taken by a threaded run resume in a serial run and
 /// vice versa — checkpoint progress is merged back in deterministic order.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::result_large_err)]
 pub fn try_eval_sentence_arrangement_recoverable_pool(
     relation: &lcdb_logic::Relation,
     sentence: &RegFormula,

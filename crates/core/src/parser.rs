@@ -40,6 +40,7 @@
 //! ```
 
 use crate::regfo::{FixMode, RegFormula};
+use lcdb_logic::lex::{self, LexOptions, RawTok};
 use lcdb_logic::{Atom, LinExpr, ParseError, Rel};
 use lcdb_arith::Rational;
 
@@ -64,127 +65,57 @@ enum Tok {
     Arrow,
 }
 
-const KEYWORDS: [&str; 14] = [
+const KEYWORDS: [&str; 18] = [
     "and", "or", "not", "exists", "forall", "true", "false", "adj", "bounded", "dim",
-    "subset", "in", "lfp", "ifp",
+    "subset", "in", "lfp", "ifp", "pfp", "tc", "dtc", "rbit",
 ];
 
+/// Tokenize through the shared lexer ([`lcdb_logic::lex`]), then classify
+/// words: keywords, region variables (uppercase-initial), or identifiers.
 fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
-    let bytes = input.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        if c.is_whitespace() {
-            i += 1;
-            continue;
-        }
-        let start = i;
-        let err = |msg: String, position: usize| ParseError { message: msg, position };
-        match c {
-            '(' => { out.push((Tok::LParen, start)); i += 1; }
-            ')' => { out.push((Tok::RParen, start)); i += 1; }
-            '[' => { out.push((Tok::LBracket, start)); i += 1; }
-            ']' => { out.push((Tok::RBracket, start)); i += 1; }
-            ',' => { out.push((Tok::Comma, start)); i += 1; }
-            ';' => { out.push((Tok::Semicolon, start)); i += 1; }
-            '.' => { out.push((Tok::Dot, start)); i += 1; }
-            '+' => { out.push((Tok::Plus, start)); i += 1; }
-            '*' => { out.push((Tok::Star, start)); i += 1; }
-            '$' => {
-                let mut j = i + 1;
-                while j < bytes.len() && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_') {
-                    j += 1;
-                }
-                if j == i + 1 {
-                    return Err(err("expected a name after '$'".into(), start));
-                }
-                out.push((Tok::SetVar(input[i + 1..j].to_string()), start));
-                i = j;
-            }
-            '-' => {
-                if bytes.get(i + 1) == Some(&b'>') {
-                    out.push((Tok::Arrow, start));
-                    i += 2;
-                } else {
-                    out.push((Tok::Minus, start));
-                    i += 1;
-                }
-            }
-            '<' => {
-                if bytes.get(i + 1) == Some(&b'=') {
-                    out.push((Tok::Rel(Rel::Le), start)); i += 2;
-                } else {
-                    out.push((Tok::Rel(Rel::Lt), start)); i += 1;
-                }
-            }
-            '>' => {
-                if bytes.get(i + 1) == Some(&b'=') {
-                    out.push((Tok::Rel(Rel::Ge), start)); i += 2;
-                } else {
-                    out.push((Tok::Rel(Rel::Gt), start)); i += 1;
-                }
-            }
-            '=' => { out.push((Tok::Rel(Rel::Eq), start)); i += 1; }
-            _ if c.is_ascii_digit() => {
-                let mut j = i;
-                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
-                    j += 1;
-                }
-                if j < bytes.len() && bytes[j] == b'/' {
-                    let mut k = j + 1;
-                    while k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
-                        k += 1;
+    let raw = lex::lex(
+        input,
+        LexOptions {
+            set_names: true,
+            brackets: true,
+            not_equal: false,
+        },
+    )?;
+    Ok(raw
+        .into_iter()
+        .map(|(t, p)| {
+            let tok = match t {
+                RawTok::Word(word) => {
+                    if let Some(&kw) = KEYWORDS.iter().find(|&&k| k == word) {
+                        Tok::Keyword(kw)
+                    } else if word.starts_with(|ch: char| ch.is_uppercase()) {
+                        Tok::RegVar(word)
+                    } else {
+                        Tok::Ident(word)
                     }
-                    if k == j + 1 {
-                        return Err(err("expected digits after '/'".into(), j));
-                    }
-                    j = k;
-                } else if j + 1 < bytes.len()
-                    && bytes[j] == b'.'
-                    && (bytes[j + 1] as char).is_ascii_digit()
-                {
-                    let mut k = j + 1;
-                    while k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
-                        k += 1;
-                    }
-                    j = k;
                 }
-                let text = &input[i..j];
-                let value: Rational = text.parse().map_err(|e| {
-                    err(format!("bad number '{}': {}", text, e), start)
-                })?;
-                out.push((Tok::Number(value), start));
-                i = j;
-            }
-            _ if c.is_ascii_alphabetic() || c == '_' => {
-                let mut j = i;
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
-                    j += 1;
+                RawTok::SetName(name) => Tok::SetVar(name),
+                RawTok::Number(n) => Tok::Number(n),
+                RawTok::LParen => Tok::LParen,
+                RawTok::RParen => Tok::RParen,
+                RawTok::LBracket => Tok::LBracket,
+                RawTok::RBracket => Tok::RBracket,
+                RawTok::Comma => Tok::Comma,
+                RawTok::Semicolon => Tok::Semicolon,
+                RawTok::Dot => Tok::Dot,
+                RawTok::Plus => Tok::Plus,
+                RawTok::Minus => Tok::Minus,
+                RawTok::Star => Tok::Star,
+                RawTok::Rel(r) => Tok::Rel(r),
+                RawTok::Arrow => Tok::Arrow,
+                // Gated off: not_equal is false for this grammar.
+                RawTok::NotEqual => {
+                    unreachable!("token not produced without its LexOptions feature")
                 }
-                let word = &input[i..j];
-                if let Some(&kw) = KEYWORDS.iter().find(|&&k| k == word) {
-                    out.push((Tok::Keyword(kw), start));
-                } else if word == "pfp" || word == "tc" || word == "dtc" || word == "rbit" {
-                    out.push((Tok::Keyword(match word {
-                        "pfp" => "pfp",
-                        "tc" => "tc",
-                        "dtc" => "dtc",
-                        _ => "rbit",
-                    }), start));
-                } else if word.starts_with(|ch: char| ch.is_uppercase()) {
-                    out.push((Tok::RegVar(word.to_string()), start));
-                } else {
-                    out.push((Tok::Ident(word.to_string()), start));
-                }
-                i = j;
-            }
-            _ => return Err(err(format!("unexpected character '{}'", c), start)),
-        }
-    }
-    Ok(out)
+            };
+            (tok, p)
+        })
+        .collect())
 }
 
 struct Parser {

@@ -18,16 +18,7 @@ pub type RegionVar = String;
 /// A set variable name (`M` in the paper), holding sets of region tuples.
 pub type SetVar = String;
 
-/// Which fixed-point operator a [`RegFormula::Fix`] node uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum FixMode {
-    /// Least fixed point (requires positivity in the set variable).
-    Lfp,
-    /// Inflationary fixed point.
-    Ifp,
-    /// Partial fixed point (empty result if the iteration does not converge).
-    Pfp,
-}
+pub use lcdb_plan::FixMode;
 
 /// A formula of the region logic family.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]

@@ -15,8 +15,10 @@
 //!
 //! * [`Program`] — rules `head(x̄) :- atom₁, …, atomₖ` whose body atoms are
 //!   EDB/IDB predicate applications or linear constraints;
-//! * [`Program::evaluate`] — bounded evaluation; each stage computes
-//!   the immediate consequence as a quantifier-free formula, and
+//! * [`Program::evaluate`] — bounded evaluation; rule bodies are compiled
+//!   once into the interned plan IR of `lcdb-plan` (tagged predicate
+//!   leaves, hash-consed sharing) and each stage executes those plans to
+//!   compute the immediate consequence as a quantifier-free formula, and
 //!   *semantic* convergence is detected by LP-backed inclusion tests.
 //!   Rounds are **semi-naive** by default (each round joins against the
 //!   per-predicate *delta* of the previous round instead of the full IDB;
@@ -30,12 +32,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use lcdb_arith::Rational;
 use lcdb_budget::{BudgetError, EvalBudget};
 use lcdb_exec::Pool;
 use lcdb_logic::dnf::{to_dnf_pruned, Dnf};
-use lcdb_logic::{parse_formula, qe, Database, Formula, LinExpr, Relation, Var};
-use lcdb_recover::{fingerprint_str, DatalogSnapshot, IdbRelation, Snapshot};
-use std::collections::BTreeMap;
+use lcdb_logic::{parse_formula, Atom, Database, Formula, LinExpr, Rel, Relation, Var};
+use lcdb_plan::exec::{eval_fo, lower_fo, ExecError, FoStats};
+use lcdb_plan::{Plan, PlanId};
+use lcdb_recover::{
+    fingerprint_str, DatalogSnapshot, IdbRelation, IdbRepr, PackedAtom, Snapshot,
+};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// How fixpoint rounds compute the immediate consequence.
@@ -53,11 +60,24 @@ pub enum Strategy {
     SemiNaive,
 }
 
-/// One consequence computation of a round: a rule, and — in semi-naive
-/// rounds — which body position reads the delta relation.
+/// One consequence computation of a round: a rule (by reference and by its
+/// index into the compiled plan roots), and — in semi-naive rounds — which
+/// body position reads the delta relation.
 struct Job<'r> {
     rule: &'r Rule,
+    rule_idx: usize,
     delta_lit: Option<usize>,
+}
+
+/// A program compiled to the plan IR: one hash-consed arena shared by every
+/// rule body, and the root node of each rule's consequence plan (aligned
+/// with `Program::rules`). Predicate leaves are tagged `name@position` so
+/// two occurrences of the same predicate at different body positions stay
+/// distinct nodes — the semi-naive executor binds exactly one position per
+/// job to the delta relation.
+struct Compiled {
+    plan: Plan,
+    roots: Vec<PlanId>,
 }
 
 /// A body literal of a rule.
@@ -246,19 +266,49 @@ impl Program {
         self.run_rounds(edb, budget, pool, strategy, idb, 0, max_rounds)
     }
 
-    /// A structural fingerprint of the program's rules; two programs with the
-    /// same rules (same order, same variable names) fingerprint identically.
-    /// Used to bind snapshots to the program that produced them.
+    /// A structural fingerprint of the program's rules, derived from the
+    /// canonical hashes of the compiled rule plans (plus each head name and
+    /// arity). Two programs with the same rules fingerprint identically —
+    /// including across AST differences the lowering normalizes away, such
+    /// as head-variable naming. Used to bind snapshots to the program that
+    /// produced them.
     pub fn fingerprint(&self) -> u64 {
-        fingerprint_str(&format!("{:?}", self.rules))
+        let compiled = self.compile();
+        let mut desc = String::new();
+        for (rule, root) in self.rules.iter().zip(&compiled.roots) {
+            desc.push_str(&format!(
+                "{}/{}:{:016x};",
+                rule.head,
+                rule.head_vars.len(),
+                compiled.plan.hash(*root)
+            ));
+        }
+        fingerprint_str(&desc)
+    }
+
+    /// Lower every rule body into one shared plan arena. Identical
+    /// subformulas across rules (same constraint atoms, same tagged
+    /// predicate applications) intern to the same node, so a job's memo
+    /// answers repeated subplans once.
+    fn compile(&self) -> Compiled {
+        let mut plan = Plan::new();
+        let mut roots = Vec::with_capacity(self.rules.len());
+        for rule in &self.rules {
+            let f = rule_body_formula(rule);
+            let root = lower_fo(&mut plan, &f, true, &mut |name, _| name.to_string());
+            roots.push(root);
+        }
+        Compiled { plan, roots }
     }
 
     /// Persist the partial progress carried by a [`DatalogError::Budget`]
     /// abort as a resumable [`Snapshot`]. Returns `None` for error variants
     /// that carry no progress (unknown predicates, snapshot defects).
     ///
-    /// The IDB relations are stored in `lcdb_logic` surface syntax, which
-    /// round-trips exactly through the parser.
+    /// The IDB relations are serialized structurally — their DNF packed
+    /// atom by atom, rationals in exact form — with no round trip through
+    /// the pretty-printer and parser. Version-1 snapshots (surface-syntax
+    /// text) are still accepted by [`Program::resume_from`].
     pub fn checkpoint(&self, err: &DatalogError) -> Option<Snapshot> {
         match err {
             DatalogError::Budget {
@@ -269,7 +319,7 @@ impl Program {
                     .map(|(name, rel)| IdbRelation {
                         name: name.clone(),
                         vars: rel.var_names().to_vec(),
-                        formula: rel.dnf().to_formula().to_string(),
+                        repr: pack_dnf(rel.dnf()),
                     })
                     .collect();
                 Some(Snapshot::Datalog(DatalogSnapshot {
@@ -359,10 +409,32 @@ impl Program {
                     ),
                 });
             }
-            let formula = parse_formula(&saved.formula).map_err(|e| DatalogError::Snapshot {
-                message: format!("snapshot relation '{}' failed to parse: {}", saved.name, e),
-            })?;
-            idb.insert(saved.name.clone(), Relation::new(saved.vars.clone(), &formula));
+            let restored = match &saved.repr {
+                // Version-1 snapshots: text through the parser.
+                IdbRepr::Text(src) => {
+                    let formula =
+                        parse_formula(src).map_err(|e| DatalogError::Snapshot {
+                            message: format!(
+                                "snapshot relation '{}' failed to parse: {}",
+                                saved.name, e
+                            ),
+                        })?;
+                    Relation::new(saved.vars.clone(), &formula)
+                }
+                // Current snapshots: the packed DNF restores directly.
+                IdbRepr::Packed(disjuncts) => {
+                    let dnf = unpack_dnf(disjuncts).map_err(|message| {
+                        DatalogError::Snapshot {
+                            message: format!(
+                                "snapshot relation '{}': {}",
+                                saved.name, message
+                            ),
+                        }
+                    })?;
+                    Relation::from_dnf(saved.vars.clone(), dnf)
+                }
+            };
+            idb.insert(saved.name.clone(), restored);
         }
         self.run_rounds(
             edb,
@@ -398,6 +470,9 @@ impl Program {
         max_rounds: usize,
     ) -> Result<EvalOutcome, DatalogError> {
         let preds = self.idb_predicates();
+        // One plan for the whole run: rule bodies are lowered and optimized
+        // once, and every round's jobs execute the interned DAG.
+        let compiled = self.compile();
         // The previous round's delta; `None` until a round completes in
         // this process (semi-naive needs a predecessor round to diff).
         let mut delta: Option<BTreeMap<String, Relation>> = None;
@@ -428,7 +503,7 @@ impl Program {
                     let d = delta.as_ref().expect("delta jobs only exist once a delta does");
                     (i, d)
                 });
-                self.rule_consequence(job.rule, edb, &idb, bound)
+                self.rule_consequence(&compiled, job.rule_idx, edb, &idb, bound)
             });
             let mut next: BTreeMap<String, Relation> = BTreeMap::new();
             let mut new_delta: BTreeMap<String, Relation> = BTreeMap::new();
@@ -485,7 +560,7 @@ impl Program {
     ) -> Vec<Job<'r>> {
         let mut jobs = Vec::new();
         for (name, _) in self.idb_predicates() {
-            for rule in self.rules.iter().filter(|r| r.head == name) {
+            for (rule_idx, rule) in self.rules.iter().enumerate().filter(|(_, r)| r.head == name) {
                 let delta_capable = strategy == Strategy::SemiNaive && delta.is_some();
                 let idb_lits: Vec<usize> = if delta_capable {
                     rule.body
@@ -507,6 +582,7 @@ impl Program {
                     for i in idb_lits {
                         jobs.push(Job {
                             rule,
+                            rule_idx,
                             delta_lit: Some(i),
                         });
                     }
@@ -514,6 +590,7 @@ impl Program {
                 } else {
                     jobs.push(Job {
                         rule,
+                        rule_idx,
                         delta_lit: None,
                     });
                 }
@@ -523,58 +600,171 @@ impl Program {
     }
 
     /// The quantifier-free formula for one rule's immediate consequence,
-    /// over the canonical head variables `x0..`. With `delta`, the body
-    /// literal at the given index reads the delta relation instead of the
-    /// full IDB (the semi-naive variant of the rule).
+    /// over the canonical head variables `x0..`: execute the rule's
+    /// compiled plan, resolving each tagged predicate leaf to the current
+    /// EDB/IDB relation. With `delta`, the body literal at the given index
+    /// reads the delta relation instead of the full IDB (the semi-naive
+    /// variant of the rule).
     fn rule_consequence(
         &self,
-        rule: &Rule,
+        compiled: &Compiled,
+        rule_idx: usize,
         edb: &Database,
         idb: &BTreeMap<String, Relation>,
         delta: Option<(usize, &BTreeMap<String, Relation>)>,
     ) -> Result<Formula, DatalogError> {
+        let rule = &self.rules[rule_idx];
         let head_vars: Vec<Var> = (0..rule.head_vars.len())
             .map(|i| format!("x{}", i))
             .collect();
-        let head_vars = &head_vars;
-        // Conjoin body literals, expanding predicates to their definitions.
-        let mut parts = Vec::new();
-        for (i, lit) in rule.body.iter().enumerate() {
-            match lit {
-                Literal::Constraint(a) => parts.push(Formula::Atom(a.clone())),
-                Literal::Pred(name, args) => {
-                    let delta_rel = match delta {
-                        Some((j, d)) if j == i => d.get(name),
-                        _ => None,
-                    };
-                    let rel = delta_rel
-                        .or_else(|| idb.get(name))
-                        .or_else(|| edb.relation(name))
-                        .ok_or_else(|| DatalogError::UnknownPredicate { name: name.clone() })?;
-                    let exprs: Vec<LinExpr> =
-                        args.iter().map(|v| LinExpr::var(v.clone())).collect();
-                    parts.push(rel.apply(&exprs));
-                }
+        // The resolver is stable for the duration of one job, so one memo
+        // spans the whole plan walk: subplans shared across rule bodies
+        // (interned to one node) evaluate once.
+        let mut memo = HashMap::new();
+        let mut stats = FoStats::default();
+        let mut resolve = |tagged: &str, exprs: &[LinExpr]| -> Option<Formula> {
+            let (name, pos) = tagged.split_once('@')?;
+            let pos: usize = pos.parse().ok()?;
+            let delta_rel = match delta {
+                Some((j, d)) if j == pos => d.get(name),
+                _ => None,
+            };
+            let rel = delta_rel
+                .or_else(|| idb.get(name))
+                .or_else(|| edb.relation(name))?;
+            Some(rel.apply(exprs))
+        };
+        let qf = eval_fo(
+            &compiled.plan,
+            compiled.roots[rule_idx],
+            &mut resolve,
+            &mut memo,
+            &mut stats,
+        );
+        let mut qf = qf.map_err(|e| match e {
+            ExecError::UnknownPredicate(tag) => DatalogError::UnknownPredicate {
+                name: tag
+                    .split_once('@')
+                    .map(|(n, _)| n.to_string())
+                    .unwrap_or(tag),
+            },
+            ExecError::Unsupported(what) => {
+                unreachable!("FO lowering produced a non-FO node: {what}")
             }
-        }
-        let mut f = Formula::and(parts);
-        // Rename head variables to the canonical names, then project out the
-        // existential (body-only) variables.
-        for (hv, canon) in rule.head_vars.iter().zip(head_vars) {
-            f = f.substitute(hv, &LinExpr::var(format!("__h_{}", canon)));
-        }
-        let free: Vec<Var> = f.free_vars().into_iter().collect();
-        for v in free {
-            if !v.starts_with("__h_") {
-                f = Formula::Exists(v.clone(), Box::new(f));
-            }
-        }
-        let mut qf = qe::eliminate_quantifiers(&f);
-        for canon in head_vars {
+        })?;
+        for canon in &head_vars {
             qf = qf.substitute(&format!("__h_{}", canon), &LinExpr::var(canon.clone()));
         }
         Ok(qf)
     }
+}
+
+/// The symbolic body of one rule, ready for lowering: the conjunction of its
+/// literals — predicate applications kept as `Formula::Pred` leaves, tagged
+/// `name@position` — with head variables renamed to the `__h_`-prefixed
+/// canonical names and every body-only variable wrapped in `∃` (projection).
+fn rule_body_formula(rule: &Rule) -> Formula {
+    let head_vars: Vec<Var> = (0..rule.head_vars.len())
+        .map(|i| format!("x{}", i))
+        .collect();
+    let mut parts = Vec::new();
+    for (i, lit) in rule.body.iter().enumerate() {
+        match lit {
+            Literal::Constraint(a) => parts.push(Formula::Atom(a.clone())),
+            Literal::Pred(name, args) => {
+                let exprs: Vec<LinExpr> = args.iter().map(|v| LinExpr::var(v.clone())).collect();
+                parts.push(Formula::Pred(format!("{}@{}", name, i), exprs));
+            }
+        }
+    }
+    let mut f = Formula::and(parts);
+    for (hv, canon) in rule.head_vars.iter().zip(&head_vars) {
+        f = f.substitute(hv, &LinExpr::var(format!("__h_{}", canon)));
+    }
+    let free: Vec<Var> = f.free_vars().into_iter().collect();
+    for v in free {
+        if !v.starts_with("__h_") {
+            f = Formula::Exists(v.clone(), Box::new(f));
+        }
+    }
+    f
+}
+
+/// Comparison tag for the packed snapshot form (see
+/// [`lcdb_recover::PackedAtom`]).
+fn rel_tag(r: Rel) -> u8 {
+    match r {
+        Rel::Lt => 0,
+        Rel::Le => 1,
+        Rel::Eq => 2,
+        Rel::Ge => 3,
+        Rel::Gt => 4,
+    }
+}
+
+fn tag_rel(t: u8) -> Option<Rel> {
+    match t {
+        0 => Some(Rel::Lt),
+        1 => Some(Rel::Le),
+        2 => Some(Rel::Eq),
+        3 => Some(Rel::Ge),
+        4 => Some(Rel::Gt),
+        _ => None,
+    }
+}
+
+/// Serialize a relation's DNF structurally: every atom becomes its
+/// comparison tag, exact constant, and exact `(variable, coefficient)`
+/// terms. No pretty-printing, no parsing on the way back.
+fn pack_dnf(dnf: &Dnf) -> IdbRepr {
+    IdbRepr::Packed(
+        dnf.disjuncts
+            .iter()
+            .map(|conj| {
+                conj.iter()
+                    .map(|a| PackedAtom {
+                        rel: rel_tag(a.rel),
+                        constant: a.expr.constant_term().to_string(),
+                        terms: a
+                            .expr
+                            .terms()
+                            .map(|(v, c)| (v.clone(), c.to_string()))
+                            .collect(),
+                    })
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+/// Restore a packed DNF. Every defect — unknown comparison tag, unparsable
+/// rational — is reported as a message for [`DatalogError::Snapshot`].
+fn unpack_dnf(disjuncts: &[Vec<PackedAtom>]) -> Result<Dnf, String> {
+    let mut out = Vec::with_capacity(disjuncts.len());
+    for conj in disjuncts {
+        let mut atoms = Vec::with_capacity(conj.len());
+        for pa in conj {
+            let rel =
+                tag_rel(pa.rel).ok_or_else(|| format!("unknown relation tag {}", pa.rel))?;
+            let constant: Rational = pa
+                .constant
+                .parse()
+                .map_err(|_| format!("unparsable constant '{}'", pa.constant))?;
+            let mut terms = Vec::with_capacity(pa.terms.len());
+            for (v, c) in &pa.terms {
+                let coeff: Rational = c
+                    .parse()
+                    .map_err(|_| format!("unparsable coefficient '{}'", c))?;
+                terms.push((v.clone(), coeff));
+            }
+            atoms.push(Atom {
+                expr: LinExpr::from_terms(terms, constant),
+                rel,
+            });
+        }
+        out.push(atoms);
+    }
+    Ok(Dnf { disjuncts: out })
 }
 
 /// Semantic inclusion of finitely represented relations: `a ⊆ b` iff
@@ -857,6 +1047,69 @@ mod tests {
             }
             other => panic!("expected fixpoint on resume, got {:?}", other.map(|_| ())),
         }
+    }
+
+    /// A legacy text-representation snapshot (what decoding a version-1
+    /// file yields) resumes to the same fixpoint as the packed form — the
+    /// cross-version compatibility contract of the snapshot format.
+    #[test]
+    fn text_repr_snapshot_resumes_like_packed() {
+        let (edb, program) = bounded_reach_program();
+        let full = match program.evaluate(&edb, 20) {
+            EvalOutcome::Fixpoint { idb, rounds } => (idb, rounds),
+            other => panic!("{:?}", other),
+        };
+        let budget = EvalBudget::unlimited().with_max_fix_iterations(2);
+        let err = program.try_evaluate(&edb, 20, &budget).expect_err("cap");
+        let (partial, rounds) = match &err {
+            DatalogError::Budget {
+                partial, rounds, ..
+            } => (partial, *rounds),
+            other => panic!("{other:?}"),
+        };
+        // Build the snapshot the way version 1 did: relations rendered to
+        // surface syntax, re-parsed on resume.
+        let text = Snapshot::Datalog(DatalogSnapshot {
+            program_fingerprint: program.fingerprint(),
+            rounds: rounds as u64,
+            idb: partial
+                .iter()
+                .map(|(name, rel)| IdbRelation {
+                    name: name.clone(),
+                    vars: rel.var_names().to_vec(),
+                    repr: IdbRepr::Text(rel.dnf().to_formula().to_string()),
+                })
+                .collect(),
+        });
+        let packed = program.checkpoint(&err).expect("checkpoints");
+        for snap in [text, packed] {
+            match program.resume_from(&edb, 20, &EvalBudget::unlimited(), &snap) {
+                Ok(EvalOutcome::Fixpoint { idb, rounds }) => {
+                    assert_eq!(rounds, full.1);
+                    for (name, rel) in &full.0 {
+                        assert!(same_relation(rel, &idb[name]), "relation '{name}' differs");
+                    }
+                }
+                other => panic!("expected fixpoint, got {:?}", other.map(|_| ())),
+            }
+        }
+    }
+
+    /// Fingerprints come from the canonical plan hashes: head-variable
+    /// renaming (which lowering normalizes away) does not change them,
+    /// different rules do.
+    #[test]
+    fn fingerprint_is_plan_canonical() {
+        let body = |v: &str| vec![Literal::Pred("S".into(), vec![v.into()])];
+        let p1 = Program::new().rule(Rule::new("p", vec!["x".into()], body("x")));
+        let p2 = Program::new().rule(Rule::new("p", vec!["y".into()], body("y")));
+        assert_eq!(p1.fingerprint(), p2.fingerprint());
+        let p3 = Program::new().rule(Rule::new(
+            "p",
+            vec!["x".into()],
+            vec![Literal::Pred("T".into(), vec!["x".into()])],
+        ));
+        assert_ne!(p1.fingerprint(), p3.fingerprint());
     }
 
     /// Snapshots are bound to the program that wrote them.

@@ -23,6 +23,7 @@ mod database;
 pub mod dnf;
 mod expr;
 mod formula;
+pub mod lex;
 mod parser;
 pub mod qe;
 

@@ -18,27 +18,12 @@
 //!
 //! Example: `exists x. S(x, y) and 0 < x < 10 and 2*x - y <= 1/2`.
 
+use crate::lex::{self, LexOptions, RawTok};
 use crate::{Atom, Formula, LinExpr};
 use lcdb_arith::Rational;
 use lcdb_lp::Rel;
-use std::fmt;
 
-/// Error produced when parsing a formula fails.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// Human-readable description.
-    pub message: String,
-    /// Byte offset in the input where the error was detected.
-    pub position: usize,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.position, self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
+pub use crate::lex::ParseError;
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
@@ -63,131 +48,21 @@ enum Tok {
     False,
 }
 
+/// Tokenize through the shared lexer ([`crate::lex`]) and classify words
+/// into this grammar's keywords.
 fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
-    let bytes = input.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        if c.is_whitespace() {
-            i += 1;
-            continue;
-        }
-        let start = i;
-        match c {
-            '(' => {
-                out.push((Tok::LParen, start));
-                i += 1;
-            }
-            ')' => {
-                out.push((Tok::RParen, start));
-                i += 1;
-            }
-            ',' => {
-                out.push((Tok::Comma, start));
-                i += 1;
-            }
-            '.' => {
-                out.push((Tok::Dot, start));
-                i += 1;
-            }
-            '+' => {
-                out.push((Tok::Plus, start));
-                i += 1;
-            }
-            '*' => {
-                out.push((Tok::Star, start));
-                i += 1;
-            }
-            '-' => {
-                if bytes.get(i + 1) == Some(&b'>') {
-                    out.push((Tok::Arrow, start));
-                    i += 2;
-                } else {
-                    out.push((Tok::Minus, start));
-                    i += 1;
-                }
-            }
-            '<' => {
-                if bytes.get(i + 1) == Some(&b'=') {
-                    out.push((Tok::Rel(Rel::Le), start));
-                    i += 2;
-                } else {
-                    out.push((Tok::Rel(Rel::Lt), start));
-                    i += 1;
-                }
-            }
-            '>' => {
-                if bytes.get(i + 1) == Some(&b'=') {
-                    out.push((Tok::Rel(Rel::Ge), start));
-                    i += 2;
-                } else {
-                    out.push((Tok::Rel(Rel::Gt), start));
-                    i += 1;
-                }
-            }
-            '=' => {
-                out.push((Tok::Rel(Rel::Eq), start));
-                i += 1;
-            }
-            '!' => {
-                if bytes.get(i + 1) == Some(&b'=') {
-                    out.push((Tok::NotEqual, start));
-                    i += 2;
-                } else {
-                    return Err(ParseError {
-                        message: "expected '=' after '!'".into(),
-                        position: start,
-                    });
-                }
-            }
-            _ if c.is_ascii_digit() => {
-                let mut j = i;
-                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
-                    j += 1;
-                }
-                // Optional "/digits" (fraction) or ".digits" (decimal). A dot
-                // only counts as part of the number if followed by a digit —
-                // otherwise it is the quantifier dot.
-                if j < bytes.len() && bytes[j] == b'/' {
-                    let mut k = j + 1;
-                    while k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
-                        k += 1;
-                    }
-                    if k == j + 1 {
-                        return Err(ParseError {
-                            message: "expected digits after '/'".into(),
-                            position: j,
-                        });
-                    }
-                    j = k;
-                } else if j + 1 < bytes.len()
-                    && bytes[j] == b'.'
-                    && (bytes[j + 1] as char).is_ascii_digit()
-                {
-                    let mut k = j + 1;
-                    while k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
-                        k += 1;
-                    }
-                    j = k;
-                }
-                let text = &input[i..j];
-                let value: Rational = text.parse().map_err(|e| ParseError {
-                    message: format!("bad number '{}': {}", text, e),
-                    position: start,
-                })?;
-                out.push((Tok::Number(value), start));
-                i = j;
-            }
-            _ if c.is_ascii_alphabetic() || c == '_' => {
-                let mut j = i;
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
-                    j += 1;
-                }
-                let word = &input[i..j];
-                let tok = match word {
+    let raw = lex::lex(
+        input,
+        LexOptions {
+            not_equal: true,
+            ..LexOptions::default()
+        },
+    )?;
+    Ok(raw
+        .into_iter()
+        .map(|(t, p)| {
+            let tok = match t {
+                RawTok::Word(w) => match w.as_str() {
                     "and" => Tok::And,
                     "or" => Tok::Or,
                     "not" => Tok::Not,
@@ -195,20 +70,30 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     "forall" => Tok::Forall,
                     "true" => Tok::True,
                     "false" => Tok::False,
-                    _ => Tok::Ident(word.to_string()),
-                };
-                out.push((tok, start));
-                i = j;
-            }
-            _ => {
-                return Err(ParseError {
-                    message: format!("unexpected character '{}'", c),
-                    position: start,
-                })
-            }
-        }
-    }
-    Ok(out)
+                    _ => Tok::Ident(w),
+                },
+                RawTok::Number(n) => Tok::Number(n),
+                RawTok::LParen => Tok::LParen,
+                RawTok::RParen => Tok::RParen,
+                RawTok::Comma => Tok::Comma,
+                RawTok::Dot => Tok::Dot,
+                RawTok::Plus => Tok::Plus,
+                RawTok::Minus => Tok::Minus,
+                RawTok::Star => Tok::Star,
+                RawTok::Rel(r) => Tok::Rel(r),
+                RawTok::NotEqual => Tok::NotEqual,
+                RawTok::Arrow => Tok::Arrow,
+                // Gated off by the options above.
+                RawTok::SetName(_)
+                | RawTok::LBracket
+                | RawTok::RBracket
+                | RawTok::Semicolon => {
+                    unreachable!("token not produced without its LexOptions feature")
+                }
+            };
+            (tok, p)
+        })
+        .collect())
 }
 
 struct Parser {

@@ -379,4 +379,141 @@ mod tests {
         assert!(!check(int(1)));
         assert!(!check(int(2)));
     }
+
+    /// Exact reference decision for `∃ var. f` at `env`. The atoms of `f`
+    /// partition the `var`-line into finitely many cells on which the truth
+    /// value is constant, so testing every boundary, every midpoint between
+    /// consecutive boundaries, and one point beyond each end is complete.
+    fn brute_force_exists(f: &Formula, var: &str, env: &BTreeMap<String, Rational>) -> bool {
+        let dnf = to_dnf(f);
+        let mut boundaries: Vec<Rational> = Vec::new();
+        for conj in &dnf.disjuncts {
+            for a in conj {
+                let coeff = a.expr.coeff(var);
+                if !coeff.is_zero() {
+                    let rest = a.expr.substitute(var, &LinExpr::zero());
+                    boundaries.push(-rest.eval(env) * coeff.recip());
+                }
+            }
+        }
+        boundaries.sort();
+        boundaries.dedup();
+        let mut candidates = vec![Rational::zero()];
+        if let (Some(first), Some(last)) = (boundaries.first(), boundaries.last()) {
+            candidates.push(first - int(1));
+            candidates.push(last + int(1));
+        }
+        for w in boundaries.windows(2) {
+            candidates.push(Rational::midpoint(&w[0], &w[1]));
+        }
+        candidates.extend(boundaries);
+        candidates.into_iter().any(|x| {
+            let mut e = env.clone();
+            e.insert(var.to_string(), x);
+            f.eval(&e)
+        })
+    }
+
+    /// Sample points for the free variable of the edge-case formulas below.
+    fn sample_points() -> Vec<Rational> {
+        vec![
+            int(-3),
+            int(-1),
+            rat(-1, 2),
+            int(0),
+            rat(1, 3),
+            rat(1, 2),
+            int(1),
+            rat(3, 2),
+            int(2),
+            int(5),
+        ]
+    }
+
+    fn assert_matches_brute_force(f: &Formula, var: &str, free: &str) {
+        let qf = eliminate_quantifiers(&Formula::Exists(var.into(), Box::new(f.clone())));
+        assert!(qf.is_quantifier_free());
+        for p in sample_points() {
+            let e = env(&[(free, p.clone())]);
+            assert_eq!(
+                qf.eval(&e),
+                brute_force_exists(f, var, &e),
+                "disagreement at {free} = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_variable_matches_brute_force() {
+        // x appears in no atom at all: ∃x is a no-op on y < 1.
+        let body = Formula::Atom(Atom::new(
+            LinExpr::var("y"),
+            Rel::Lt,
+            LinExpr::constant(int(1)),
+        ));
+        assert_matches_brute_force(&body, "x", "y");
+        // x appears but with one-sided bounds only (always realizable on ℝ).
+        let one_sided = Formula::and(vec![
+            Formula::Atom(Atom::new(LinExpr::var("x"), Rel::Gt, LinExpr::var("y"))),
+            atom("x", Rel::Ge, 2),
+        ]);
+        assert_matches_brute_force(&one_sided, "x", "y");
+    }
+
+    #[test]
+    fn contradictory_bounds_match_brute_force() {
+        // ∃x. y < x ∧ x < y — empty for every y.
+        let twisted = Formula::and(vec![
+            Formula::Atom(Atom::new(LinExpr::var("y"), Rel::Lt, LinExpr::var("x"))),
+            Formula::Atom(Atom::new(LinExpr::var("x"), Rel::Lt, LinExpr::var("y"))),
+        ]);
+        assert_matches_brute_force(&twisted, "x", "y");
+        let qf = eliminate_quantifiers(&Formula::Exists("x".into(), Box::new(twisted)));
+        assert!(!qf.eval(&env(&[("y", int(0))])));
+        // ∃x. x ≥ 1 ∧ x ≤ 0 with an unrelated conjunct on y: the
+        // contradiction must sink the whole disjunct, not just drop x.
+        let contradiction = Formula::and(vec![
+            atom("x", Rel::Ge, 1),
+            atom("x", Rel::Le, 0),
+            atom("y", Rel::Gt, 0),
+        ]);
+        assert_matches_brute_force(&contradiction, "x", "y");
+        // Touching bounds x ≥ y ∧ x ≤ y stay satisfiable (x = y).
+        let touching = Formula::and(vec![
+            Formula::Atom(Atom::new(LinExpr::var("x"), Rel::Ge, LinExpr::var("y"))),
+            Formula::Atom(Atom::new(LinExpr::var("x"), Rel::Le, LinExpr::var("y"))),
+        ]);
+        assert_matches_brute_force(&touching, "x", "y");
+    }
+
+    #[test]
+    fn coefficient_zero_atoms_match_brute_force() {
+        // `x - x + y < 1` normalizes to a zero coefficient on x: the atom
+        // must be treated as x-free (moved out of the elimination), never
+        // divided by its zero coefficient.
+        let zero_x = LinExpr::var("x").sub(&LinExpr::var("x")).add(&LinExpr::var("y"));
+        assert!(!zero_x.mentions("x"));
+        let body = Formula::and(vec![
+            Formula::Atom(Atom::new(zero_x, Rel::Lt, LinExpr::constant(int(1)))),
+            atom("x", Rel::Gt, 0),
+            atom("x", Rel::Lt, 2),
+        ]);
+        assert_matches_brute_force(&body, "x", "y");
+        // Same via an explicitly zero-scaled term and from_terms.
+        let scaled = LinExpr::from_terms(
+            [("x".to_string(), int(0)), ("y".to_string(), int(1))],
+            int(0),
+        );
+        assert!(!scaled.mentions("x"));
+        let body2 = Formula::and(vec![
+            Formula::Atom(Atom::new(scaled, Rel::Ge, LinExpr::constant(int(0)))),
+            Formula::Atom(Atom::new(
+                LinExpr::var("x").scale(&int(2)),
+                Rel::Eq,
+                LinExpr::var("y"),
+            )),
+            atom("x", Rel::Lt, 1),
+        ]);
+        assert_matches_brute_force(&body2, "x", "y");
+    }
 }

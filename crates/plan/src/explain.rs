@@ -1,0 +1,234 @@
+//! Deterministic rendering of an optimized plan, for `--explain` and the
+//! golden plan snapshots diffed in CI.
+//!
+//! The output is a pure function of the plan structure: node ids come from
+//! interning order, hashes are the canonical structural hashes, and costs
+//! are a deterministic heuristic — no timing, no randomness, no pointers.
+
+use crate::{children, passes, Plan, PlanId, PlanNode};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Deterministic per-node cost estimate: leaves cost 1, connectives sum
+/// their children, element quantifiers multiply by the QE branching guess,
+/// region quantifiers by a domain-sweep guess, and fixpoint/closure
+/// operators by a stage-count guess. Saturating; useful only for relative
+/// comparison inside one plan.
+pub fn cost(plan: &Plan, id: PlanId) -> u64 {
+    let mut memo: HashMap<PlanId, u64> = HashMap::new();
+    cost_memo(plan, id, &mut memo)
+}
+
+fn cost_memo(plan: &Plan, id: PlanId, memo: &mut HashMap<PlanId, u64>) -> u64 {
+    if let Some(&c) = memo.get(&id) {
+        return c;
+    }
+    let node = plan.node(id);
+    let kids: u64 = children(node)
+        .into_iter()
+        .map(|c| cost_memo(plan, c, memo))
+        .fold(0, u64::saturating_add);
+    let c = match node {
+        PlanNode::And(_) | PlanNode::Or(_) => kids.saturating_add(1),
+        PlanNode::Not(_) => kids.saturating_add(1),
+        PlanNode::ExistsElem(..) | PlanNode::ForallElem(..) => {
+            kids.saturating_mul(4).saturating_add(2)
+        }
+        PlanNode::ExistsRegion(..) | PlanNode::ForallRegion(..) => {
+            kids.saturating_mul(8).saturating_add(2)
+        }
+        PlanNode::Rbit { .. } => kids.saturating_mul(8).saturating_add(2),
+        PlanNode::Fix { .. } | PlanNode::Tc { .. } => kids.saturating_mul(64).saturating_add(4),
+        _ => 1,
+    };
+    memo.insert(id, c);
+    c
+}
+
+/// Short human label for a node, including leaf payloads.
+fn label(plan: &Plan, id: PlanId) -> String {
+    match plan.node(id) {
+        PlanNode::True => "true".to_string(),
+        PlanNode::False => "false".to_string(),
+        PlanNode::Lin(a) => format!("lin {a}"),
+        PlanNode::Pred(name, args) => format!("pred {}/{}", name, args.len()),
+        PlanNode::In(args, r) => format!("in({}) {}", args.len(), r),
+        PlanNode::Adj(a, b) => format!("adj({a}, {b})"),
+        PlanNode::RegionEq(a, b) => format!("regeq({a}, {b})"),
+        PlanNode::SubsetOf(r, s) => format!("subset({r}, {s})"),
+        PlanNode::DimEq(r, k) => format!("dim({r}) = {k}"),
+        PlanNode::Bounded(r) => format!("bounded({r})"),
+        PlanNode::And(parts) => format!("and/{}", parts.len()),
+        PlanNode::Or(parts) => format!("or/{}", parts.len()),
+        PlanNode::Not(_) => "not".to_string(),
+        PlanNode::ExistsElem(v, _) => format!("exists {v}"),
+        PlanNode::ForallElem(v, _) => format!("forall {v}"),
+        PlanNode::ExistsRegion(v, _) => format!("exists-region {v}"),
+        PlanNode::ForallRegion(v, _) => format!("forall-region {v}"),
+        PlanNode::SetApp(m, vars) => format!("setapp {m}/{}", vars.len()),
+        PlanNode::Fix {
+            mode,
+            set_var,
+            vars,
+            args,
+            ..
+        } => format!(
+            "{} {{{}, {}}}({})",
+            mode.name(),
+            set_var,
+            vars.join(", "),
+            args.join(", ")
+        ),
+        PlanNode::Rbit { var, rn, rd, .. } => format!("rbit {var} -> ({rn}, {rd})"),
+        PlanNode::Tc {
+            deterministic,
+            arg_left,
+            arg_right,
+            ..
+        } => format!(
+            "{}({}; {})",
+            if *deterministic { "dtc" } else { "tc" },
+            arg_left.join(", "),
+            arg_right.join(", ")
+        ),
+    }
+}
+
+/// Render the plan rooted at `root` as an indented tree with per-node cost
+/// annotations, canonical hashes, and shared-subplan markers, followed by a
+/// stage (stratification) listing and a summary line.
+pub fn render(plan: &Plan, root: PlanId) -> String {
+    let counts = plan.reference_counts(root);
+    let mut out = String::new();
+    let mut costs: HashMap<PlanId, u64> = HashMap::new();
+    let mut printed: Vec<bool> = vec![false; plan.len()];
+    render_node(plan, root, 0, &counts, &mut costs, &mut printed, &mut out);
+
+    let stages = passes::stratify(plan, root);
+    if !stages.is_empty() {
+        out.push_str("stages:\n");
+        for (i, s) in stages.iter().enumerate() {
+            let fp = match plan.node(s.id) {
+                PlanNode::Fix { .. } => format!(" fingerprint={:016x}", plan.fix_fingerprint(s.id)),
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  {}. {} #{} depth={}{}",
+                i + 1,
+                s.kind,
+                s.id,
+                s.depth,
+                fp
+            );
+        }
+    }
+
+    let distinct = counts.iter().filter(|&&c| c > 0).count();
+    let shared = counts.iter().filter(|&&c| c > 1).count();
+    let _ = writeln!(
+        out,
+        "plan: nodes={} shared={} size={} cost={} hash={:016x}",
+        distinct,
+        shared,
+        plan.facts(root).size,
+        cost(plan, root),
+        plan.hash(root)
+    );
+    out
+}
+
+fn render_node(
+    plan: &Plan,
+    id: PlanId,
+    depth: usize,
+    counts: &[u32],
+    costs: &mut HashMap<PlanId, u64>,
+    printed: &mut [bool],
+    out: &mut String,
+) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let c = cost_memo(plan, id, costs);
+    let share = if counts[id as usize] > 1 {
+        format!(" shared x{}", counts[id as usize])
+    } else {
+        String::new()
+    };
+    if printed[id as usize] && counts[id as usize] > 1 {
+        let _ = writeln!(out, "#{id} {} [see above]{share}", label(plan, id));
+        return;
+    }
+    printed[id as usize] = true;
+    let _ = writeln!(
+        out,
+        "#{id} {} [cost={c} hash={:08x}]{share}",
+        label(plan, id),
+        plan.hash(id) as u32
+    );
+    for child in children(plan.node(id)) {
+        render_node(plan, child, depth + 1, counts, costs, printed, out);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::FixMode;
+    use lcdb_arith::int;
+    use lcdb_logic::{Atom, LinExpr, Rel};
+
+    #[test]
+    fn render_is_deterministic_and_marks_sharing() {
+        let mut p = Plan::new();
+        let a = p.lin(Atom::new(
+            LinExpr::var("x"),
+            Rel::Lt,
+            LinExpr::constant(int(1)),
+        ));
+        let e = p.intern(PlanNode::ExistsElem("x".into(), a));
+        let f = p.intern(PlanNode::ForallElem("x".into(), a));
+        let root = p.or_node(vec![e, f]);
+        let r1 = render(&p, root);
+        let r2 = render(&p, root);
+        assert_eq!(r1, r2);
+        assert!(r1.contains("shared x2"), "shared leaf marked: {r1}");
+        assert!(r1.contains("[see above]"), "second visit elided: {r1}");
+        assert!(r1.contains("plan: nodes="));
+    }
+
+    #[test]
+    fn render_lists_stages() {
+        let mut p = Plan::new();
+        let sa = p.intern(PlanNode::SetApp("M".into(), vec!["X".into()]));
+        let adj = p.intern(PlanNode::Adj("X".into(), "A".into()));
+        let body = p.or_node(vec![sa, adj]);
+        let fix = p.intern(PlanNode::Fix {
+            mode: FixMode::Lfp,
+            set_var: "M".into(),
+            vars: vec!["X".into()],
+            body,
+            args: vec!["B".into()],
+        });
+        let r = render(&p, fix);
+        assert!(r.contains("stages:"), "{r}");
+        assert!(r.contains("1. lfp"), "{r}");
+        assert!(r.contains("fingerprint="), "{r}");
+    }
+
+    #[test]
+    fn fix_cost_dominates_body() {
+        let mut p = Plan::new();
+        let sa = p.intern(PlanNode::SetApp("M".into(), vec!["X".into()]));
+        let fix = p.intern(PlanNode::Fix {
+            mode: FixMode::Lfp,
+            set_var: "M".into(),
+            vars: vec!["X".into()],
+            body: sa,
+            args: vec!["B".into()],
+        });
+        assert!(cost(&p, fix) > 60 * cost(&p, sa));
+    }
+}

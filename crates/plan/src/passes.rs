@@ -1,0 +1,330 @@
+//! Rewrite passes over the plan DAG.
+//!
+//! Passes are pure rebuilds: they walk the DAG bottom-up through the arena's
+//! smart constructors (so folding and hash-consing re-apply) and return the
+//! new root. Old nodes stay in the arena — ids are cheap and append-only
+//! interning keeps rebuilds simple.
+
+use crate::{children, FixMode, Plan, PlanId, PlanNode};
+use std::collections::HashMap;
+
+/// Hoist region-quantifier-independent conjuncts (dually: disjuncts) out of
+/// the quantifier's scope:
+///
+/// * `∃R (φ ∧ ψ(R))  ⇒  φ ∧ ∃R ψ(R)` when `R` is not free in `φ`,
+/// * `∀R (φ ∨ ψ(R))  ⇒  φ ∨ ∀R ψ(R)` when `R` is not free in `φ`.
+///
+/// The transformation fires only when both the independent and the
+/// dependent part are non-empty, which keeps it sound even on an empty
+/// region domain (the residual quantifier still decides emptiness). Inside
+/// fixpoint bodies this exposes stage-invariant subplans that the
+/// executor's memo tables then evaluate once instead of once per stage.
+pub fn hoist_region_quantifiers(plan: &mut Plan, root: PlanId) -> PlanId {
+    let mut memo: HashMap<PlanId, PlanId> = HashMap::new();
+    rebuild(plan, root, &mut memo)
+}
+
+fn rebuild(plan: &mut Plan, id: PlanId, memo: &mut HashMap<PlanId, PlanId>) -> PlanId {
+    if let Some(&out) = memo.get(&id) {
+        return out;
+    }
+    let node = plan.node(id).clone();
+    let out = match node {
+        PlanNode::And(parts) => {
+            let parts = parts.iter().map(|&p| rebuild(plan, p, memo)).collect();
+            plan.and_node(parts)
+        }
+        PlanNode::Or(parts) => {
+            let parts = parts.iter().map(|&p| rebuild(plan, p, memo)).collect();
+            plan.or_node(parts)
+        }
+        PlanNode::Not(p) => {
+            let p = rebuild(plan, p, memo);
+            plan.not_node(p)
+        }
+        PlanNode::ExistsElem(v, p) => {
+            let p = rebuild(plan, p, memo);
+            plan.intern(PlanNode::ExistsElem(v, p))
+        }
+        PlanNode::ForallElem(v, p) => {
+            let p = rebuild(plan, p, memo);
+            plan.intern(PlanNode::ForallElem(v, p))
+        }
+        PlanNode::ExistsRegion(v, p) => {
+            let p = rebuild(plan, p, memo);
+            hoist_one(plan, &v, p, true)
+        }
+        PlanNode::ForallRegion(v, p) => {
+            let p = rebuild(plan, p, memo);
+            hoist_one(plan, &v, p, false)
+        }
+        PlanNode::Fix {
+            mode,
+            set_var,
+            vars,
+            body,
+            args,
+        } => {
+            let body = rebuild(plan, body, memo);
+            plan.intern(PlanNode::Fix {
+                mode,
+                set_var,
+                vars,
+                body,
+                args,
+            })
+        }
+        PlanNode::Rbit { var, body, rn, rd } => {
+            let body = rebuild(plan, body, memo);
+            plan.intern(PlanNode::Rbit { var, body, rn, rd })
+        }
+        PlanNode::Tc {
+            deterministic,
+            left,
+            right,
+            body,
+            arg_left,
+            arg_right,
+        } => {
+            let body = rebuild(plan, body, memo);
+            plan.intern(PlanNode::Tc {
+                deterministic,
+                left,
+                right,
+                body,
+                arg_left,
+                arg_right,
+            })
+        }
+        leaf => plan.intern(leaf),
+    };
+    memo.insert(id, out);
+    out
+}
+
+/// Apply the hoist at a single (already rebuilt) quantifier scope.
+fn hoist_one(plan: &mut Plan, v: &str, body: PlanId, exists: bool) -> PlanId {
+    let parts: Option<Vec<PlanId>> = match (exists, plan.node(body)) {
+        (true, PlanNode::And(parts)) | (false, PlanNode::Or(parts)) => Some(parts.clone()),
+        _ => None,
+    };
+    let Some(parts) = parts else {
+        let node = if exists {
+            PlanNode::ExistsRegion(v.to_string(), body)
+        } else {
+            PlanNode::ForallRegion(v.to_string(), body)
+        };
+        return plan.intern(node);
+    };
+    let (dependent, independent): (Vec<PlanId>, Vec<PlanId>) = parts
+        .into_iter()
+        .partition(|&p| plan.facts(p).free_regions.iter().any(|r| r == v));
+    if dependent.is_empty() || independent.is_empty() {
+        let node = if exists {
+            PlanNode::ExistsRegion(v.to_string(), body)
+        } else {
+            PlanNode::ForallRegion(v.to_string(), body)
+        };
+        return plan.intern(node);
+    }
+    let inner = if exists {
+        plan.and_node(dependent)
+    } else {
+        plan.or_node(dependent)
+    };
+    let quantified = if exists {
+        plan.intern(PlanNode::ExistsRegion(v.to_string(), inner))
+    } else {
+        plan.intern(PlanNode::ForallRegion(v.to_string(), inner))
+    };
+    let mut out = independent;
+    out.push(quantified);
+    if exists {
+        plan.and_node(out)
+    } else {
+        plan.or_node(out)
+    }
+}
+
+/// One fixpoint/closure stage discovered by [`stratify`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stage {
+    /// The `Fix` or `Tc` node.
+    pub id: PlanId,
+    /// 1-based nesting depth: innermost operators have depth 1.
+    pub depth: usize,
+    /// Operator kind: `lfp`, `ifp`, `pfp`, `tc`, or `dtc`.
+    pub kind: &'static str,
+}
+
+/// Dependency stratification: every `Fix`/`Tc` node reachable from `root`,
+/// ordered by nesting depth (innermost first, ties broken by interning
+/// order). A stage-wise executor must saturate each stage before any stage
+/// that nests it can run — this is the evaluation order of the stages.
+pub fn stratify(plan: &Plan, root: PlanId) -> Vec<Stage> {
+    let mut depth_memo: HashMap<PlanId, usize> = HashMap::new();
+    let mut stages: Vec<Stage> = Vec::new();
+    collect(plan, root, &mut depth_memo, &mut stages);
+    stages.sort_by_key(|s| (s.depth, s.id));
+    stages.dedup();
+    stages
+}
+
+/// Maximum stage depth within the subtree at `id` (0 = no stages).
+fn stage_depth(plan: &Plan, id: PlanId, memo: &mut HashMap<PlanId, usize>) -> usize {
+    if let Some(&d) = memo.get(&id) {
+        return d;
+    }
+    let node = plan.node(id);
+    let child_max = children(node)
+        .into_iter()
+        .map(|c| stage_depth(plan, c, memo))
+        .max()
+        .unwrap_or(0);
+    let d = match node {
+        PlanNode::Fix { .. } | PlanNode::Tc { .. } => child_max + 1,
+        _ => child_max,
+    };
+    memo.insert(id, d);
+    d
+}
+
+fn collect(
+    plan: &Plan,
+    id: PlanId,
+    depth_memo: &mut HashMap<PlanId, usize>,
+    stages: &mut Vec<Stage>,
+) {
+    let node = plan.node(id).clone();
+    match &node {
+        PlanNode::Fix { mode, .. } => {
+            let kind = match mode {
+                FixMode::Lfp => "lfp",
+                FixMode::Ifp => "ifp",
+                FixMode::Pfp => "pfp",
+            };
+            stages.push(Stage {
+                id,
+                depth: stage_depth(plan, id, depth_memo),
+                kind,
+            });
+        }
+        PlanNode::Tc { deterministic, .. } => {
+            stages.push(Stage {
+                id,
+                depth: stage_depth(plan, id, depth_memo),
+                kind: if *deterministic { "dtc" } else { "tc" },
+            });
+        }
+        _ => {}
+    }
+    for c in children(&node) {
+        collect(plan, c, depth_memo, stages);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use lcdb_arith::int;
+    use lcdb_logic::{Atom, LinExpr, Rel};
+
+    fn atom(c: i64) -> Atom {
+        Atom::new(LinExpr::var("x"), Rel::Lt, LinExpr::constant(int(c)))
+    }
+
+    #[test]
+    fn hoist_splits_independent_conjuncts() {
+        let mut p = Plan::new();
+        // ∃R ( dim(S)=0 ∧ adj(R, S) )
+        let indep = p.intern(PlanNode::DimEq("S".into(), 0));
+        let dep = p.intern(PlanNode::Adj("R".into(), "S".into()));
+        let body = p.and_node(vec![indep, dep]);
+        let q = p.intern(PlanNode::ExistsRegion("R".into(), body));
+        let out = hoist_region_quantifiers(&mut p, q);
+        match p.node(out) {
+            PlanNode::And(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert_eq!(parts[0], indep);
+                match p.node(parts[1]) {
+                    PlanNode::ExistsRegion(v, inner) => {
+                        assert_eq!(v, "R");
+                        assert_eq!(*inner, dep);
+                    }
+                    other => panic!("expected residual ∃R, got {other:?}"),
+                }
+            }
+            other => panic!("expected hoisted And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hoist_forall_over_or_is_dual() {
+        let mut p = Plan::new();
+        let indep = p.intern(PlanNode::Bounded("S".into()));
+        let dep = p.intern(PlanNode::RegionEq("R".into(), "S".into()));
+        let body = p.or_node(vec![indep, dep]);
+        let q = p.intern(PlanNode::ForallRegion("R".into(), body));
+        let out = hoist_region_quantifiers(&mut p, q);
+        match p.node(out) {
+            PlanNode::Or(parts) => {
+                assert_eq!(parts[0], indep);
+                assert!(matches!(p.node(parts[1]), PlanNode::ForallRegion(v, _) if v == "R"));
+            }
+            other => panic!("expected hoisted Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hoist_leaves_fully_dependent_scopes_alone() {
+        let mut p = Plan::new();
+        let dep1 = p.intern(PlanNode::Adj("R".into(), "S".into()));
+        let dep2 = p.intern(PlanNode::Bounded("R".into()));
+        let body = p.and_node(vec![dep1, dep2]);
+        let q = p.intern(PlanNode::ExistsRegion("R".into(), body));
+        let out = hoist_region_quantifiers(&mut p, q);
+        assert_eq!(out, q);
+    }
+
+    #[test]
+    fn hoist_does_not_drop_the_quantifier_when_all_independent() {
+        // ∃R φ with R not free in φ must stay quantified: on an empty
+        // region domain it is false even when φ holds.
+        let mut p = Plan::new();
+        let indep = p.lin(atom(1));
+        let q = p.intern(PlanNode::ExistsRegion("R".into(), indep));
+        let out = hoist_region_quantifiers(&mut p, q);
+        assert_eq!(out, q);
+    }
+
+    #[test]
+    fn stratify_orders_innermost_first() {
+        let mut p = Plan::new();
+        let sa_inner = p.intern(PlanNode::SetApp("N".into(), vec!["X".into()]));
+        let inner = p.intern(PlanNode::Fix {
+            mode: FixMode::Lfp,
+            set_var: "N".into(),
+            vars: vec!["X".into()],
+            body: sa_inner,
+            args: vec!["X".into()],
+        });
+        let sa_outer = p.intern(PlanNode::SetApp("M".into(), vec!["X".into()]));
+        let body = p.or_node(vec![inner, sa_outer]);
+        let outer = p.intern(PlanNode::Fix {
+            mode: FixMode::Ifp,
+            set_var: "M".into(),
+            vars: vec!["X".into()],
+            body,
+            args: vec!["A".into()],
+        });
+        let stages = stratify(&p, outer);
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].id, inner);
+        assert_eq!(stages[0].depth, 1);
+        assert_eq!(stages[0].kind, "lfp");
+        assert_eq!(stages[1].id, outer);
+        assert_eq!(stages[1].depth, 2);
+        assert_eq!(stages[1].kind, "ifp");
+    }
+}

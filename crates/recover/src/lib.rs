@@ -12,7 +12,9 @@
 //!   fingerprint of the subformula and its outer region bindings, plus the
 //!   evaluation statistics accumulated before the abort;
 //! * [`DatalogSnapshot`] — the IDB relations after the last completed round,
-//!   serialized through the constraint-formula surface syntax.
+//!   serialized structurally as packed DNF ([`IdbRepr::Packed`]); version-1
+//!   files that went through the constraint-formula surface syntax still
+//!   decode as [`IdbRepr::Text`].
 //!
 //! The format is deliberately dependency-free: a fixed magic, a little-endian
 //! version word, an FNV-1a-64 checksum over the payload, and length-prefixed
@@ -34,9 +36,16 @@ use std::path::{Path, PathBuf};
 /// File magic: the first eight bytes of every snapshot.
 pub const MAGIC: [u8; 8] = *b"LCDBSNAP";
 
-/// Current snapshot format version. Decoders reject anything else with
-/// [`RecoverError::UnsupportedVersion`] rather than guessing at layouts.
-pub const VERSION: u32 = 1;
+/// Current snapshot format version. Decoders accept [`MIN_VERSION`] through
+/// this and reject anything else with [`RecoverError::UnsupportedVersion`]
+/// rather than guessing at layouts. Version 2 added the packed DNF
+/// representation for datalog IDB relations ([`IdbRepr::Packed`]); version 1
+/// files, which stored every relation as surface syntax, still decode (as
+/// [`IdbRepr::Text`]).
+pub const VERSION: u32 = 2;
+
+/// Oldest snapshot format version this build still decodes.
+pub const MIN_VERSION: u32 = 1;
 
 /// File extension used by [`Snapshot::write_to_dir`].
 pub const EXTENSION: &str = "lcdbsnap";
@@ -223,16 +232,40 @@ pub struct FixpointSnapshot {
     pub entries: Vec<FixProgress>,
 }
 
-/// One IDB relation in a datalog snapshot, serialized through the constraint
-/// surface syntax (the parser round-trips it).
+/// One linear atom of a packed DNF: `Σ coeffᵢ·varᵢ + constant  rel  0`.
+/// Rationals travel as their canonical decimal/fraction rendering (the
+/// `Display`/`FromStr` pair of `lcdb-arith`), which is exact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedAtom {
+    /// Comparison tag: 0 `<`, 1 `≤`, 2 `=`, 3 `≥`, 4 `>`.
+    pub rel: u8,
+    /// Constant term of the linear expression, as a rational string.
+    pub constant: String,
+    /// `(variable, coefficient)` pairs, coefficient as a rational string.
+    pub terms: Vec<(String, String)>,
+}
+
+/// How a datalog IDB relation is represented inside a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IdbRepr {
+    /// Version-1 form: a constraint formula in `lcdb_logic` surface syntax,
+    /// round-tripped through the parser on resume.
+    Text(String),
+    /// Version-2 form: the relation's DNF serialized structurally — a
+    /// disjunction of conjunctions of [`PackedAtom`]s — with no detour
+    /// through the pretty-printer or parser.
+    Packed(Vec<Vec<PackedAtom>>),
+}
+
+/// One IDB relation in a datalog snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IdbRelation {
     /// Predicate name.
     pub name: String,
     /// Attribute variables, in order.
     pub vars: Vec<String>,
-    /// Defining constraint formula, in `lcdb_logic` surface syntax.
-    pub formula: String,
+    /// The defining constraint set.
+    pub repr: IdbRepr,
 }
 
 /// Snapshot of an aborted datalog evaluation: the IDB after the last
@@ -258,6 +291,9 @@ pub enum Snapshot {
 
 const KIND_FIXPOINT: u8 = 1;
 const KIND_DATALOG: u8 = 2;
+
+const REPR_TEXT: u8 = 0;
+const REPR_PACKED: u8 = 1;
 
 impl Snapshot {
     /// The fingerprint of the query/program this snapshot belongs to; also
@@ -306,7 +342,28 @@ impl Snapshot {
                     for v in &rel.vars {
                         put_str(&mut payload, v);
                     }
-                    put_str(&mut payload, &rel.formula);
+                    match &rel.repr {
+                        IdbRepr::Text(formula) => {
+                            payload.push(REPR_TEXT);
+                            put_str(&mut payload, formula);
+                        }
+                        IdbRepr::Packed(disjuncts) => {
+                            payload.push(REPR_PACKED);
+                            put_u64(&mut payload, disjuncts.len() as u64);
+                            for conj in disjuncts {
+                                put_u64(&mut payload, conj.len() as u64);
+                                for atom in conj {
+                                    payload.push(atom.rel);
+                                    put_str(&mut payload, &atom.constant);
+                                    put_u64(&mut payload, atom.terms.len() as u64);
+                                    for (var, coeff) in &atom.terms {
+                                        put_str(&mut payload, var);
+                                        put_str(&mut payload, coeff);
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -334,7 +391,7 @@ impl Snapshot {
         }
         let mut cur = Cursor::new(&bytes[MAGIC.len()..]);
         let version = cur.u32("version")?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(RecoverError::UnsupportedVersion {
                 found: version,
                 supported: VERSION,
@@ -352,10 +409,10 @@ impl Snapshot {
         if actual != expected {
             return Err(RecoverError::ChecksumMismatch { expected, actual });
         }
-        Self::decode_payload(payload)
+        Self::decode_payload(payload, version)
     }
 
-    fn decode_payload(payload: &[u8]) -> Result<Self, RecoverError> {
+    fn decode_payload(payload: &[u8], version: u32) -> Result<Self, RecoverError> {
         let mut cur = Cursor::new(payload);
         let kind = cur.u8("kind tag")?;
         let snap = match kind {
@@ -413,12 +470,54 @@ impl Snapshot {
                     for _ in 0..nv {
                         vars.push(cur.string("variable name")?);
                     }
-                    let formula = cur.string("relation formula")?;
-                    idb.push(IdbRelation {
-                        name,
-                        vars,
-                        formula,
-                    });
+                    let repr = if version == 1 {
+                        // v1 stored every relation as surface syntax, with
+                        // no representation tag.
+                        IdbRepr::Text(cur.string("relation formula")?)
+                    } else {
+                        match cur.u8("representation tag")? {
+                            REPR_TEXT => IdbRepr::Text(cur.string("relation formula")?),
+                            REPR_PACKED => {
+                                let nd = cur.len_prefix("disjunct count")?;
+                                let mut disjuncts = Vec::with_capacity(nd);
+                                for _ in 0..nd {
+                                    let na = cur.len_prefix("atom count")?;
+                                    let mut conj = Vec::with_capacity(na);
+                                    for _ in 0..na {
+                                        let rel = cur.u8("atom relation tag")?;
+                                        if rel > 4 {
+                                            return Err(RecoverError::Malformed {
+                                                message: format!(
+                                                    "unknown atom relation tag {rel}"
+                                                ),
+                                            });
+                                        }
+                                        let constant = cur.string("atom constant")?;
+                                        let nt = cur.len_prefix("term count")?;
+                                        let mut terms = Vec::with_capacity(nt);
+                                        for _ in 0..nt {
+                                            let var = cur.string("term variable")?;
+                                            let coeff = cur.string("term coefficient")?;
+                                            terms.push((var, coeff));
+                                        }
+                                        conj.push(PackedAtom {
+                                            rel,
+                                            constant,
+                                            terms,
+                                        });
+                                    }
+                                    disjuncts.push(conj);
+                                }
+                                IdbRepr::Packed(disjuncts)
+                            }
+                            other => {
+                                return Err(RecoverError::Malformed {
+                                    message: format!("unknown representation tag {other}"),
+                                })
+                            }
+                        }
+                    };
+                    idb.push(IdbRelation { name, vars, repr });
                 }
                 Snapshot::Datalog(DatalogSnapshot {
                     program_fingerprint,
@@ -642,7 +741,39 @@ mod tests {
             idb: vec![IdbRelation {
                 name: "reach".into(),
                 vars: vec!["x".into(), "y".into()],
-                formula: "x < y and y < 1".into(),
+                repr: IdbRepr::Text("x < y and y < 1".into()),
+            }],
+        })
+    }
+
+    fn sample_packed() -> Snapshot {
+        Snapshot::Datalog(DatalogSnapshot {
+            program_fingerprint: 7,
+            rounds: 2,
+            idb: vec![IdbRelation {
+                name: "reach".into(),
+                vars: vec!["x".into(), "y".into()],
+                repr: IdbRepr::Packed(vec![
+                    vec![
+                        PackedAtom {
+                            rel: 0,
+                            constant: "-1/2".into(),
+                            terms: vec![("x".into(), "1".into()), ("y".into(), "-3".into())],
+                        },
+                        PackedAtom {
+                            rel: 2,
+                            constant: "0".into(),
+                            terms: vec![("y".into(), "2/7".into())],
+                        },
+                    ],
+                    // An empty conjunct (true) and a constant atom.
+                    vec![],
+                    vec![PackedAtom {
+                        rel: 4,
+                        constant: "5".into(),
+                        terms: vec![],
+                    }],
+                ]),
             }],
         })
     }
@@ -657,6 +788,84 @@ mod tests {
     fn roundtrip_datalog() {
         let s = sample_datalog();
         assert_eq!(Snapshot::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn roundtrip_packed_datalog() {
+        let s = sample_packed();
+        assert_eq!(Snapshot::decode(&s.encode()).unwrap(), s);
+    }
+
+    /// Hand-encode a version-1 datalog payload (no representation tag, bare
+    /// formula string) and check this build still reads it as `Text`.
+    #[test]
+    fn version1_datalog_still_decodes() {
+        let mut payload = vec![2u8]; // kind: datalog
+        payload.extend_from_slice(&99u64.to_le_bytes()); // program fingerprint
+        payload.extend_from_slice(&4u64.to_le_bytes()); // rounds
+        payload.extend_from_slice(&1u64.to_le_bytes()); // relation count
+        let put_s = |out: &mut Vec<u8>, s: &str| {
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        };
+        put_s(&mut payload, "reach");
+        payload.extend_from_slice(&2u64.to_le_bytes()); // var count
+        put_s(&mut payload, "x");
+        put_s(&mut payload, "y");
+        put_s(&mut payload, "x < y and y < 1");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // version 1
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert_eq!(Snapshot::decode(&bytes).unwrap(), sample_datalog());
+    }
+
+    #[test]
+    fn unknown_repr_and_rel_tags_rejected() {
+        // Current-version payload with an unknown representation tag.
+        let mut payload = vec![2u8];
+        payload.extend_from_slice(&0u64.to_le_bytes()); // fingerprint
+        payload.extend_from_slice(&0u64.to_le_bytes()); // rounds
+        payload.extend_from_slice(&1u64.to_le_bytes()); // relation count
+        payload.extend_from_slice(&1u64.to_le_bytes()); // name length
+        payload.push(b'r');
+        payload.extend_from_slice(&0u64.to_le_bytes()); // var count
+        payload.push(9); // bogus repr tag
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(RecoverError::Malformed { .. })
+        ));
+
+        // Packed atom with an out-of-range relation tag.
+        let mut payload = vec![2u8];
+        payload.extend_from_slice(&0u64.to_le_bytes()); // fingerprint
+        payload.extend_from_slice(&0u64.to_le_bytes()); // rounds
+        payload.extend_from_slice(&1u64.to_le_bytes()); // relation count
+        payload.extend_from_slice(&1u64.to_le_bytes()); // name length
+        payload.push(b'r');
+        payload.extend_from_slice(&0u64.to_le_bytes()); // var count
+        payload.push(REPR_PACKED);
+        payload.extend_from_slice(&1u64.to_le_bytes()); // disjunct count
+        payload.extend_from_slice(&1u64.to_le_bytes()); // atom count
+        payload.push(200); // bogus rel tag
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(RecoverError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Golden plan snapshots: the `--explain` rendering of the paper queries is
+//! committed under `tests/golden/plans/` and diffed on every run, so any
+//! change to the lowering or a rewrite pass shows up as a reviewable diff.
+//!
+//! To refresh after an intentional pass change:
+//!
+//! ```text
+//! LCDB_UPDATE_GOLDEN=1 cargo test -q --test plan_snapshots
+//! git diff tests/golden/plans   # review, then commit
+//! ```
+//!
+//! The snapshot set covers the example queries behind experiments E1–E3
+//! (census/structure queries over the running example: nonemptiness,
+//! boundedness, isolated points) plus the two flagship paper queries: the
+//! §5 connectivity query (Conn) and the Fig. 6 GIS river query.
+
+use lcdb::core::{explain_query, queries, RegFormula};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("plans")
+}
+
+fn snapshot_set() -> Vec<(&'static str, RegFormula)> {
+    vec![
+        ("e1_nonempty", queries::nonempty()),
+        ("e2_bounded", queries::bounded()),
+        ("e3_isolated_point", queries::has_isolated_point()),
+        ("conn", queries::connectivity()),
+        ("gis_river", queries::river_pollution()),
+    ]
+}
+
+#[test]
+fn plans_match_golden_files() {
+    let dir = golden_dir();
+    let update = std::env::var_os("LCDB_UPDATE_GOLDEN").is_some();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut failures = Vec::new();
+    for (name, f) in snapshot_set() {
+        let rendered = explain_query(&f);
+        let path = dir.join(format!("{name}.plan"));
+        if update {
+            std::fs::write(&path, &rendered).expect("write golden file");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(expected) if expected == rendered => {}
+            Ok(_) => failures.push(format!(
+                "{name}: plan changed; if intentional, refresh with \
+                 LCDB_UPDATE_GOLDEN=1 cargo test --test plan_snapshots"
+            )),
+            Err(e) => failures.push(format!("{name}: cannot read {}: {e}", path.display())),
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn rendering_is_deterministic() {
+    for (name, f) in snapshot_set() {
+        assert_eq!(explain_query(&f), explain_query(&f), "{name}");
+    }
+}

@@ -2,7 +2,7 @@
 //! paper's invariants as properties.
 
 use lcdb::arith::{int, Rational};
-use lcdb::core::parse_regformula;
+use lcdb::core::{parse_regformula, Decomposition, RegFormula};
 use lcdb::geom::{extract_hyperplanes, Arrangement};
 use lcdb::logic::{dnf, qe, Atom, Formula, LinExpr, Rel};
 use lcdb::{queries, EvalBudget, Evaluator, Pool, RegionExtension, Relation};
@@ -388,6 +388,159 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Shape of a random region-quantified sentence, before variable binding.
+/// Leaf indices are resolved against the enclosing quantifiers' variables
+/// (modulo the number in scope), so every generated sentence is closed.
+#[derive(Debug, Clone)]
+enum RegShape {
+    SubsetS(u8),
+    Adj(u8, u8),
+    RegEq(u8, u8),
+    DimEq(u8, u8),
+    Bounded(u8),
+    Not(Box<RegShape>),
+    And(Box<RegShape>, Box<RegShape>),
+    Or(Box<RegShape>, Box<RegShape>),
+    Exists(Box<RegShape>),
+    Forall(Box<RegShape>),
+}
+
+fn arb_reg_shape() -> impl Strategy<Value = RegShape> {
+    let leaf = prop_oneof![
+        any::<u8>().prop_map(RegShape::SubsetS),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| RegShape::Adj(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| RegShape::RegEq(a, b)),
+        (any::<u8>(), 0u8..=1).prop_map(|(a, k)| RegShape::DimEq(a, k)),
+        any::<u8>().prop_map(RegShape::Bounded),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|s| RegShape::Not(Box::new(s))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RegShape::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RegShape::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|s| RegShape::Exists(Box::new(s))),
+            inner.prop_map(|s| RegShape::Forall(Box::new(s))),
+        ]
+    })
+}
+
+/// Bind a shape into a closed RegFO sentence. Two outer quantifiers
+/// guarantee leaves always have a variable in scope.
+fn bind_shape(shape: &RegShape) -> RegFormula {
+    fn go(s: &RegShape, bound: &mut Vec<String>) -> RegFormula {
+        let var = |i: u8, bound: &[String]| bound[i as usize % bound.len()].clone();
+        match s {
+            RegShape::SubsetS(a) => RegFormula::SubsetOf(var(*a, bound), "S".into()),
+            RegShape::Adj(a, b) => RegFormula::Adj(var(*a, bound), var(*b, bound)),
+            RegShape::RegEq(a, b) => RegFormula::RegionEq(var(*a, bound), var(*b, bound)),
+            RegShape::DimEq(a, k) => RegFormula::DimEq(var(*a, bound), *k as usize),
+            RegShape::Bounded(a) => RegFormula::Bounded(var(*a, bound)),
+            RegShape::Not(g) => RegFormula::Not(Box::new(go(g, bound))),
+            RegShape::And(a, b) => RegFormula::And(vec![go(a, bound), go(b, bound)]),
+            RegShape::Or(a, b) => RegFormula::Or(vec![go(a, bound), go(b, bound)]),
+            RegShape::Exists(g) => {
+                let v = format!("Q{}", bound.len());
+                bound.push(v.clone());
+                let body = go(g, bound);
+                bound.pop();
+                RegFormula::ExistsRegion(v, Box::new(body))
+            }
+            RegShape::Forall(g) => {
+                let v = format!("Q{}", bound.len());
+                bound.push(v.clone());
+                let body = go(g, bound);
+                bound.pop();
+                RegFormula::ForallRegion(v, Box::new(body))
+            }
+        }
+    }
+    let mut bound = vec!["Q0".to_string(), "Q1".to_string()];
+    RegFormula::ForallRegion(
+        "Q0".into(),
+        Box::new(RegFormula::ExistsRegion(
+            "Q1".into(),
+            Box::new(go(shape, &mut bound)),
+        )),
+    )
+}
+
+/// Direct model-theoretic semantics over the region extension: quantifiers
+/// range over region ids, atoms consult the decomposition. This is the
+/// specification the plan-compiled evaluator must match.
+fn reference_eval(
+    ext: &RegionExtension,
+    f: &RegFormula,
+    env: &mut BTreeMap<String, usize>,
+) -> bool {
+    match f {
+        RegFormula::True => true,
+        RegFormula::False => false,
+        RegFormula::SubsetOf(r, s) => ext.subset_of(env[r], s),
+        RegFormula::Adj(a, b) => ext.adjacent(env[a], env[b]),
+        RegFormula::RegionEq(a, b) => env[a] == env[b],
+        RegFormula::DimEq(r, k) => ext.region(env[r]).dim == *k,
+        RegFormula::Bounded(r) => ext.region(env[r]).bounded,
+        RegFormula::And(fs) => fs.iter().all(|g| reference_eval(ext, g, env)),
+        RegFormula::Or(fs) => fs.iter().any(|g| reference_eval(ext, g, env)),
+        RegFormula::Not(g) => !reference_eval(ext, g, env),
+        RegFormula::ExistsRegion(v, g) => (0..ext.num_regions()).any(|id| {
+            let prev = env.insert(v.clone(), id);
+            let r = reference_eval(ext, g, env);
+            match prev {
+                Some(p) => {
+                    env.insert(v.clone(), p);
+                }
+                None => {
+                    env.remove(v);
+                }
+            }
+            r
+        }),
+        RegFormula::ForallRegion(v, g) => (0..ext.num_regions()).all(|id| {
+            let prev = env.insert(v.clone(), id);
+            let r = reference_eval(ext, g, env);
+            match prev {
+                Some(p) => {
+                    env.insert(v.clone(), p);
+                }
+                None => {
+                    env.remove(v);
+                }
+            }
+            r
+        }),
+        other => unreachable!("not generated by arb_reg_shape: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Plan equivalence: for random RegFO sentences, the plan-compiled
+    /// executor agrees with the direct model-theoretic semantics, at every
+    /// thread count. (Random *datalog* programs get the same treatment in
+    /// `semi_naive_matches_naive_on_random_programs` above — their rule
+    /// bodies compile through the same plan IR.)
+    #[test]
+    fn plan_evaluation_matches_reference_semantics(
+        shape in arb_reg_shape(),
+        rel in arb_intervals(),
+    ) {
+        let sentence = bind_shape(&shape);
+        let ext = RegionExtension::arrangement(rel);
+        let want = reference_eval(&ext, &sentence, &mut BTreeMap::new());
+        for &t in THREADS {
+            let ev = Evaluator::with_budget(&ext, EvalBudget::unlimited()).with_threads(t);
+            let got = ev
+                .try_eval_sentence(&sentence)
+                .expect("unlimited budget cannot trip");
+            prop_assert_eq!(got, want, "plan vs reference at {} threads: {:?}", t, sentence);
         }
     }
 }

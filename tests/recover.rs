@@ -4,7 +4,8 @@
 //! uninterrupted one.
 
 use lcdb::core::{
-    try_eval_sentence_arrangement, try_eval_sentence_arrangement_recoverable, RegionExtension,
+    query_fingerprint, try_eval_sentence_arrangement, try_eval_sentence_arrangement_recoverable,
+    RegFormula, RegionExtension,
 };
 use lcdb::{
     parse_formula, queries, EvalBudget, EvalError, Evaluator, Relation, Snapshot,
@@ -121,6 +122,51 @@ fn resume_validates_query_and_decomposition() {
     let ev3 = Evaluator::with_budget(&ext2, EvalBudget::unlimited());
     let err = ev3.resume_from(&q, &snap).expect_err("wrong decomposition");
     assert!(err.to_string().contains("regions"), "{err}");
+}
+
+/// Snapshots carry the *canonical plan hash* as the query fingerprint: it
+/// survives the binary encoding byte-for-byte, and semantically-neutral AST
+/// differences that lowering normalizes away (double negation, duplicate
+/// conjuncts) neither change the fingerprint nor invalidate a resume.
+#[test]
+fn checkpoint_fingerprint_is_canonical_plan_hash() {
+    let q = queries::connectivity();
+    let ext = RegionExtension::arrangement(two_gaps());
+    let ev = Evaluator::with_budget(&ext, EvalBudget::unlimited().with_max_fix_iterations(1));
+    let _ = ev.try_eval_sentence(&q).expect_err("aborts");
+    let snap = ev.checkpoint(&q);
+    assert_eq!(
+        snap.fingerprint(),
+        query_fingerprint(&q),
+        "snapshot must embed the canonical plan hash"
+    );
+
+    // Byte-for-byte through the file encoding.
+    let dir = temp_dir("fingerprint");
+    let path = snap.write_to_dir(&dir).expect("snapshot writes");
+    let back = Snapshot::read_from(&path).expect("snapshot reads");
+    assert_eq!(back.fingerprint(), query_fingerprint(&q));
+
+    // Lowering-normalized variants: ¬¬q and q ∧ q produce the identical
+    // plan, hence the identical fingerprint...
+    let not_not = RegFormula::Not(Box::new(RegFormula::Not(Box::new(q.clone()))));
+    let dup_and = RegFormula::And(vec![q.clone(), q.clone()]);
+    assert_eq!(query_fingerprint(&q), query_fingerprint(&not_not));
+    assert_eq!(query_fingerprint(&q), query_fingerprint(&dup_and));
+    // ...so the snapshot resumes under the variant and completes to the
+    // uninterrupted verdict.
+    let ev2 = Evaluator::with_budget(&ext, EvalBudget::unlimited());
+    ev2.resume_from(&not_not, &back)
+        .expect("plan-identical variant resumes");
+    let verdict = ev2.try_eval_sentence(&not_not).expect("completes");
+    assert!(!verdict, "two gaps are disconnected");
+
+    // A genuinely different query still has a different fingerprint.
+    assert_ne!(
+        query_fingerprint(&q),
+        query_fingerprint(&queries::nonempty())
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn arb_intervals() -> impl Strategy<Value = Relation> {
