@@ -3,37 +3,76 @@
 //! Run with `cargo run --release -p lcdb-bench --bin experiments`
 //! (optionally with a filter argument, e.g. `… experiments E3`, and
 //! `--threads N` to fan the parallelizable experiments out over a worker
-//! pool; `LCDB_THREADS` is the environment fallback).
+//! pool; `LCDB_THREADS` is the environment fallback). `--trace FILE`
+//! additionally writes a JSONL structured trace of every instrumented
+//! evaluation (check it with the `trace_check` bin).
 //!
 //! Every run writes a machine-readable summary to `BENCH_3.json`
-//! (override the path with `LCDB_BENCH_OUT`): per-experiment wall clock,
-//! the thread count, and the detailed `BENCH` rows emitted by E19, E20,
-//! E21 and E22.
+//! (override the path with `LCDB_BENCH_OUT`): per-experiment wall clock
+//! and metrics-registry deltas, the thread count, and the detailed
+//! `BENCH` rows emitted by E19, E20, E21, E22 and E23.
 
 use lcdb_arith::{int, rat, Rational};
 use lcdb_bench::*;
 use lcdb_core::{
-    compile, queries, Decomposition, EvalBudget, Evaluator, FixMode, Pool, RegFormula,
-    RegionExtension,
+    compile, queries, Decomposition, EvalBudget, Evaluator, FixMode, JsonlTracer, Pool,
+    RegFormula, RegionExtension, TraceHandle,
 };
 use lcdb_geom::{Arrangement, VPolyhedron};
 use lcdb_logic::{parse_formula, qe, Database, Formula, LinExpr, Relation};
 use lcdb_tm::capture::{capture_agreement, input_word};
 use lcdb_tm::{encode, Tm};
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Harness-wide trace handle: a JSONL sink when `--trace FILE` was given,
+/// otherwise a disabled handle whose metrics registry still accumulates —
+/// the per-experiment registry deltas in `BENCH_3.json` come from here.
+static TRACE: OnceLock<TraceHandle> = OnceLock::new();
+
+fn trace() -> &'static TraceHandle {
+    TRACE.get_or_init(TraceHandle::disabled)
+}
+
+/// The positive counter deltas between two registry snapshots, as the inner
+/// body of a JSON object (`"name":delta,…`).
+fn metrics_delta_json(before: &BTreeMap<String, u64>, after: &BTreeMap<String, u64>) -> String {
+    after
+        .iter()
+        .filter_map(|(name, &v)| {
+            let delta = v.saturating_sub(before.get(name).copied().unwrap_or(0));
+            (delta > 0).then(|| format!("\"{}\":{}", name, delta))
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
 
 fn main() {
     let mut filter = String::new();
     let mut threads: Option<usize> = None;
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if let Some(v) = a.strip_prefix("--threads=") {
             threads = v.parse().ok();
         } else if a == "--threads" {
             threads = args.next().and_then(|v| v.parse().ok());
+        } else if let Some(v) = a.strip_prefix("--trace=") {
+            trace_path = Some(v.to_string());
+        } else if a == "--trace" {
+            trace_path = args.next();
         } else {
             filter = a;
+        }
+    }
+    if let Some(path) = &trace_path {
+        match JsonlTracer::create(std::path::Path::new(path)) {
+            Ok(t) => {
+                let _ = TRACE.set(TraceHandle::new(Arc::new(t)));
+                println!("tracing to {}", path);
+            }
+            Err(e) => eprintln!("warning: cannot open trace file '{}': {}", path, e),
         }
     }
     let pool = Pool::resolve(threads);
@@ -50,12 +89,16 @@ fn main() {
     macro_rules! exp {
         ($id:expr, $body:expr) => {
             if run($id) {
+                let before = trace().metrics().counter_snapshot();
                 let t = Instant::now();
                 $body;
+                let wall_us = t.elapsed().as_micros();
+                let after = trace().metrics().counter_snapshot();
                 timings.push(format!(
-                    "{{\"id\":\"{}\",\"wall_us\":{}}}",
+                    "{{\"id\":\"{}\",\"wall_us\":{},\"metrics\":{{{}}}}}",
                     $id,
-                    t.elapsed().as_micros()
+                    wall_us,
+                    metrics_delta_json(&before, &after)
                 ));
             }
         };
@@ -83,7 +126,9 @@ fn main() {
     exp!("E20", e20_checkpoint_overhead(&mut rows));
     exp!("E21", e21_parallel_scaling(&mut rows));
     exp!("E22", e22_plan_economics(&mut rows));
+    exp!("E23", e23_tracing_overhead(&mut rows));
 
+    trace().flush();
     let json = format!(
         "{{\"bench\":\"BENCH_3\",\"threads\":{},\"experiments\":[{}],\"rows\":[{}]}}\n",
         pool.threads(),
@@ -122,11 +167,25 @@ fn rel1(src: &str) -> Relation {
     Relation::new(vec!["x".into()], &parse_formula(src).unwrap())
 }
 
+/// [`Arrangement::from_relation`], routed through the harness trace handle
+/// so `--trace` runs record construction spans for every experiment.
+fn traced_arrangement(relation: &Relation) -> Arrangement {
+    let hs = lcdb_geom::extract_hyperplanes(relation);
+    Arrangement::try_build_traced(
+        relation.arity(),
+        hs,
+        &EvalBudget::unlimited(),
+        &Pool::serial(),
+        trace(),
+    )
+    .expect("unlimited build succeeds")
+}
+
 /// E1: the Fig. 1–3 running example: census of A(S).
 fn e1_figure_census() {
     header("E1", "arrangement census of the running example (Fig. 1-3)");
     let s = figure1_relation();
-    let arr = Arrangement::from_relation(&s);
+    let arr = traced_arrangement(&s);
     let counts = arr.face_counts_by_dim();
     println!("  hyperplanes |H(S)| = {}   (paper: 3 lines)", arr.hyperplanes().len());
     println!(
@@ -141,7 +200,7 @@ fn e1_figure_census() {
 fn e2_incidence_graph() {
     header("E2", "incidence graph structure around a vertex (Fig. 4)");
     let s = figure1_relation();
-    let arr = Arrangement::from_relation(&s);
+    let arr = traced_arrangement(&s);
     let g = arr.incidence_graph();
     println!(
         "  nodes = {} ({} proper faces + empty + full)",
@@ -179,7 +238,7 @@ fn e3_arrangement_scaling(pool: &Pool) {
         for &n in &ns {
             let hs = random_hyperplanes(d, n, 7 + d as u64);
             let t = Instant::now();
-            let arr = Arrangement::try_build_pool(d, hs, &EvalBudget::unlimited(), pool)
+            let arr = Arrangement::try_build_traced(d, hs, &EvalBudget::unlimited(), pool, trace())
                 .expect("unlimited build succeeds");
             let dt = t.elapsed();
             let exp = prev
@@ -223,7 +282,7 @@ fn e4_regfo_scaling() {
     let mut prev: Option<(usize, f64)> = None;
     for k in [2usize, 4, 8, 16] {
         let ext = RegionExtension::arrangement(intervals(k));
-        let ev = Evaluator::with_budget(&ext, experiment_budget());
+        let ev = Evaluator::with_budget(&ext, experiment_budget()).with_trace(trace().clone());
         let t = Instant::now();
         let result = match ev.try_eval_sentence(&q) {
             Ok(v) => v,
@@ -299,7 +358,7 @@ fn e6_connectivity() {
     println!("  {:<28} {:>8} {:>9} {:>9}", "database", "regions", "expected", "got");
     for (name, r, expect) in cases {
         let ext = RegionExtension::arrangement(r);
-        let ev = Evaluator::new(&ext);
+        let ev = Evaluator::new(&ext).with_trace(trace().clone());
         let got = ev.eval_sentence(&queries::connectivity());
         println!("  {:<28} {:>8} {:>9} {:>9}", name, ext.num_regions(), expect, got);
         assert_eq!(expect, got, "{}", name);
@@ -330,7 +389,7 @@ fn e7_river() {
         ("chem1 missing", (8, 8), (1, 2)),
     ] {
         let ext = build(c1, c2);
-        let ev = Evaluator::new(&ext);
+        let ev = Evaluator::new(&ext).with_trace(trace().clone());
         let literal = ev.eval_sentence(&queries::river_pollution());
         let ordered = ev.eval_sentence(&queries::river_pollution_ordered());
         println!("  {:<26} {:>14} {:>16}", name, literal, ordered);
@@ -348,7 +407,7 @@ fn e8_reglfp_scaling() {
     );
     for k in [2usize, 4, 8, 12] {
         let ext = RegionExtension::arrangement(chained_intervals(k));
-        let ev = Evaluator::with_budget(&ext, experiment_budget());
+        let ev = Evaluator::with_budget(&ext, experiment_budget()).with_trace(trace().clone());
         let t = Instant::now();
         let conn = match ev.try_eval_sentence(&queries::connectivity()) {
             Ok(v) => v,
@@ -380,7 +439,7 @@ fn e9_rbit() {
     let ext = RegionExtension::arrangement(rel1(
         "x = 0 or x = 1 or x = 2 or x = 3 or x = 4 or x = 5",
     ));
-    let ev = Evaluator::new(&ext);
+    let ev = Evaluator::new(&ext).with_trace(trace().clone());
     let zeros = ev.zero_dim_order().to_vec();
     println!("  point regions (= addressable bit positions): {}", zeros.len());
     for (num, den) in [(3i64, 2i64), (5, 1), (22, 7), (1, 4)] {
@@ -443,7 +502,7 @@ fn e10_capture() {
     ];
     for src in dbs {
         let ext = RegionExtension::arrangement(rel1(src));
-        let ev = Evaluator::new(&ext);
+        let ev = Evaluator::new(&ext).with_trace(trace().clone());
         let word = String::from_utf8(input_word(&ev)).unwrap();
         println!("  B = {}", src);
         println!(
@@ -474,7 +533,7 @@ fn e10_capture() {
 fn e11_pfp() {
     header("E11", "RegPFP: divergence yields the empty set; convergent PFP = LFP");
     let ext = RegionExtension::arrangement(rel1("(0 < x and x < 1) or (2 < x and x < 3)"));
-    let ev = Evaluator::new(&ext);
+    let ev = Evaluator::new(&ext).with_trace(trace().clone());
     let divergent = RegFormula::exists_region(
         "R",
         RegFormula::Fix {
@@ -599,7 +658,7 @@ fn e15_tc() {
         ("triangle", rel2("x >= 0 and y >= 0 and x + y <= 2"), true),
     ] {
         let ext = RegionExtension::nc1(r);
-        let ev = Evaluator::new(&ext);
+        let ev = Evaluator::new(&ext).with_trace(trace().clone());
         let tc = ev.eval_sentence(&queries::connectivity_tc(false));
         let dtc = ev.eval_sentence(&queries::connectivity_tc(true));
         let st = ev.stats();
@@ -621,7 +680,7 @@ fn e15_tc() {
 fn e16_closure() {
     header("E16", "closure: query answers are quantifier-free FO+LIN (Section 2)");
     let ext = RegionExtension::arrangement(rel1("(0 < x and x < 2) or (3 < x and x < 4)"));
-    let ev = Evaluator::new(&ext);
+    let ev = Evaluator::new(&ext).with_trace(trace().clone());
     let q = RegFormula::exists_elem(
         "x",
         RegFormula::and(vec![
@@ -678,7 +737,7 @@ fn e17_ablation() {
                 RegionExtension::nc1(r.clone())
             };
             let build = t.elapsed();
-            let ev = Evaluator::new(&ext);
+            let ev = Evaluator::new(&ext).with_trace(trace().clone());
             let t = Instant::now();
             let conn = ev.eval_sentence(&queries::connectivity());
             let eval = t.elapsed();
@@ -781,7 +840,7 @@ fn e19_datalog_baseline(pool: &Pool, rows: &mut Vec<String>) {
     // Meanwhile every region-logic fixed point terminates unconditionally:
     // the lattice P(Reg^k) is finite (Theorem 6.1).
     let ext = RegionExtension::arrangement(rel1("0 <= x and x <= 1"));
-    let ev = Evaluator::new(&ext);
+    let ev = Evaluator::new(&ext).with_trace(trace().clone());
     let conn = ev.eval_sentence(&queries::connectivity());
     println!(
         "  region LFP on the same database: terminated (connectivity = {}, {} stages)",
@@ -925,7 +984,7 @@ fn e21_parallel_scaling(rows: &mut Vec<String>) {
     let q = e4_query();
     let mut serial_secs = 0f64;
     for &threads in &sweep {
-        let ev = Evaluator::with_budget(&ext, experiment_budget()).with_threads(threads);
+        let ev = Evaluator::with_budget(&ext, experiment_budget()).with_trace(trace().clone()).with_threads(threads);
         let t = Instant::now();
         let verdict = match ev.try_eval_sentence(&q) {
             Ok(v) => v,
@@ -1002,7 +1061,7 @@ fn e22_plan_economics(rows: &mut Vec<String>) {
             let _ = compile(&q);
         }
         let lower_us = t.elapsed().as_micros() as f64 / f64::from(REPS);
-        let ev = Evaluator::with_budget(&ext, experiment_budget());
+        let ev = Evaluator::with_budget(&ext, experiment_budget()).with_trace(trace().clone());
         let t = Instant::now();
         let verdict = match ev.try_eval_sentence(&q) {
             Ok(v) => v,
@@ -1052,4 +1111,134 @@ fn e22_plan_economics(rows: &mut Vec<String>) {
         }
     }
     println!();
+}
+
+/// E23: tracing overhead. The zero-cost-when-disabled claim, measured: the
+/// E1–E3-style workloads (arrangement construction, connectivity, the GIS
+/// river query) run three ways — the default path (a fresh disabled handle),
+/// an explicitly attached `NullTracer` handle, and a live JSONL sink. The
+/// disabled-handle overhead is asserted below 5%; the JSONL cost is reported
+/// for the record. Minimum-of-reps is the estimator: it discards scheduler
+/// noise, which only ever inflates a measurement.
+fn e23_tracing_overhead(rows: &mut Vec<String>) {
+    header("E23", "tracing overhead: disabled handle vs NullTracer vs JSONL sink");
+    let sink_path = std::env::temp_dir().join(format!("lcdb-e23-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&sink_path);
+    let jsonl = match JsonlTracer::create(&sink_path) {
+        Ok(t) => TraceHandle::new(Arc::new(t)),
+        Err(e) => {
+            println!("  skipped: cannot open sink file: {}", e);
+            return;
+        }
+    };
+    let river_ext = || {
+        let mut db = Database::new();
+        db.insert("S", rel1("0 <= x and x <= 10"));
+        db.insert("river", rel1("0 <= x and x <= 10"));
+        db.insert("spring", rel1("x = 0"));
+        db.insert("chem1", rel1("1 < x and x < 2"));
+        db.insert("chem2", rel1("4 < x and x < 5"));
+        RegionExtension::arrangement_db(db, "S")
+    };
+
+    /// Minimum over `reps` timings of `work` (µs per measurement).
+    fn min_us(reps: u32, mut work: impl FnMut()) -> u64 {
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                work();
+                t.elapsed().as_micros() as u64
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    const REPS: u32 = 7;
+    println!(
+        "  {:<14} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "base", "null", "jsonl", "null-ovh", "jsonl-ovh"
+    );
+    let mut cases: Vec<(&str, u64, u64, u64)> = Vec::new();
+
+    // E3-style: arrangement construction (2-d, 8 hyperplanes, x4 per rep).
+    {
+        let variant = |trace: Option<&TraceHandle>| {
+            for seed in 0..4u64 {
+                let hs = random_hyperplanes(2, 8, 11 + seed);
+                let b = EvalBudget::unlimited();
+                let arr = match trace {
+                    None => Arrangement::try_build_pool(2, hs, &b, &Pool::serial()),
+                    Some(t) => {
+                        Arrangement::try_build_traced(2, hs, &b, &Pool::serial(), t)
+                    }
+                };
+                assert!(arr.is_ok());
+            }
+        };
+        let null = TraceHandle::disabled();
+        cases.push((
+            "arrangement",
+            min_us(REPS, || variant(None)),
+            min_us(REPS, || variant(Some(&null))),
+            min_us(REPS, || variant(Some(&jsonl))),
+        ));
+    }
+
+    // E1/E6-style: connectivity on gapped intervals (x8 per rep), and the
+    // GIS river query (x4 per rep) — the evaluator's hot spans.
+    let eval_cases: Vec<(&str, u32, RegionExtension, RegFormula)> = vec![
+        (
+            "connectivity",
+            8,
+            RegionExtension::arrangement(rel1("(0 < x and x < 1) or (2 < x and x < 3)")),
+            queries::connectivity(),
+        ),
+        ("gis_river", 4, river_ext(), queries::river_pollution()),
+    ];
+    for (name, inner, ext, q) in &eval_cases {
+        let variant = |trace: Option<&TraceHandle>| {
+            for _ in 0..*inner {
+                let mut ev = Evaluator::with_budget(ext, EvalBudget::unlimited());
+                if let Some(t) = trace {
+                    ev = ev.with_trace(t.clone());
+                }
+                assert!(ev.try_eval_sentence(q).is_ok());
+            }
+        };
+        let null = TraceHandle::disabled();
+        cases.push((
+            name,
+            min_us(REPS, || variant(None)),
+            min_us(REPS, || variant(Some(&null))),
+            min_us(REPS, || variant(Some(&jsonl))),
+        ));
+    }
+
+    for (name, base, null, jsonl_us) in cases {
+        let ovh = |v: u64| v as f64 / base.max(1) as f64 - 1.0;
+        println!(
+            "  {:<14} {:>8}us {:>8}us {:>8}us {:>9.2}% {:>9.2}%",
+            name,
+            base,
+            null,
+            jsonl_us,
+            ovh(null) * 100.0,
+            ovh(jsonl_us) * 100.0
+        );
+        let row = format!(
+            "{{\"experiment\":\"E23\",\"workload\":\"{}\",\"base_us\":{},\"null_us\":{},\"jsonl_us\":{},\"null_overhead\":{:.4},\"jsonl_overhead\":{:.4}}}",
+            name, base, null, jsonl_us, ovh(null), ovh(jsonl_us)
+        );
+        println!("  BENCH {}", row);
+        rows.push(row);
+        assert!(
+            ovh(null) < 0.05,
+            "disabled-handle tracing overhead on {} is {:.2}% (>= 5%)",
+            name,
+            ovh(null) * 100.0
+        );
+    }
+    jsonl.flush();
+    let _ = std::fs::remove_file(&sink_path);
+    println!("  disabled-handle overhead stays below the 5% budget on every workload\n");
 }

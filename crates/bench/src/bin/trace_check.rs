@@ -1,0 +1,58 @@
+//! `trace_check` — schema validator for JSONL trace files.
+//!
+//! Usage: `trace_check FILE...`. For each file, every line must parse as a
+//! schema-v1 trace event, every span enter must have a matching exit, and
+//! every event must carry a thread id. Exits non-zero on the first file
+//! that violates any of these, so CI can gate on it.
+
+use lcdb_core::{trace_aggregate, TraceEvent};
+use std::process::ExitCode;
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {}", e))?;
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = TraceEvent::parse_jsonl(line)
+            .ok_or_else(|| format!("line {}: unparseable event: {}", i + 1, line))?;
+        if ev.thread == 0 {
+            return Err(format!("line {}: missing thread id", i + 1));
+        }
+        events.push(ev);
+    }
+    if events.is_empty() {
+        return Err("no events".into());
+    }
+    let summary = trace_aggregate(&events);
+    if summary.unbalanced != 0 {
+        return Err(format!(
+            "{} span enter(s) without a matching exit",
+            summary.unbalanced
+        ));
+    }
+    println!(
+        "{}: ok ({} events, {} span names, {} counters)",
+        path,
+        events.len(),
+        summary.rows.len(),
+        summary.counters.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check FILE...");
+        return ExitCode::from(2);
+    }
+    for path in &paths {
+        if let Err(e) = check_file(path) {
+            eprintln!("{}: FAIL: {}", path, e);
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

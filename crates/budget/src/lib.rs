@@ -220,9 +220,7 @@ impl EvalBudget {
 
     /// A fresh amortized-interrupt meter bound to this budget's pacing.
     pub fn meter(&self) -> Meter {
-        Meter {
-            ticks: AtomicU64::new(0),
-        }
+        Meter::new()
     }
 }
 
@@ -237,7 +235,7 @@ impl EvalBudget {
 /// *combined* work rate rather than per-thread rates.
 #[derive(Debug, Default)]
 pub struct Meter {
-    ticks: AtomicU64,
+    ticks: std::sync::Arc<AtomicU64>,
 }
 
 impl Meter {
@@ -250,6 +248,19 @@ impl Meter {
 
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A meter whose tick count lives in an externally owned cell — this is
+    /// how a metrics registry observes meter activity without sitting on the
+    /// hot path: the registry hands out the `Arc<AtomicU64>`, the meter
+    /// bumps it with the same relaxed increment a private count would use.
+    pub fn backed_by(ticks: std::sync::Arc<AtomicU64>) -> Self {
+        Meter { ticks }
+    }
+
+    /// The number of ticks counted so far.
+    pub fn count(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
     }
 
     /// Count one unit of work; every [`Meter::PERIOD`] units, run the

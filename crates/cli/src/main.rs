@@ -36,17 +36,26 @@
 //!
 //! Plan inspection: the `explain REGFORMULA` command — or the `--explain`
 //! flag, which turns `sentence`/`query`/`connected` into explain-only
-//! commands — prints the optimized plan DAG with per-node canonical hashes
-//! and deterministic cost annotations, without evaluating anything.
+//! commands — prints a `explain: nodes=… depth=… threads=…` header followed
+//! by the optimized plan DAG with per-node canonical hashes and
+//! deterministic cost annotations, without evaluating anything.
+//!
+//! Observability: `--trace FILE` writes a JSONL structured trace (spans,
+//! counters, quarantine marks) of every command; `--profile` prints a
+//! per-plan-node self-time table after each evaluation, whose `#id` rows
+//! match `--explain`'s labels; `--metrics` dumps the counter/histogram
+//! registry (including quarantine counts) after each evaluation.
 
 use lcdb_core::{
     empty_checkpoint, explain_query, parse_regformula, queries, Decomposition, EvalBudget,
-    EvalError, EvalOutcome, EvalStats, Evaluator, Pool, Quarantine, RegFormula, RegionExtension,
-    Snapshot,
+    EvalError, EvalOutcome, EvalStats, Evaluator, JsonlTracer, Pool, ProfEntry, Quarantine,
+    RegFormula, RegionExtension, Snapshot, TraceHandle,
 };
 use lcdb_logic::{parse_formula, Database, Relation};
+use lcdb_plan::PlanId;
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Budget knobs taken from the command line; applied afresh to every
@@ -68,6 +77,15 @@ struct Limits {
     /// Print the optimized plan for each evaluation command instead of
     /// evaluating it (`--explain`).
     explain: bool,
+    /// Write a JSONL structured trace of every command to this file
+    /// (`--trace FILE`).
+    trace: Option<PathBuf>,
+    /// Print a per-plan-node self-time table after each evaluation command
+    /// (`--profile`).
+    profile: bool,
+    /// Print the metrics-registry dump after each evaluation command
+    /// (`--metrics`).
+    metrics: bool,
 }
 
 impl Limits {
@@ -168,8 +186,9 @@ fn report_checkpoint(
     out: &mut dyn Write,
     snap: Snapshot,
     dir: &std::path::Path,
+    trace: &TraceHandle,
 ) -> std::io::Result<()> {
-    match snap.write_to_dir(dir) {
+    match snap.write_to_dir_traced(dir, trace) {
         Ok(p) => writeln!(out, "checkpoint written: {}", p.display()),
         Err(e) => writeln!(out, "warning: checkpoint write failed: {}", e),
     }
@@ -195,6 +214,55 @@ fn write_partial(sh: &mut Shell, out: &mut dyn Write, q: &Quarantine) -> std::io
     Ok(())
 }
 
+/// Print the `--profile` table: one row per visited plan node, ranked by
+/// self time. The `#id` labels match `--explain` output for the same query
+/// (plan lowering is deterministic), and the self-time column sums to the
+/// root node's total time — child time is attributed to the child.
+fn write_profile(
+    out: &mut dyn Write,
+    f: &RegFormula,
+    prof: &[(PlanId, ProfEntry)],
+) -> std::io::Result<()> {
+    if prof.is_empty() {
+        return writeln!(out, "profile: no plan nodes visited");
+    }
+    let (plan, root) = lcdb_core::compile(f);
+    let total_ns = prof
+        .iter()
+        .find(|(id, _)| *id == root)
+        .map(|(_, e)| e.total_ns)
+        .unwrap_or(0);
+    let self_sum_ns: u64 = prof.iter().map(|(_, e)| e.self_ns).sum();
+    writeln!(
+        out,
+        "profile: nodes={} eval-total={}us self-sum={}us",
+        prof.len(),
+        total_ns / 1_000,
+        self_sum_ns / 1_000,
+    )?;
+    writeln!(
+        out,
+        "  {:>5}  {:>8}  {:>9}  {:>9}  {:>9}  {:>6}  node",
+        "id", "visits", "memo-hit", "self-us", "total-us", "self%"
+    )?;
+    let mut rows: Vec<(PlanId, ProfEntry)> = prof.to_vec();
+    rows.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then(a.0.cmp(&b.0)));
+    for (id, e) in rows {
+        writeln!(
+            out,
+            "  #{:<4}  {:>8}  {:>9}  {:>9}  {:>9}  {:>5.1}%  {}",
+            id,
+            e.visits,
+            e.memo_hits,
+            e.self_ns / 1_000,
+            e.total_ns / 1_000,
+            100.0 * e.self_ns as f64 / total_ns.max(1) as f64,
+            lcdb_plan::explain::label(&plan, id),
+        )?;
+    }
+    Ok(())
+}
+
 struct Shell {
     db: Database,
     spatial: Option<String>,
@@ -206,6 +274,10 @@ struct Shell {
     ext: Option<RegionExtension>,
     /// Exit code of the most recent failed command (0 when all succeeded).
     exit_code: i32,
+    /// Tracing/metrics handle shared by every command: a JSONL sink when
+    /// `--trace FILE` was given, otherwise disabled (the metrics registry
+    /// stays live either way, for `--metrics`).
+    trace: TraceHandle,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -217,6 +289,20 @@ enum DecompositionKind {
 impl Shell {
     fn with_limits(limits: Limits) -> Self {
         let pool = Pool::resolve(limits.threads);
+        let trace = match &limits.trace {
+            Some(path) => match JsonlTracer::create(path) {
+                Ok(t) => TraceHandle::new(Arc::new(t)),
+                Err(e) => {
+                    eprintln!(
+                        "warning: cannot open trace file '{}': {} (tracing disabled)",
+                        path.display(),
+                        e
+                    );
+                    TraceHandle::disabled()
+                }
+            },
+            None => TraceHandle::disabled(),
+        };
         Shell {
             db: Database::new(),
             spatial: None,
@@ -225,6 +311,7 @@ impl Shell {
             pool,
             ext: None,
             exit_code: 0,
+            trace,
         }
     }
 
@@ -236,11 +323,12 @@ impl Shell {
                 )
             })?;
             let ext = match self.decomposition {
-                DecompositionKind::Arrangement => RegionExtension::try_arrangement_db_pool(
+                DecompositionKind::Arrangement => RegionExtension::try_arrangement_db_traced(
                     self.db.clone(),
                     &spatial,
                     budget,
                     &self.pool,
+                    &self.trace,
                 )?,
                 DecompositionKind::Nc1 => {
                     RegionExtension::try_nc1_db(self.db.clone(), &spatial, budget)?
@@ -257,12 +345,13 @@ impl Shell {
     /// `connected`: applies `--resume`, quarantines localized faults under
     /// `--allow-partial`, and on a recoverable abort checkpoints the
     /// completed fixpoint stages into `--checkpoint-dir`.
+    #[allow(clippy::type_complexity)]
     fn eval_recoverable<T>(
         &mut self,
         out: &mut dyn Write,
         f: &RegFormula,
         run: impl FnOnce(&Evaluator) -> Result<EvalOutcome<T>, EvalError>,
-    ) -> Result<(T, Quarantine, EvalStats), CmdError> {
+    ) -> Result<(T, Quarantine, EvalStats, Vec<(PlanId, ProfEntry)>), CmdError> {
         let budget = self.limits.budget();
         let resume = self.limits.resume.take();
         let ckpt = self.limits.checkpoint_dir.clone();
@@ -271,7 +360,7 @@ impl Shell {
             // still lets a resumed run carry the spent work counters over.
             if let (CmdError::Eval(ee), Some(dir)) = (&e, &ckpt) {
                 if ee.is_recoverable() {
-                    report_checkpoint(out, empty_checkpoint(f, ee.stats()), dir)?;
+                    report_checkpoint(out, empty_checkpoint(f, ee.stats()), dir, &self.trace)?;
                 }
             }
             return Err(e);
@@ -281,7 +370,12 @@ impl Shell {
             .ext
             .as_ref()
             .ok_or_else(|| CmdError::Usage("extension cache invariant broken".to_string()))?;
-        let mut ev = Evaluator::with_budget(ext, budget.clone()).with_pool(self.pool.clone());
+        let mut ev = Evaluator::with_budget(ext, budget.clone())
+            .with_pool(self.pool.clone())
+            .with_trace(self.trace.clone());
+        if self.limits.profile {
+            ev = ev.with_profiling();
+        }
         if allow_partial {
             ev = ev.tolerate_faults();
         }
@@ -293,19 +387,63 @@ impl Shell {
             writeln!(out, "resumed from {}", path.display())?;
         }
         match run(&ev) {
-            Ok(EvalOutcome::Complete(v)) => Ok((v, Quarantine::default(), ev.stats())),
+            Ok(EvalOutcome::Complete(v)) => {
+                Ok((v, Quarantine::default(), ev.stats(), ev.plan_profile()))
+            }
             Ok(EvalOutcome::Partial { value, quarantined }) => {
-                Ok((value, quarantined, ev.stats()))
+                Ok((value, quarantined, ev.stats(), ev.plan_profile()))
             }
             Err(e) => {
                 if let Some(dir) = &ckpt {
                     if e.is_recoverable() {
-                        report_checkpoint(out, ev.checkpoint(f), dir)?;
+                        report_checkpoint(out, ev.checkpoint(f), dir, &self.trace)?;
                     }
                 }
                 Err(e.into())
             }
         }
+    }
+
+    /// Post-evaluation observability reporting shared by the evaluation
+    /// commands: the `--profile` self-time table and the `--metrics`
+    /// registry dump (quarantine counters included).
+    fn write_observability(
+        &self,
+        out: &mut dyn Write,
+        f: &RegFormula,
+        prof: &[(PlanId, ProfEntry)],
+    ) -> std::io::Result<()> {
+        if self.limits.profile {
+            write_profile(out, f, prof)?;
+        }
+        if self.limits.metrics {
+            writeln!(out, "metrics:")?;
+            for line in self.trace.metrics().render().lines() {
+                writeln!(out, "  {}", line)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The `explain` output: a header with the plan's reachable node count,
+    /// maximum depth, and the thread count evaluation would fan out over,
+    /// followed by the rendered plan. The header is what makes `--explain`
+    /// compose with `--threads` instead of silently ignoring it.
+    fn write_explain(&self, out: &mut dyn Write, f: &RegFormula) -> std::io::Result<()> {
+        let (plan, root) = lcdb_core::compile(f);
+        let reachable = plan
+            .reference_counts(root)
+            .iter()
+            .filter(|&&c| c > 0)
+            .count();
+        writeln!(
+            out,
+            "explain: nodes={} depth={} threads={}",
+            reachable,
+            lcdb_plan::explain::depth(&plan, root),
+            self.pool.threads(),
+        )?;
+        write!(out, "{}", explain_query(f))
     }
 
     /// Run one fallible command body, reporting errors and recording the
@@ -357,6 +495,9 @@ impl Shell {
                 writeln!(out, "  --allow-partial        quarantine localized faults (exit code 8)")?;
                 writeln!(out, "  --threads N            parallel evaluation (default 1; LCDB_THREADS env)")?;
                 writeln!(out, "  --explain              print plans instead of evaluating sentence/query/connected")?;
+                writeln!(out, "  --trace FILE           write a JSONL structured trace of every command")?;
+                writeln!(out, "  --profile              print a per-plan-node self-time table after evaluations")?;
+                writeln!(out, "  --metrics              print the metrics-registry dump after evaluations")?;
             }
             "rel" => match parse_rel_definition(rest) {
                 Ok((name, vars, formula)) => {
@@ -416,16 +557,16 @@ impl Shell {
                 Ok(())
             })?,
             "explain" => match parse_regformula(rest) {
-                Ok(f) => writeln!(out, "{}", explain_query(&f))?,
+                Ok(f) => self.write_explain(out, &f)?,
                 Err(e) => {
                     self.exit_code = 1;
                     writeln!(out, "parse error: {}", e)?;
                 }
             },
             "sentence" => match parse_regformula(rest) {
-                Ok(f) if self.limits.explain => writeln!(out, "{}", explain_query(&f))?,
+                Ok(f) if self.limits.explain => self.write_explain(out, &f)?,
                 Ok(f) => self.run_command(out, |sh, out| {
-                    let (verdict, q, st) =
+                    let (verdict, q, st, prof) =
                         sh.eval_recoverable(out, &f, |ev| ev.try_eval_sentence_outcome(&f))?;
                     writeln!(
                         out,
@@ -434,6 +575,7 @@ impl Shell {
                     )?;
                     write_partial(sh, out, &q)?;
                     write_stats(out, "stats", &st)?;
+                    sh.write_observability(out, &f, &prof)?;
                     Ok(())
                 })?,
                 Err(e) => {
@@ -442,12 +584,13 @@ impl Shell {
                 }
             },
             "query" => match parse_regformula(rest) {
-                Ok(f) if self.limits.explain => writeln!(out, "{}", explain_query(&f))?,
+                Ok(f) if self.limits.explain => self.write_explain(out, &f)?,
                 Ok(f) => self.run_command(out, |sh, out| {
-                    let (answer, q, _) =
+                    let (answer, q, _, prof) =
                         sh.eval_recoverable(out, &f, |ev| ev.try_eval_query_outcome(&f))?;
                     writeln!(out, "{}", answer)?;
                     write_partial(sh, out, &q)?;
+                    sh.write_observability(out, &f, &prof)?;
                     Ok(())
                 })?,
                 Err(e) => {
@@ -456,14 +599,15 @@ impl Shell {
                 }
             },
             "connected" if self.limits.explain => {
-                writeln!(out, "{}", explain_query(&queries::connectivity()))?;
+                self.write_explain(out, &queries::connectivity())?;
             }
             "connected" => self.run_command(out, |sh, out| {
                 let f = queries::connectivity();
-                let (verdict, q, _) =
+                let (verdict, q, _, prof) =
                     sh.eval_recoverable(out, &f, |ev| ev.try_eval_sentence_outcome(&f))?;
                 writeln!(out, "{}", verdict)?;
                 write_partial(sh, out, &q)?;
+                sh.write_observability(out, &f, &prof)?;
                 Ok(())
             })?,
             "encode" => self.run_command(out, |sh, out| {
@@ -597,6 +741,15 @@ fn parse_limit_flags(args: &[String]) -> Result<(Limits, Vec<String>), String> {
             "--explain" => {
                 limits.explain = true;
             }
+            "--trace" => {
+                limits.trace = Some(PathBuf::from(value(&mut it)?));
+            }
+            "--profile" => {
+                limits.profile = true;
+            }
+            "--metrics" => {
+                limits.metrics = true;
+            }
             "--threads" => {
                 let v = value(&mut it)?;
                 limits.threads = Some(
@@ -673,7 +826,9 @@ fn main() -> std::process::ExitCode {
         Ok(())
     };
 
-    match run(&mut shell, &mut out) {
+    let result = run(&mut shell, &mut out);
+    shell.trace.flush();
+    match result {
         Ok(()) => std::process::ExitCode::from(shell.exit_code.clamp(0, 255) as u8),
         Err(e) => {
             eprintln!("error: {}", e);
@@ -847,6 +1002,88 @@ mod tests {
         let (out, code) = run_shell(Limits::default(), &["explain ((("]);
         assert!(out.contains("parse error"), "{}", out);
         assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn explain_header_reports_nodes_depth_threads() {
+        // Satellite: `--explain` composes with `--threads` — the header
+        // carries the fan-out width instead of silently ignoring the flag.
+        let (out, code) = run_shell(
+            Limits {
+                explain: true,
+                threads: Some(3),
+                ..Limits::default()
+            },
+            &["sentence exists R. R subset S"],
+        );
+        assert_eq!(code, 0, "{}", out);
+        let header = out.lines().next().unwrap_or("");
+        assert!(header.starts_with("explain: nodes="), "{}", out);
+        assert!(header.contains("depth="), "{}", out);
+        assert!(header.contains("threads=3"), "{}", out);
+        // The explain *command* prints the same header.
+        let out = run(&["explain exists R. R subset S"]);
+        assert!(out.starts_with("explain: nodes="), "{}", out);
+    }
+
+    #[test]
+    fn profile_flag_prints_self_time_table() {
+        let (out, code) = run_shell(
+            Limits {
+                profile: true,
+                ..Limits::default()
+            },
+            &[GAPPED, "connected"],
+        );
+        assert_eq!(code, 0, "{}", out);
+        assert!(out.contains("profile: nodes="), "{}", out);
+        assert!(out.contains("eval-total="), "{}", out);
+        assert!(out.contains("self-sum="), "{}", out);
+        // Rows use the same #id labels as explain output.
+        assert!(out.lines().any(|l| l.trim_start().starts_with('#')), "{}", out);
+    }
+
+    #[test]
+    fn metrics_flag_dumps_registry() {
+        let (out, code) = run_shell(
+            Limits {
+                metrics: true,
+                ..Limits::default()
+            },
+            &[GAPPED, "connected"],
+        );
+        assert_eq!(code, 0, "{}", out);
+        assert!(out.contains("metrics:"), "{}", out);
+        assert!(out.contains("stats.fix_iterations"), "{}", out);
+    }
+
+    #[test]
+    fn trace_flag_writes_parseable_jsonl() {
+        let path = std::env::temp_dir().join(format!("lcdb-cli-trace-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let (out, code) = run_shell(
+            Limits {
+                trace: Some(path.clone()),
+                ..Limits::default()
+            },
+            &[GAPPED, "connected"],
+        );
+        assert_eq!(code, 0, "{}", out);
+        drop(out);
+        // The in-process shell is dropped by run_shell, flushing the sink.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.trim().is_empty(), "trace file is empty");
+        let events: Vec<lcdb_core::TraceEvent> = text
+            .lines()
+            .map(|l| {
+                lcdb_core::TraceEvent::parse_jsonl(l)
+                    .unwrap_or_else(|| panic!("unparseable trace line '{}'", l))
+            })
+            .collect();
+        let summary = lcdb_core::trace_aggregate(&events);
+        assert_eq!(summary.unbalanced, 0, "unbalanced spans in trace");
+        assert!(events.iter().all(|e| e.thread > 0), "thread ids present");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

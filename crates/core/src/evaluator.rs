@@ -45,9 +45,11 @@ use lcdb_logic::dnf::{to_dnf_pruned, Dnf};
 use lcdb_logic::{qe, Formula, Rel, Var};
 use lcdb_plan::{NodeFacts, Plan, PlanId, PlanNode};
 use lcdb_recover::{FixKind, FixProgress, FixpointSnapshot, PersistedStats, Snapshot};
-use std::cell::RefCell;
+use lcdb_trace::TraceHandle;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
+use std::time::Instant;
 
 pub use crate::lower::query_fingerprint;
 
@@ -275,6 +277,41 @@ pub struct Evaluator<'a> {
     /// Worker pool for region-quantifier expansions and fixpoint tuple
     /// sweeps. Serial by default; see [`Evaluator::with_threads`].
     pool: Pool,
+    /// Structured tracing sink and metrics registry; disabled by default.
+    /// See [`Evaluator::with_trace`].
+    trace: TraceHandle,
+    /// Cached `trace.enabled()` so hot paths pay one branch when tracing is
+    /// off instead of a virtual call.
+    trace_on: bool,
+    /// Per-plan-node profiling (visit counts, memo hits, self time); off by
+    /// default because it adds two clock reads per plan-node visit.
+    profiling: Cell<bool>,
+    /// Profile rows indexed by `PlanId`; sized for the plan at entry.
+    prof: RefCell<Vec<ProfEntry>>,
+    /// Nanoseconds already attributed to children of the node currently on
+    /// the evaluation stack — subtracted from the node's wall time to get
+    /// its self time, so self times telescope: they sum to the root total.
+    prof_child_ns: Cell<u64>,
+    /// Stats values already emitted as trace counter events. Counter events
+    /// carry the *delta* since this snapshot and are emitted only at stage
+    /// and entry boundaries (and only by the parent evaluator — fan-out
+    /// children run with tracing off), so event volume stays bounded while
+    /// the event sums still reconcile exactly with [`EvalStats`].
+    emitted: Cell<EvalStats>,
+}
+
+/// Per-plan-node profile counters; see [`Evaluator::plan_profile`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfEntry {
+    /// Times the executor entered this node.
+    pub visits: u64,
+    /// Visits answered from the boolean cache or the formula memo.
+    pub memo_hits: u64,
+    /// Wall time inside this node including its children, in nanoseconds.
+    pub total_ns: u64,
+    /// Wall time net of children — the node's own work, in nanoseconds.
+    /// Summed over all profiled nodes this equals the root's `total_ns`.
+    pub self_ns: u64,
 }
 
 /// Shared ingredients for the per-worker child evaluators of a parallel
@@ -286,6 +323,9 @@ pub struct Evaluator<'a> {
 struct ParSetup<'a> {
     ext: &'a dyn Decomposition,
     budget: EvalBudget,
+    /// The parent's metrics registry: worker meters are backed by the same
+    /// `budget.meter_ticks` counter, so pool work shows up in `--metrics`.
+    metrics: lcdb_trace::MetricsRegistry,
     resume: BTreeMap<ProgressKey, FixLive>,
     bool_seed: HashMap<NodeKey, bool>,
     formula_seed: HashMap<NodeKey, Formula>,
@@ -302,7 +342,8 @@ impl<'a> ParSetup<'a> {
     /// subset of what a serial run would have cached at any item, so the
     /// "parallel counters bound serial work" invariant is preserved.
     fn spawn(&self) -> Evaluator<'a> {
-        let ev = Evaluator::with_budget(self.ext, self.budget.clone());
+        let mut ev = Evaluator::with_budget(self.ext, self.budget.clone());
+        ev.meter = Meter::backed_by(self.metrics.counter("budget.meter_ticks").shared());
         *ev.resume.borrow_mut() = self.resume.clone();
         *ev.bool_cache.borrow_mut() = self.bool_seed.clone();
         *ev.formula_memo.borrow_mut() = self.formula_seed.clone();
@@ -410,7 +451,59 @@ impl<'a> Evaluator<'a> {
             progress: RefCell::new(BTreeMap::new()),
             resume: RefCell::new(BTreeMap::new()),
             pool: Pool::serial(),
+            trace: TraceHandle::disabled(),
+            trace_on: false,
+            profiling: Cell::new(false),
+            prof: RefCell::new(Vec::new()),
+            prof_child_ns: Cell::new(0),
+            emitted: Cell::new(EvalStats::default()),
         }
+    }
+
+    /// Attach a tracing/metrics handle. Spans and counter events are emitted
+    /// through `trace`'s sink; the budget meter is rebound to the handle's
+    /// registry (counter `budget.meter_ticks`), so metered work is visible
+    /// in a metrics dump even when the sink itself is a
+    /// [`lcdb_trace::NullTracer`]. With tracing disabled the hot paths pay a
+    /// single cached boolean test.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace_on = trace.enabled();
+        self.meter = Meter::backed_by(trace.metrics().counter("budget.meter_ticks").shared());
+        self.trace = trace;
+        self
+    }
+
+    /// The tracing/metrics handle this evaluator reports through (the
+    /// disabled default unless [`Evaluator::with_trace`] installed one).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// Enable per-plan-node profiling: every [`PlanId`] accumulates visit
+    /// count, memo hits, and self/total wall time, retrievable after an
+    /// entry call via [`Evaluator::plan_profile`]. Adds two monotonic-clock
+    /// reads per plan-node visit, so it is off by default.
+    pub fn with_profiling(self) -> Self {
+        self.profiling.set(true);
+        self
+    }
+
+    /// The per-plan-node profile accumulated by the last entry call, as
+    /// `(plan id, counters)` rows for every node that was visited. Node ids
+    /// match the `#id` labels of [`crate::lower::explain_query`] for the
+    /// same query. Empty unless [`Evaluator::with_profiling`] was set.
+    ///
+    /// Self times telescope: the sum of `self_ns` over all rows equals the
+    /// root node's `total_ns` (pool wait time of a parallel fan-out counts
+    /// as self time of the node that fanned out).
+    pub fn plan_profile(&self) -> Vec<(PlanId, ProfEntry)> {
+        self.prof
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.visits > 0)
+            .map(|(i, e)| (i as PlanId, *e))
+            .collect()
     }
 
     /// Fan region-quantifier expansions and fixpoint tuple sweeps out over
@@ -467,13 +560,83 @@ impl<'a> Evaluator<'a> {
         self.progress.borrow_mut().clear();
     }
 
+    /// Per-entry setup shared by the plan-executing entry points: clear the
+    /// plan-keyed caches, record the plan size, and (when profiling) size
+    /// the profile table for this plan's node ids.
+    fn begin_entry(&self, plan: &Plan) {
+        self.clear_caches();
+        self.stats.borrow_mut().plan_nodes = plan.len();
+        if self.profiling.get() {
+            let mut prof = self.prof.borrow_mut();
+            prof.clear();
+            prof.resize(plan.len(), ProfEntry::default());
+            self.prof_child_ns.set(0);
+        }
+    }
+
     fn bindings(&self, facts: &NodeFacts, env: &Env) -> Result<Vec<usize>, Stop> {
         facts.free_regions.iter().map(|v| env.region(v)).collect()
     }
 
     /// The accumulated work counters.
+    ///
+    /// Invariant: every plan-memo hit was preceded by a lookup, at any
+    /// thread count — fan-out children count both locally and their deltas
+    /// merge pairwise, so `plan_cache_lookups >= plan_cache_hits` always.
+    /// Checked here (and repaired in release builds, where a violation
+    /// would mean a lost-update bug upstream rather than a reason to panic).
     pub fn stats(&self) -> EvalStats {
-        *self.stats.borrow()
+        let mut s = *self.stats.borrow();
+        debug_assert!(
+            s.plan_cache_lookups >= s.plan_cache_hits,
+            "plan-memo hits ({}) exceed lookups ({})",
+            s.plan_cache_hits,
+            s.plan_cache_lookups
+        );
+        if s.plan_cache_hits > s.plan_cache_lookups {
+            s.plan_cache_lookups = s.plan_cache_hits;
+        }
+        s
+    }
+
+    /// Flush the stats accumulated since the last flush into the metrics
+    /// registry, and — when tracing is enabled — emit matching counter
+    /// events. Called at stage and entry boundaries so the event stream
+    /// stays sparse; deltas merged in from fan-out children are included, so
+    /// over a whole evaluation the per-name sums equal the corresponding
+    /// [`EvalStats`] fields exactly. (Fan-out children flush into their own
+    /// throwaway registries; their work reaches the parent's registry via
+    /// the merged stats, exactly once.)
+    fn flush_trace_counters(&self) {
+        let now = *self.stats.borrow();
+        let prev = self.emitted.get();
+        let emit = |name: &str, cur: usize, old: usize| {
+            if cur > old {
+                self.trace.count(name, (cur - old) as u64);
+            }
+        };
+        emit("stats.fix_iterations", now.fix_iterations, prev.fix_iterations);
+        emit("stats.fix_tuple_tests", now.fix_tuple_tests, prev.fix_tuple_tests);
+        emit("stats.qe_calls", now.qe_calls, prev.qe_calls);
+        emit(
+            "stats.region_expansions",
+            now.region_expansions,
+            prev.region_expansions,
+        );
+        emit("stats.tc_edge_tests", now.tc_edge_tests, prev.tc_edge_tests);
+        emit("stats.regions", now.regions, prev.regions);
+        emit("stats.quarantined", now.quarantined, prev.quarantined);
+        emit(
+            "stats.plan_cache_lookups",
+            now.plan_cache_lookups,
+            prev.plan_cache_lookups,
+        );
+        emit(
+            "stats.plan_cache_hits",
+            now.plan_cache_hits,
+            prev.plan_cache_hits,
+        );
+        self.emitted.set(now);
     }
 
     /// The region extension under evaluation.
@@ -567,6 +730,7 @@ impl<'a> Evaluator<'a> {
         ParSetup {
             ext: self.ext,
             budget: self.budget.clone(),
+            metrics: self.trace.metrics().clone(),
             resume: self.resume.borrow().clone(),
             bool_seed: self.bool_cache.borrow().clone(),
             formula_seed: self.formula_memo.borrow().clone(),
@@ -630,27 +794,41 @@ impl<'a> Evaluator<'a> {
         if !self.degrade || !Self::quarantinable(&stop) {
             return Err(stop);
         }
-        let mut q = self.quarantine.borrow_mut();
-        match unit {
-            QuarantineUnit::Disjunct => q.disjuncts += 1,
-            QuarantineUnit::Region(id) => {
-                q.regions.insert(id);
-            }
-            QuarantineUnit::Tuple => q.tuples += 1,
-        }
-        match stop {
-            Stop::Budget(BudgetError::InjectedFault { site }) => {
-                q.sites.insert(site);
-            }
-            Stop::Query(message) => {
-                q.sites.insert(message);
-            }
+        let site = match &stop {
+            Stop::Budget(BudgetError::InjectedFault { site }) => site.clone(),
+            Stop::Query(message) => message.clone(),
             // `quarantinable` returned true, so no other variant reaches
             // here; absorbing nothing extra is still sound if one did.
-            Stop::Budget(_) => {}
+            Stop::Budget(_) => String::new(),
+        };
+        let mut q = self.quarantine.borrow_mut();
+        let (unit_label, metric) = match unit {
+            QuarantineUnit::Disjunct => {
+                q.disjuncts += 1;
+                ("disjunct".to_string(), "quarantine.disjuncts")
+            }
+            QuarantineUnit::Region(id) => {
+                q.regions.insert(id);
+                (format!("region={id}"), "quarantine.regions")
+            }
+            QuarantineUnit::Tuple => {
+                q.tuples += 1;
+                ("tuple".to_string(), "quarantine.tuples")
+            }
+        };
+        if !site.is_empty() {
+            q.sites.insert(site.clone());
         }
         drop(q);
         self.stats.borrow_mut().quarantined += 1;
+        // Quarantine visibility: every absorbed unit counts in the metrics
+        // registry (for `--metrics` even without a sink) and, when tracing
+        // is on, emits one event naming the unit and the fault site.
+        self.trace.metrics().add(metric, 1);
+        if self.trace_on {
+            self.trace
+                .mark("quarantine", &format!("{unit_label} site={site}"));
+        }
         Ok(())
     }
 
@@ -667,6 +845,10 @@ impl<'a> Evaluator<'a> {
     /// `query` must be the formula the entry call evaluated; its fingerprint
     /// binds the snapshot to the query.
     pub fn checkpoint(&self, query: &RegFormula) -> Snapshot {
+        let _span = self.trace.span_with(
+            "eval.checkpoint",
+            &format!("entries={}", self.progress.borrow().len()),
+        );
         let entries = self
             .progress
             .borrow()
@@ -712,6 +894,7 @@ impl<'a> Evaluator<'a> {
     /// caps, so re-running under the budget that aborted the original run
     /// trips immediately.
     pub fn resume_from(&self, query: &RegFormula, snapshot: &Snapshot) -> Result<(), EvalError> {
+        let _span = self.trace.span("eval.resume");
         let Snapshot::Fixpoint(snap) = snapshot else {
             return Err(self.query_error(
                 "cannot resume a region-logic evaluation from a datalog snapshot",
@@ -806,11 +989,13 @@ impl<'a> Evaluator<'a> {
             return Err(self.query_error("sentence has free set variables"));
         }
         let (plan, root) = lower::compile(f);
-        self.clear_caches();
-        self.stats.borrow_mut().plan_nodes = plan.len();
-        let out = self
-            .eval_node(&plan, root, &Env::default())
-            .map_err(|s| self.stop_error(s))?;
+        self.begin_entry(&plan);
+        let _span = self
+            .trace
+            .span_with("eval.sentence", &format!("plan_nodes={}", plan.len()));
+        let out = self.eval_node(&plan, root, &Env::default());
+        self.flush_trace_counters();
+        let out = out.map_err(|s| self.stop_error(s))?;
         Ok(self.outcome(out.eval(&BTreeMap::new())))
     }
 
@@ -855,11 +1040,13 @@ impl<'a> Evaluator<'a> {
             return Err(self.query_error("query has free set variables"));
         }
         let (plan, root) = lower::compile(f);
-        self.clear_caches();
-        self.stats.borrow_mut().plan_nodes = plan.len();
-        let out = self
-            .eval_node(&plan, root, &Env::default())
-            .map_err(|s| self.stop_error(s))?;
+        self.begin_entry(&plan);
+        let _span = self
+            .trace
+            .span_with("eval.query", &format!("plan_nodes={}", plan.len()));
+        let out = self.eval_node(&plan, root, &Env::default());
+        self.flush_trace_counters();
+        let out = out.map_err(|s| self.stop_error(s))?;
         Ok(self.outcome(to_dnf_pruned(&out).simplify_strong().to_formula()))
     }
 
@@ -921,10 +1108,13 @@ impl<'a> Evaluator<'a> {
             sets: BTreeMap::new(),
         };
         let (plan, root) = lower::compile(f);
-        self.clear_caches();
-        self.stats.borrow_mut().plan_nodes = plan.len();
-        self.eval_node(&plan, root, &env)
-            .map_err(|s| self.stop_error(s))
+        self.begin_entry(&plan);
+        let _span = self
+            .trace
+            .span_with("eval.with_regions", &format!("plan_nodes={}", plan.len()));
+        let out = self.eval_node(&plan, root, &env);
+        self.flush_trace_counters();
+        out.map_err(|s| self.stop_error(s))
     }
 
     /// Core plan execution: produces a quantifier-free formula over the
@@ -949,6 +1139,42 @@ impl<'a> Evaluator<'a> {
     /// is order-dependent, and a memoized partial answer would replay one
     /// order's quarantine into another.
     fn eval_node(&self, plan: &Plan, id: PlanId, env: &Env) -> Result<Formula, Stop> {
+        if !self.profiling.get() {
+            return self.eval_node_memo(plan, id, env);
+        }
+        // Profiling: time this visit, crediting children's wall time to
+        // them. `prof_child_ns` holds the time of already-profiled children
+        // of the node currently on the stack; each visit zeroes it for its
+        // own children and adds its total back for its parent, so self
+        // times telescope (Σ self = root total) at any thread count — a
+        // parallel fan-out's pool wait is the fanning node's self time.
+        let saved_child = self.prof_child_ns.replace(0);
+        let start = Instant::now();
+        let result = self.eval_node_memo(plan, id, env);
+        let total = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let self_ns = total.saturating_sub(self.prof_child_ns.get());
+        {
+            let mut prof = self.prof.borrow_mut();
+            if let Some(e) = prof.get_mut(id as usize) {
+                e.visits += 1;
+                e.total_ns = e.total_ns.saturating_add(total);
+                e.self_ns = e.self_ns.saturating_add(self_ns);
+            }
+        }
+        self.prof_child_ns.set(saved_child.saturating_add(total));
+        result
+    }
+
+    /// Note a plan-memo hit for the profile table (cheap: profiling only).
+    fn note_memo_hit(&self, id: PlanId) {
+        if self.profiling.get() {
+            if let Some(e) = self.prof.borrow_mut().get_mut(id as usize) {
+                e.memo_hits += 1;
+            }
+        }
+    }
+
+    fn eval_node_memo(&self, plan: &Plan, id: PlanId, env: &Env) -> Result<Formula, Stop> {
         self.meter.tick(&self.budget)?;
         let facts = plan.facts(id);
         let node = plan.node(id);
@@ -965,6 +1191,7 @@ impl<'a> Evaluator<'a> {
             self.stats.borrow_mut().plan_cache_lookups += 1;
             if let Some(&b) = self.bool_cache.borrow().get(&key) {
                 self.stats.borrow_mut().plan_cache_hits += 1;
+                self.note_memo_hit(id);
                 return Ok(bool_formula(b));
             }
             let out = self.eval_node_uncached(plan, id, env)?;
@@ -995,6 +1222,7 @@ impl<'a> Evaluator<'a> {
             self.stats.borrow_mut().plan_cache_lookups += 1;
             if let Some(cached) = self.formula_memo.borrow().get(&key) {
                 self.stats.borrow_mut().plan_cache_hits += 1;
+                self.note_memo_hit(id);
                 return Ok(cached.clone());
             }
             let out = self.eval_node_uncached(plan, id, env)?;
@@ -1087,13 +1315,13 @@ impl<'a> Evaluator<'a> {
                 let sub = self.eval_node(plan, *inner, env)?;
                 self.stats.borrow_mut().qe_calls += 1;
                 self.budget.check_interrupt()?;
-                qe::eliminate_one_cells(&sub, v, true)
+                self.timed_qe(&sub, v, true)
             }
             PlanNode::ForallElem(v, inner) => {
                 let sub = self.eval_node(plan, *inner, env)?;
                 self.stats.borrow_mut().qe_calls += 1;
                 self.budget.check_interrupt()?;
-                qe::eliminate_one_cells(&sub, v, false)
+                self.timed_qe(&sub, v, false)
             }
             PlanNode::ExistsRegion(v, inner) => {
                 self.eval_region_quantifier(plan, v, *inner, env, true)?
@@ -1146,6 +1374,20 @@ impl<'a> Evaluator<'a> {
         })
     }
 
+    /// One quantifier elimination, feeding its latency into the
+    /// `qe.eliminate_us` histogram when tracing is enabled (QE calls are
+    /// frequent, so they are histogram samples rather than spans).
+    fn timed_qe(&self, sub: &Formula, v: &str, existential: bool) -> Formula {
+        if !self.trace_on {
+            return qe::eliminate_one_cells(sub, v, existential);
+        }
+        let start = Instant::now();
+        let out = qe::eliminate_one_cells(sub, v, existential);
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.trace.metrics().observe("qe.eliminate_us", us);
+        out
+    }
+
     /// Evaluate a node with no free element variables to a boolean.
     fn eval_bool(&self, plan: &Plan, id: PlanId, env: &Env) -> Result<bool, Stop> {
         let out = self.eval_node(plan, id, env)?;
@@ -1176,6 +1418,19 @@ impl<'a> Evaluator<'a> {
         existential: bool,
     ) -> Result<Formula, Stop> {
         let ids: Vec<usize> = self.ext.region_ids().collect();
+        // Guarded so the detail string is not even formatted when tracing
+        // is off — this runs once per region-quantifier *evaluation*, which
+        // inside fixpoint bodies is hot.
+        let _span = self.trace_on.then(|| {
+            self.trace.span_with(
+                "eval.regions",
+                &format!(
+                    "quantifier={} regions={}",
+                    if existential { "exists" } else { "forall" },
+                    ids.len()
+                ),
+            )
+        });
         let mut parts = Vec::new();
         if !self.parallel(ids.len()) {
             let mut env2 = env.clone();
@@ -1313,6 +1568,12 @@ impl<'a> Evaluator<'a> {
         });
 
         let k = vars.len();
+        let _fix_span = self
+            .trace_on
+            .then(|| {
+                self.trace
+                    .span_with("fix.run", &format!("mode={} arity={k}", mode.name()))
+            });
         let tuples = try_all_tuples(self.ext.num_regions(), k, &self.budget)?;
         let mut current: Rc<BTreeSet<Vec<usize>>> = Rc::new(BTreeSet::new());
         let mut stage: u64 = 0;
@@ -1331,6 +1592,9 @@ impl<'a> Evaluator<'a> {
         }
         let mut seen: HashSet<BTreeSet<Vec<usize>>> = HashSet::new();
         let result = loop {
+            let _stage_span = self
+                .trace_on
+                .then(|| self.trace.span_with("fix.stage", &format!("stage={stage}")));
             // Budget gate per stage: a divergence-prone PFP burns stages
             // first, so this is where an iteration cap interrupts it.
             self.note_fix_stage()?;
@@ -1405,6 +1669,14 @@ impl<'a> Evaluator<'a> {
             // The stage completed: record it so an abort in a *later* stage
             // (or a later fixpoint) can resume from here.
             stage += 1;
+            if self.trace_on {
+                // Delta between consecutive stages, as a semi-naive-style
+                // progress signal; flushing here keeps counter events
+                // aligned with stage boundaries.
+                let delta = next.symmetric_difference(&current).count();
+                self.trace.count("fix.delta_tuples", delta as u64);
+                self.flush_trace_counters();
+            }
             if let Some(pk) = &progress_key {
                 self.progress.borrow_mut().insert(
                     pk.clone(),
@@ -1500,6 +1772,10 @@ impl<'a> Evaluator<'a> {
             if let Some(cached) = cached_edges {
                 cached
             } else {
+                let _span = self.trace_on.then(|| {
+                    self.trace
+                        .span_with("tc.edges", &format!("tuples={}", tuples.len()))
+                });
                 let mut out = vec![Vec::new(); tuples.len()];
                 let mut env2 = env.clone();
                 for v in left.iter().chain(right) {

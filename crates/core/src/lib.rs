@@ -36,12 +36,16 @@ mod regfo;
 
 pub use error::EvalError;
 pub use evaluator::{
-    empty_checkpoint, query_fingerprint, EvalOutcome, EvalStats, Evaluator, Quarantine,
+    empty_checkpoint, query_fingerprint, EvalOutcome, EvalStats, Evaluator, ProfEntry, Quarantine,
 };
 pub use lower::{compile, explain_query};
 pub use lcdb_budget::{BudgetError, CancelToken, EvalBudget};
 pub use lcdb_exec::Pool;
 pub use lcdb_recover::{RecoverError, Snapshot};
+pub use lcdb_trace::{
+    aggregate as trace_aggregate, Event as TraceEvent, JsonlTracer, MemoryTracer, MetricsRegistry,
+    NullTracer, TraceHandle, TraceSummary, Tracer,
+};
 pub use parser::parse_regformula;
 pub use regfo::{FixMode, RegFormula, RegionVar, SetVar};
 pub use region::{ArrangementRegions, Decomposition, Nc1Regions, RegionData, RegionExtension};
@@ -143,15 +147,41 @@ pub fn try_eval_sentence_arrangement_recoverable_pool(
     resume: Option<&Snapshot>,
     pool: &Pool,
 ) -> Result<(bool, EvalStats), (EvalError, Option<std::path::PathBuf>)> {
-    let ext = match RegionExtension::try_arrangement_pool(relation.clone(), budget, pool) {
+    try_eval_sentence_arrangement_recoverable_traced(
+        relation,
+        sentence,
+        budget,
+        checkpoint_dir,
+        resume,
+        pool,
+        TraceHandle::disabled_ref(),
+    )
+}
+
+/// Traced form of [`try_eval_sentence_arrangement_recoverable_pool`]:
+/// arrangement construction, evaluation, and checkpoint writes all report
+/// spans/counters through `trace`.
+#[allow(clippy::type_complexity, clippy::result_large_err)]
+pub fn try_eval_sentence_arrangement_recoverable_traced(
+    relation: &lcdb_logic::Relation,
+    sentence: &RegFormula,
+    budget: &EvalBudget,
+    checkpoint_dir: Option<&std::path::Path>,
+    resume: Option<&Snapshot>,
+    pool: &Pool,
+    trace: &TraceHandle,
+) -> Result<(bool, EvalStats), (EvalError, Option<std::path::PathBuf>)> {
+    let ext = match RegionExtension::try_arrangement_traced(relation.clone(), budget, pool, trace)
+    {
         Ok(ext) => ext,
         Err(e) => {
             // Aborted before any evaluator existed: persist an *empty*
             // snapshot so the resuming process still finds one to continue
             // (it simply restarts from the bottom, with stats carried over).
             let path = if e.is_recoverable() {
-                checkpoint_dir
-                    .map(|dir| empty_checkpoint(sentence, e.stats()).write_to_dir(dir))
+                checkpoint_dir.map(|dir| {
+                    empty_checkpoint(sentence, e.stats()).write_to_dir_traced(dir, trace)
+                })
             } else {
                 None
             };
@@ -168,14 +198,17 @@ pub fn try_eval_sentence_arrangement_recoverable_pool(
             };
         }
     };
-    let ev = Evaluator::with_budget(&ext, budget.clone()).with_pool(pool.clone());
+    let ev = Evaluator::with_budget(&ext, budget.clone())
+        .with_pool(pool.clone())
+        .with_trace(trace.clone());
     if let Some(snap) = resume {
         ev.resume_from(sentence, snap).map_err(|e| (e, None))?;
     }
     match ev.try_eval_sentence(sentence) {
         Ok(verdict) => Ok((verdict, ev.stats())),
         Err(e) if e.is_recoverable() => {
-            let path = checkpoint_dir.map(|dir| ev.checkpoint(sentence).write_to_dir(dir));
+            let path = checkpoint_dir
+                .map(|dir| ev.checkpoint(sentence).write_to_dir_traced(dir, trace));
             match path {
                 Some(Err(werr)) => Err((
                     EvalError::Internal {

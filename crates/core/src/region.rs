@@ -108,6 +108,19 @@ impl ArrangementRegions {
         budget: &EvalBudget,
         pool: &lcdb_exec::Pool,
     ) -> Result<Self, EvalError> {
+        Self::try_new_traced(db, spatial, budget, pool, lcdb_trace::TraceHandle::disabled_ref())
+    }
+
+    /// Like [`ArrangementRegions::try_new_pool`], reporting construction
+    /// progress through `trace`: a `geom.build` span with per-level
+    /// `geom.level` sub-spans and a `geom.faces_built` counter.
+    pub fn try_new_traced(
+        db: Database,
+        spatial: &str,
+        budget: &EvalBudget,
+        pool: &lcdb_exec::Pool,
+        trace: &lcdb_trace::TraceHandle,
+    ) -> Result<Self, EvalError> {
         let d = db
             .relation(spatial)
             .ok_or_else(|| {
@@ -126,7 +139,7 @@ impl ArrangementRegions {
                 }
             }
         }
-        let arrangement = Arrangement::try_build_pool(d, hyperplanes, budget, pool)
+        let arrangement = Arrangement::try_build_traced(d, hyperplanes, budget, pool, trace)
             .map_err(|e| EvalError::from_budget(e, EvalStats::default()))?;
         let data = arrangement
             .faces()
@@ -440,6 +453,19 @@ impl RegionExtension {
         Self::try_arrangement_db_pool(db, "S", budget, pool)
     }
 
+    /// Like [`RegionExtension::try_arrangement_pool`], reporting the
+    /// arrangement construction through `trace`.
+    pub fn try_arrangement_traced(
+        relation: Relation,
+        budget: &EvalBudget,
+        pool: &lcdb_exec::Pool,
+        trace: &lcdb_trace::TraceHandle,
+    ) -> Result<Self, EvalError> {
+        let mut db = Database::new();
+        db.insert("S", relation);
+        Self::try_arrangement_db_traced(db, "S", budget, pool, trace)
+    }
+
     /// Like [`RegionExtension::try_arrangement_db`], threaded over `pool`.
     pub fn try_arrangement_db_pool(
         db: Database,
@@ -449,6 +475,23 @@ impl RegionExtension {
     ) -> Result<Self, EvalError> {
         Ok(RegionExtension {
             inner: Box::new(ArrangementRegions::try_new_pool(db, spatial, budget, pool)?),
+        })
+    }
+
+    /// Like [`RegionExtension::try_arrangement_db_pool`], reporting the
+    /// arrangement construction through `trace` (spans per refinement level,
+    /// `geom.faces_built` counter).
+    pub fn try_arrangement_db_traced(
+        db: Database,
+        spatial: &str,
+        budget: &EvalBudget,
+        pool: &lcdb_exec::Pool,
+        trace: &lcdb_trace::TraceHandle,
+    ) -> Result<Self, EvalError> {
+        Ok(RegionExtension {
+            inner: Box::new(ArrangementRegions::try_new_traced(
+                db, spatial, budget, pool, trace,
+            )?),
         })
     }
 

@@ -1,0 +1,248 @@
+//! Observability integration tests: the JSONL/in-memory trace streams must
+//! *reconcile exactly* with the [`EvalStats`] counters the evaluator
+//! returns, the per-plan-node profile must telescope (self times sum to the
+//! root's total), and quarantined units must be visible in both the metrics
+//! registry and the event stream.
+
+#![allow(clippy::unwrap_used)]
+
+use lcdb_core::{
+    parse_regformula, queries, EvalOutcome, EvalStats, Evaluator, Pool, RegFormula,
+    RegionExtension,
+};
+use lcdb_logic::{parse_formula, Database, Relation};
+use lcdb_trace::{aggregate, Event, EventKind, JsonlTracer, MemoryTracer, TraceHandle};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn relation(src: &str, vars: &[&str]) -> Relation {
+    Relation::new(
+        vars.iter().map(|v| v.to_string()).collect(),
+        &parse_formula(src).unwrap(),
+    )
+}
+
+/// Two intervals with a gap: the connectivity fixpoint needs several stages.
+fn gapped_ext() -> RegionExtension {
+    RegionExtension::arrangement(relation(
+        "(0 < x and x < 1) or (2 < x and x < 3)",
+        &["x"],
+    ))
+}
+
+/// The GIS river database of Fig. 6: a river stretch with a spring and two
+/// chemical spills.
+fn river_ext() -> RegionExtension {
+    let mut db = Database::new();
+    db.insert("S", relation("0 <= x and x <= 10", &["x"]));
+    db.insert("river", relation("0 <= x and x <= 10", &["x"]));
+    db.insert("spring", relation("x = 0", &["x"]));
+    db.insert("chem1", relation("1 < x and x < 2", &["x"]));
+    db.insert("chem2", relation("4 < x and x < 5", &["x"]));
+    RegionExtension::arrangement_db(db, "S")
+}
+
+/// Evaluate `f` with an in-memory sink attached and return the recorded
+/// events together with the evaluator's final stats.
+fn traced_eval(ext: &RegionExtension, f: &RegFormula, pool: &Pool) -> (Vec<Event>, EvalStats) {
+    let mem = Arc::new(MemoryTracer::new());
+    let trace = TraceHandle::new(mem.clone());
+    let ev = Evaluator::with_budget(ext, lcdb_core::EvalBudget::unlimited())
+        .with_pool(pool.clone())
+        .with_trace(trace);
+    assert!(ev.try_eval_sentence(f).is_ok());
+    (mem.events(), ev.stats())
+}
+
+/// Satellite: a JSONL trace replayed through the aggregator reproduces the
+/// same iteration/tuple/region counts the evaluator returned as stats.
+fn assert_trace_matches_stats(events: &[Event], st: &EvalStats) {
+    let sum = aggregate(events);
+    assert_eq!(sum.counter("stats.fix_iterations"), st.fix_iterations as u64);
+    assert_eq!(sum.counter("stats.fix_tuple_tests"), st.fix_tuple_tests as u64);
+    assert_eq!(sum.counter("stats.qe_calls"), st.qe_calls as u64);
+    assert_eq!(
+        sum.counter("stats.region_expansions"),
+        st.region_expansions as u64
+    );
+    assert_eq!(sum.counter("stats.tc_edge_tests"), st.tc_edge_tests as u64);
+    assert_eq!(sum.counter("stats.regions"), st.regions as u64);
+    assert_eq!(
+        sum.counter("stats.plan_cache_lookups"),
+        st.plan_cache_lookups as u64
+    );
+    assert_eq!(
+        sum.counter("stats.plan_cache_hits"),
+        st.plan_cache_hits as u64
+    );
+    assert_eq!(sum.unbalanced, 0, "every span enter has a matching exit");
+}
+
+#[test]
+fn trace_reconciles_with_stats_on_connectivity() {
+    let ext = gapped_ext();
+    let (events, st) = traced_eval(&ext, &queries::connectivity(), &Pool::serial());
+    assert!(st.fix_iterations > 0, "connectivity iterates");
+    assert_trace_matches_stats(&events, &st);
+    // The span hierarchy mentions the fixpoint stages and the entry span.
+    assert!(events.iter().any(|e| e.name == "eval.sentence"));
+    assert!(events.iter().any(|e| e.name == "fix.run"));
+    assert!(events.iter().any(|e| e.name == "fix.stage"));
+}
+
+#[test]
+fn trace_reconciles_with_stats_on_gis_river() {
+    let ext = river_ext();
+    let (events, st) = traced_eval(&ext, &queries::river_pollution(), &Pool::serial());
+    assert!(st.fix_iterations > 0, "the river LFP iterates");
+    assert_trace_matches_stats(&events, &st);
+}
+
+#[test]
+fn trace_reconciles_with_stats_under_threads() {
+    // Fan-out children trace into throwaway sinks; their work reaches the
+    // parent's stream via merged stats, so the reconciliation holds at any
+    // thread count.
+    for threads in [2, 8] {
+        let ext = gapped_ext();
+        let (events, st) = traced_eval(&ext, &queries::connectivity(), &Pool::new(threads));
+        assert_trace_matches_stats(&events, &st);
+    }
+}
+
+#[test]
+fn jsonl_roundtrip_preserves_the_event_stream() {
+    let path = std::env::temp_dir().join(format!("lcdb-obs-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let ext = gapped_ext();
+    let st;
+    {
+        let trace = TraceHandle::new(Arc::new(JsonlTracer::create(&path).unwrap()));
+        let ev = Evaluator::with_budget(&ext, lcdb_core::EvalBudget::unlimited())
+            .with_trace(trace.clone());
+        assert!(ev.try_eval_sentence(&queries::connectivity()).is_ok());
+        st = ev.stats();
+        trace.flush();
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    let events: Vec<Event> = text
+        .lines()
+        .map(|l| Event::parse_jsonl(l).unwrap_or_else(|| panic!("bad line: {l}")))
+        .collect();
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| e.thread >= 1), "thread ids present");
+    // Round-tripping through the wire format loses nothing the aggregator
+    // needs: the parsed stream reconciles with stats just like a live one.
+    assert_trace_matches_stats(&events, &st);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn profile_self_times_sum_to_root_total() {
+    for (ext, f) in [
+        (gapped_ext(), queries::connectivity()),
+        (river_ext(), queries::river_pollution()),
+    ] {
+        let ev = Evaluator::new(&ext).with_profiling();
+        ev.eval_sentence(&f);
+        let prof = ev.plan_profile();
+        assert!(!prof.is_empty());
+        let (plan, root) = lcdb_core::compile(&f);
+        let root_total = prof
+            .iter()
+            .find(|(id, _)| *id == root)
+            .map(|(_, e)| e.total_ns)
+            .expect("root node profiled");
+        let self_sum: u64 = prof.iter().map(|(_, e)| e.self_ns).sum();
+        // Telescoping: every child's total is subtracted from exactly one
+        // parent's self time, so the sum collapses to the root's total.
+        // Allow ~1µs per node of clock-read rounding.
+        let slack = prof.len() as u64 * 1_000;
+        assert!(
+            self_sum <= root_total + slack && root_total <= self_sum + slack,
+            "self-sum {self_sum} vs root total {root_total} (slack {slack})"
+        );
+        // Every profiled node is a reachable plan node — the ids line up
+        // with what `explain` prints for the same query.
+        let refs = plan.reference_counts(root);
+        for (id, e) in &prof {
+            assert!(refs[*id as usize] > 0, "unreachable node {id} profiled");
+            assert!(e.visits >= e.memo_hits, "memo hits bounded by visits");
+        }
+    }
+}
+
+#[test]
+fn quarantine_is_visible_in_metrics_and_marks() {
+    // One disjunct references an unknown relation: a localized query defect
+    // that `tolerate_faults` quarantines instead of aborting on.
+    // The defective disjunct goes first: `or` short-circuits on true.
+    let f = parse_regformula(
+        "(exists R. R subset BOGUS) or (exists R. R subset S)",
+    )
+    .unwrap();
+    let ext = gapped_ext();
+    let mem = Arc::new(MemoryTracer::new());
+    let trace = TraceHandle::new(mem.clone());
+    let ev = Evaluator::with_budget(&ext, lcdb_core::EvalBudget::unlimited())
+        .with_trace(trace.clone())
+        .tolerate_faults();
+    match ev.try_eval_sentence_outcome(&f).unwrap() {
+        EvalOutcome::Partial { value, quarantined } => {
+            assert!(value, "the healthy disjunct still answers");
+            assert!(quarantined.units() > 0);
+        }
+        EvalOutcome::Complete(_) => panic!("expected a partial outcome"),
+    }
+    // Registry: quarantine counters survive even without an event sink.
+    // (The defect here is absorbed per-region, inside the quantifier.)
+    let quarantine_total: u64 = trace
+        .metrics()
+        .counter_snapshot()
+        .iter()
+        .filter(|(name, _)| name.starts_with("quarantine."))
+        .map(|(_, v)| *v)
+        .sum();
+    assert!(quarantine_total >= 1, "quarantine counters in the registry");
+    // Event stream: one mark per absorbed unit, naming the fault site.
+    let marks: Vec<Event> = mem
+        .events()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::Mark && e.name == "quarantine")
+        .collect();
+    assert!(!marks.is_empty(), "quarantine marks emitted");
+    assert!(
+        marks.iter().all(|m| m.detail.contains("site=")),
+        "marks carry the fault site: {marks:?}"
+    );
+    assert!(
+        marks.iter().any(|m| m.detail.contains("BOGUS")),
+        "the site names the defect: {marks:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite regression: the plan-cache counters stay coherent
+    /// (`lookups >= hits`) at any thread count — merged child deltas must
+    /// never leave hits ahead of lookups.
+    #[test]
+    fn plan_cache_counters_coherent_under_threads(
+        t_idx in 0usize..3,
+        gap in 1i64..4,
+    ) {
+        let threads = [1usize, 2, 8][t_idx];
+        let src = format!("(0 < x and x < 1) or ({gap} < x and x < {})", gap + 1);
+        let ext = RegionExtension::arrangement(relation(&src, &["x"]));
+        let ev = Evaluator::with_budget(&ext, lcdb_core::EvalBudget::unlimited())
+            .with_pool(Pool::new(threads));
+        prop_assert!(ev.try_eval_sentence(&queries::connectivity()).is_ok());
+        let st = ev.stats();
+        prop_assert!(
+            st.plan_cache_lookups >= st.plan_cache_hits,
+            "lookups {} < hits {} at {} threads",
+            st.plan_cache_lookups, st.plan_cache_hits, threads,
+        );
+    }
+}

@@ -258,12 +258,35 @@ impl Program {
         strategy: Strategy,
         pool: &Pool,
     ) -> Result<EvalOutcome, DatalogError> {
+        self.try_evaluate_traced(
+            edb,
+            max_rounds,
+            budget,
+            strategy,
+            pool,
+            lcdb_trace::TraceHandle::disabled_ref(),
+        )
+    }
+
+    /// [`Program::try_evaluate_with`] with a tracing/metrics handle: each
+    /// round emits a `datalog.round` span (tagged with the strategy and job
+    /// count) plus `datalog.rounds` / `datalog.delta_disjuncts` counters, so
+    /// naive-vs-semi-naive delta behaviour is visible in a trace.
+    pub fn try_evaluate_traced(
+        &self,
+        edb: &Database,
+        max_rounds: usize,
+        budget: &EvalBudget,
+        strategy: Strategy,
+        pool: &Pool,
+        trace: &lcdb_trace::TraceHandle,
+    ) -> Result<EvalOutcome, DatalogError> {
         let mut idb: BTreeMap<String, Relation> = BTreeMap::new();
         for (name, arity) in self.idb_predicates() {
             let vars: Vec<Var> = (0..arity).map(|i| format!("x{}", i)).collect();
             idb.insert(name, Relation::new(vars, &Formula::False));
         }
-        self.run_rounds(edb, budget, pool, strategy, idb, 0, max_rounds)
+        self.run_rounds(edb, budget, pool, strategy, idb, 0, max_rounds, trace)
     }
 
     /// A structural fingerprint of the program's rules, derived from the
@@ -444,6 +467,7 @@ impl Program {
             idb,
             snap.rounds as usize,
             max_rounds,
+            lcdb_trace::TraceHandle::disabled_ref(),
         )
     }
 
@@ -468,6 +492,7 @@ impl Program {
         mut idb: BTreeMap<String, Relation>,
         completed: usize,
         max_rounds: usize,
+        trace: &lcdb_trace::TraceHandle,
     ) -> Result<EvalOutcome, DatalogError> {
         let preds = self.idb_predicates();
         // One plan for the whole run: rule bodies are lowered and optimized
@@ -498,6 +523,19 @@ impl Program {
             // The round's independent consequence computations, in
             // deterministic (predicate, rule, delta-position) order.
             let jobs = self.round_jobs(strategy, delta.as_ref());
+            let _round_span = trace.enabled().then(|| {
+                trace.span_with(
+                    "datalog.round",
+                    &format!(
+                        "round={round} strategy={} jobs={}",
+                        match strategy {
+                            Strategy::Naive => "naive",
+                            Strategy::SemiNaive => "semi_naive",
+                        },
+                        jobs.len()
+                    ),
+                )
+            });
             let consequences = pool.map(&jobs, |_, job| {
                 let bound = job.delta_lit.map(|i| {
                     let d = delta.as_ref().expect("delta jobs only exist once a delta does");
@@ -537,6 +575,16 @@ impl Program {
             }
             idb = next;
             delta = Some(new_delta);
+            trace.count("datalog.rounds", 1);
+            if trace.enabled() {
+                // Per-round delta size (DNF disjuncts across predicates):
+                // the signal that separates naive from semi-naive rounds.
+                let disjuncts: usize = delta
+                    .as_ref()
+                    .map(|d| d.values().map(|r| r.dnf().disjuncts.len()).sum())
+                    .unwrap_or(0);
+                trace.count("datalog.delta_disjuncts", disjuncts as u64);
+            }
             if converged {
                 return Ok(EvalOutcome::Fixpoint { idb, rounds: round });
             }

@@ -129,6 +129,10 @@ impl Pool {
         // costs are skewed.
         let chunk = (items.len() / (workers * 8)).max(1);
         let cursor = AtomicUsize::new(0);
+        // Thread-aware tracing: workers re-adopt the spawning thread's
+        // innermost open span, so spans they emit are attributed under the
+        // fan-out instead of floating free.
+        let parent_span = lcdb_trace::current_span();
         #[cfg(feature = "faults")]
         let fault_state = lcdb_budget::faults::export();
         let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
@@ -140,6 +144,7 @@ impl Pool {
                     #[cfg(feature = "faults")]
                     let fault_state = fault_state.clone();
                     scope.spawn(move || {
+                        let _trace = lcdb_trace::adopt_parent(parent_span);
                         #[cfg(feature = "faults")]
                         let _armed = fault_state.as_ref().map(lcdb_budget::faults::install);
                         let mut state = init();

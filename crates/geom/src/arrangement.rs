@@ -15,6 +15,7 @@ use lcdb_exec::Pool;
 use lcdb_linalg::{Matrix, QVector};
 use lcdb_logic::{Atom, LinExpr, Relation};
 use lcdb_lp::{LinConstraint, Rel};
+use lcdb_trace::TraceHandle;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -100,15 +101,43 @@ impl Arrangement {
         budget: &EvalBudget,
         pool: &Pool,
     ) -> Result<Self, BudgetError> {
+        Arrangement::try_build_traced(dim, hyperplanes, budget, pool, TraceHandle::disabled_ref())
+    }
+
+    /// [`Arrangement::try_build_pool`] with structured tracing: one span per
+    /// refinement level (carrying the level's hyperplane index and incoming
+    /// partial-vector count), a span around face finalization, and a
+    /// `geom.faces_built` counter with the final face count. With a disabled
+    /// handle this is exactly `try_build_pool`.
+    pub fn try_build_traced(
+        dim: usize,
+        hyperplanes: Vec<Hyperplane>,
+        budget: &EvalBudget,
+        pool: &Pool,
+        trace: &TraceHandle,
+    ) -> Result<Self, BudgetError> {
         assert!(dim > 0, "arrangements need a positive ambient dimension");
         for h in &hyperplanes {
             assert_eq!(h.dim(), dim, "hyperplane dimension mismatch");
         }
+        // The `enabled()` guards keep the detail strings from being
+        // formatted on the disabled path — builds can be micro-scale and
+        // per-level allocations would show up as measurable overhead.
+        let on = trace.enabled();
+        let _build_span = on.then(|| {
+            trace.span_with(
+                "geom.build",
+                &format!("dim={} hyperplanes={}", dim, hyperplanes.len()),
+            )
+        });
         let meter = budget.meter();
         // Incremental sign-vector refinement.
         let mut partial: Vec<(SignVector, QVector)> =
             vec![(Vec::new(), vec![Rational::zero(); dim])];
         for (k, h) in hyperplanes.iter().enumerate() {
+            let _level_span = on.then(|| {
+                trace.span_with("geom.level", &format!("level={} partial={}", k, partial.len()))
+            });
             let expand = |signs: &SignVector, witness: &QVector| {
                 let carried = h.side_of(witness);
                 let mut children: Vec<(SignVector, QVector)> = Vec::with_capacity(3);
@@ -157,6 +186,9 @@ impl Arrangement {
             partial = next;
         }
 
+        trace.count("geom.faces_built", partial.len() as u64);
+        let _final_span =
+            on.then(|| trace.span_with("geom.finalize", &format!("faces={}", partial.len())));
         let finalize = |signs: &SignVector| {
             let dim_face = face_dimension(dim, &hyperplanes, signs);
             let closed: Vec<LinConstraint> = sign_constraints(&hyperplanes, signs)

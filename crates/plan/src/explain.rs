@@ -45,8 +45,29 @@ fn cost_memo(plan: &Plan, id: PlanId, memo: &mut HashMap<PlanId, u64>) -> u64 {
     c
 }
 
+/// Maximum depth of the plan tree rooted at `root` (a lone leaf has depth 1).
+/// Shared sub-plans are traversed once per distinct edge but memoized, so
+/// this is linear in the number of dag edges.
+pub fn depth(plan: &Plan, root: PlanId) -> usize {
+    let mut memo: HashMap<PlanId, usize> = HashMap::new();
+    depth_memo(plan, root, &mut memo)
+}
+
+fn depth_memo(plan: &Plan, id: PlanId, memo: &mut HashMap<PlanId, usize>) -> usize {
+    if let Some(&d) = memo.get(&id) {
+        return d;
+    }
+    let d = 1 + children(plan.node(id))
+        .into_iter()
+        .map(|c| depth_memo(plan, c, memo))
+        .max()
+        .unwrap_or(0);
+    memo.insert(id, d);
+    d
+}
+
 /// Short human label for a node, including leaf payloads.
-fn label(plan: &Plan, id: PlanId) -> String {
+pub fn label(plan: &Plan, id: PlanId) -> String {
     match plan.node(id) {
         PlanNode::True => "true".to_string(),
         PlanNode::False => "false".to_string(),

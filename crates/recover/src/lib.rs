@@ -582,6 +582,37 @@ impl Snapshot {
         })?;
         Self::decode(&bytes)
     }
+
+    /// [`Snapshot::write_to_dir`] under a `recover.write` span, with the
+    /// encoded byte count on the `recover.bytes_written` counter and the
+    /// written path as a `mark`. With a disabled handle this is exactly
+    /// `write_to_dir`.
+    pub fn write_to_dir_traced(
+        &self,
+        dir: &Path,
+        trace: &lcdb_trace::TraceHandle,
+    ) -> Result<PathBuf, RecoverError> {
+        let _span = trace.span_with("recover.write", &format!("fp={:016x}", self.fingerprint()));
+        let path = self.write_to_dir(dir)?;
+        trace.count("recover.bytes_written", self.encode().len() as u64);
+        trace.mark("recover.checkpoint", &path.display().to_string());
+        Ok(path)
+    }
+
+    /// [`Snapshot::read_from`] under a `recover.read` span, with the byte
+    /// count on the `recover.bytes_read` counter.
+    pub fn read_from_traced(
+        path: &Path,
+        trace: &lcdb_trace::TraceHandle,
+    ) -> Result<Self, RecoverError> {
+        let _span = trace.span_with("recover.read", &path.display().to_string());
+        let bytes = fs::read(path).map_err(|e| RecoverError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        trace.count("recover.bytes_read", bytes.len() as u64);
+        Self::decode(&bytes)
+    }
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {

@@ -1,0 +1,1011 @@
+//! Structured tracing, metrics, and profile aggregation for lcdb.
+//!
+//! The evaluation stack (arrangement construction, quantifier elimination,
+//! fixpoint stages, datalog rounds, checkpoint/restore, and the plan
+//! executor) reports *what it is doing* through this crate, with three
+//! guarantees:
+//!
+//! * **Zero-cost when disabled.** The default sink is [`NullTracer`]; a
+//!   span on a disabled handle is one virtual `enabled()` call and no clock
+//!   read, no allocation, no lock. Hot loops additionally cache the enabled
+//!   bit so their per-item cost is a branch.
+//! * **Thread-aware.** Span parentage follows a per-thread stack, and
+//!   `lcdb-exec` pool workers re-adopt the spawning thread's current span
+//!   (see [`current_span`] / [`adopt_parent`]), so work done on a worker
+//!   thread is attributed under the span that fanned it out. Every event
+//!   carries a small process-stable thread id.
+//! * **Stable schema.** The JSONL sink writes one event per line with fixed
+//!   keys (`v`, `ev`, `span`, `parent`, `name`, `detail`, `value`,
+//!   `thread`, `t_us`); [`Event::parse_jsonl`] reads the same schema back,
+//!   so a trace file round-trips through [`aggregate`] — the in-memory
+//!   profile aggregation — bit-for-bit with a live [`MemoryTracer`].
+//!
+//! The [`MetricsRegistry`] is orthogonal to the event stream: a lock-cheap
+//! registry of named monotonic counters and log₂-bucketed histograms.
+//! Registration takes a mutex; the returned [`Counter`] handle is a bare
+//! `Arc<AtomicU64>` that callers cache and bump lock-free (this is how
+//! `lcdb-budget`'s meter ticks become registry-backed).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Version stamped into every JSONL line (`"v"`); bump on schema change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// What kind of trace event a line records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (`span` is its id, `parent` the enclosing span or 0).
+    Enter,
+    /// A span closed (`value` is its duration in microseconds).
+    Exit,
+    /// A named monotonic count was incremented by `value`.
+    Counter,
+    /// A point event (e.g. one quarantined unit); `detail` carries context.
+    Mark,
+}
+
+impl EventKind {
+    /// The stable wire tag (`"enter"`, `"exit"`, `"counter"`, `"mark"`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            EventKind::Enter => "enter",
+            EventKind::Exit => "exit",
+            EventKind::Counter => "counter",
+            EventKind::Mark => "mark",
+        }
+    }
+
+    /// Inverse of [`EventKind::tag`].
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "enter" => EventKind::Enter,
+            "exit" => EventKind::Exit,
+            "counter" => EventKind::Counter,
+            "mark" => EventKind::Mark,
+            _ => return None,
+        })
+    }
+}
+
+/// One trace event. The JSONL sink writes exactly these fields per line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Event kind.
+    pub kind: EventKind,
+    /// Span id for `Enter`/`Exit`; 0 for counters and marks.
+    pub span: u64,
+    /// Enclosing span id at emission time; 0 when there is none.
+    pub parent: u64,
+    /// Span or counter name (dotted, e.g. `"fix.stage"`).
+    pub name: String,
+    /// Free-form context (may be empty).
+    pub detail: String,
+    /// Counter delta, or span duration in µs on `Exit`; 0 otherwise.
+    pub value: u64,
+    /// Process-stable small thread id (≥ 1).
+    pub thread: u64,
+    /// Microseconds since the emitting handle's epoch.
+    pub t_us: u64,
+}
+
+impl Event {
+    /// Serialize as one JSONL line (no trailing newline), stable key order.
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"v\":{},\"ev\":\"{}\",\"span\":{},\"parent\":{},\"name\":\"{}\",\"detail\":\"{}\",\"value\":{},\"thread\":{},\"t_us\":{}}}",
+            SCHEMA_VERSION,
+            self.kind.tag(),
+            self.span,
+            self.parent,
+            json_escape(&self.name),
+            json_escape(&self.detail),
+            self.value,
+            self.thread,
+            self.t_us,
+        )
+    }
+
+    /// Parse a line written by [`Event::to_jsonl`] (tolerates any key
+    /// order). Returns `None` on blank lines or schema violations.
+    pub fn parse_jsonl(line: &str) -> Option<Event> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        let kind = EventKind::from_tag(&json_str_field(line, "ev")?)?;
+        Some(Event {
+            kind,
+            span: json_u64_field(line, "span")?,
+            parent: json_u64_field(line, "parent")?,
+            name: json_str_field(line, "name")?,
+            detail: json_str_field(line, "detail")?,
+            value: json_u64_field(line, "value")?,
+            thread: json_u64_field(line, "thread")?,
+            t_us: json_u64_field(line, "t_us")?,
+        })
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Locate `"key":` in a JSON object line and return the byte offset of the
+/// first character of its value.
+fn json_value_start(line: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{}\":", key);
+    let at = line.find(&pat)?;
+    Some(at + pat.len())
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let start = json_value_start(line, key)?;
+    let rest = line.get(start..)?.strip_prefix('"')?;
+    // Scan to the closing unescaped quote.
+    let mut end = None;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            end = Some(i);
+            break;
+        }
+    }
+    Some(json_unescape(&rest[..end?]))
+}
+
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let start = json_value_start(line, key)?;
+    let rest = line.get(start..)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+// ---------------------------------------------------------------------------
+// Thread identity and span parentage
+// ---------------------------------------------------------------------------
+
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static AMBIENT_PARENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A small process-stable id for the calling thread (assigned on first use,
+/// starting at 1). Written into every event's `thread` field.
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|id| {
+        if id.get() == 0 {
+            id.set(NEXT_THREAD.fetch_add(1, Ordering::Relaxed));
+        }
+        id.get()
+    })
+}
+
+/// The calling thread's innermost open span, falling back to the ambient
+/// parent installed by [`adopt_parent`]; 0 when there is none. `lcdb-exec`
+/// captures this before fanning work out so workers can re-adopt it.
+pub fn current_span() -> u64 {
+    let top = SPAN_STACK.with(|s| s.borrow().last().copied());
+    top.unwrap_or_else(|| AMBIENT_PARENT.with(Cell::get))
+}
+
+/// Install `parent` as the calling thread's ambient span parent until the
+/// returned guard drops. Pool workers call this with the spawning thread's
+/// [`current_span`], so spans they open are attributed under the fan-out.
+pub fn adopt_parent(parent: u64) -> ParentGuard {
+    let prev = AMBIENT_PARENT.with(|a| a.replace(parent));
+    ParentGuard { prev }
+}
+
+/// Restores the previous ambient parent on drop; see [`adopt_parent`].
+#[must_use = "the adopted parent is uninstalled when the guard drops"]
+pub struct ParentGuard {
+    prev: u64,
+}
+
+impl Drop for ParentGuard {
+    fn drop(&mut self) {
+        AMBIENT_PARENT.with(|a| a.set(self.prev));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracer trait and sinks
+// ---------------------------------------------------------------------------
+
+/// A sink for trace events. Implementations must be cheap to call from hot
+/// paths and safe to share across pool workers.
+pub trait Tracer: Send + Sync {
+    /// Whether events are being recorded. Handles check this *before*
+    /// building an event, so a disabled tracer costs one virtual call.
+    fn enabled(&self) -> bool {
+        true
+    }
+    /// Record one event.
+    fn record(&self, event: &Event);
+    /// Flush buffered output (no-op for non-buffering sinks).
+    fn flush(&self) {}
+}
+
+/// The zero-cost default sink: reports disabled, records nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&self, _event: &Event) {}
+}
+
+/// JSONL sink: one event per line in the stable schema, buffered. Suitable
+/// for CI artifact upload; validate with `Event::parse_jsonl` per line.
+pub struct JsonlTracer {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlTracer {
+    /// Create (truncate) `path` and write events to it.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
+    /// Write events to an arbitrary sink (for tests).
+    pub fn from_writer(w: Box<dyn Write + Send>) -> Self {
+        JsonlTracer {
+            out: Mutex::new(BufWriter::new(w)),
+        }
+    }
+}
+
+impl Tracer for JsonlTracer {
+    fn record(&self, event: &Event) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = writeln!(out, "{}", event.to_jsonl());
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl Drop for JsonlTracer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// In-memory sink: collects events for [`aggregate`]-based profile reports
+/// and trace-vs-stats consistency checks.
+#[derive(Default)]
+pub struct MemoryTracer {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryTracer {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every event recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().map(|e| e.clone()).unwrap_or_default()
+    }
+
+    /// Aggregate the recorded events into a profile summary.
+    pub fn summary(&self) -> TraceSummary {
+        aggregate(&self.events())
+    }
+}
+
+impl Tracer for MemoryTracer {
+    fn record(&self, event: &Event) {
+        if let Ok(mut e) = self.events.lock() {
+            e.push(event.clone());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Per-span-name totals from one trace: how often it ran, wall time
+/// including children (`total_us`), and time net of child spans
+/// (`self_us`). Self times partition wall time: summed over all names they
+/// equal the total duration of the root spans (within rounding).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total duration (µs), including time spent in child spans.
+    pub total_us: u64,
+    /// Duration net of child spans (µs).
+    pub self_us: u64,
+}
+
+/// The result of replaying a trace through the in-memory aggregator.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Per-span-name profile rows, sorted by descending self time.
+    pub rows: Vec<ProfileRow>,
+    /// Summed `Counter` events by name.
+    pub counters: BTreeMap<String, u64>,
+    /// `Mark` event counts by name.
+    pub marks: BTreeMap<String, u64>,
+    /// Spans entered but never exited, plus exits with no matching enter.
+    pub unbalanced: usize,
+}
+
+impl TraceSummary {
+    /// The summed counter value for `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Replay a stream of events into per-name self/total times and counter
+/// sums. Works on live [`MemoryTracer`] events and on events parsed back
+/// from a JSONL file alike — the consistency tests rely on the two agreeing.
+pub fn aggregate(events: &[Event]) -> TraceSummary {
+    struct Open {
+        name: String,
+        parent: u64,
+        child_us: u64,
+    }
+    let mut open: HashMap<u64, Open> = HashMap::new();
+    let mut rows: BTreeMap<String, ProfileRow> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut marks: BTreeMap<String, u64> = BTreeMap::new();
+    let mut unbalanced = 0usize;
+    for ev in events {
+        match ev.kind {
+            EventKind::Enter => {
+                open.insert(
+                    ev.span,
+                    Open {
+                        name: ev.name.clone(),
+                        parent: ev.parent,
+                        child_us: 0,
+                    },
+                );
+            }
+            EventKind::Exit => {
+                let Some(o) = open.remove(&ev.span) else {
+                    unbalanced += 1;
+                    continue;
+                };
+                let dur = ev.value;
+                let row = rows.entry(o.name.clone()).or_insert_with(|| ProfileRow {
+                    name: o.name.clone(),
+                    ..ProfileRow::default()
+                });
+                row.count += 1;
+                row.total_us += dur;
+                row.self_us += dur.saturating_sub(o.child_us);
+                if let Some(p) = open.get_mut(&o.parent) {
+                    p.child_us += dur;
+                }
+            }
+            EventKind::Counter => {
+                *counters.entry(ev.name.clone()).or_insert(0) += ev.value;
+            }
+            EventKind::Mark => {
+                *marks.entry(ev.name.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    unbalanced += open.len();
+    let mut rows: Vec<ProfileRow> = rows.into_values().collect();
+    rows.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+    TraceSummary {
+        rows,
+        counters,
+        marks,
+        unbalanced,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// A lock-free handle to a named monotonic counter. Clones share the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1 to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// The underlying shared cell — this is how foreign counters (e.g. the
+    /// budget meter's tick count) become registry-backed without depending
+    /// on this crate's types in their hot path.
+    pub fn shared(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.0)
+    }
+}
+
+/// A log₂-bucketed latency histogram: bucket `i ≥ 1` counts observations
+/// `v` with `floor(log2(v)) == i - 1`; bucket 0 counts zeros.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..65).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (index = [`Histogram::bucket_index`]).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// An upper bound on the p-quantile (0–100) from the bucket
+    /// boundaries: the top of the bucket holding the p-th observation.
+    pub fn quantile_upper_bound(&self, p: u64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = (n * p).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (i, b) in self.bucket_counts().iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A registry of named counters and histograms. Cloning is cheap (shared
+/// interior); registration locks, but the returned handles are lock-free —
+/// cache them in hot paths.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Add `n` to the counter named `name` (registering it on first use).
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        Arc::clone(inner.histograms.entry(name.to_string()).or_default())
+    }
+
+    /// Record one observation into the histogram named `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.histogram(name).observe(v);
+    }
+
+    /// Current counter values by name.
+    pub fn counter_snapshot(&self) -> BTreeMap<String, u64> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        inner
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Render every counter and histogram as stable `name value` lines —
+    /// the CLI's `--metrics` dump.
+    pub fn render(&self) -> String {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let mut out = String::new();
+        for (name, c) in &inner.counters {
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, h) in &inner.histograms {
+            let _ = writeln!(
+                out,
+                "{name} count={} sum={} p50<={} p99<={}",
+                h.count(),
+                h.sum(),
+                h.quantile_upper_bound(50),
+                h.quantile_upper_bound(99),
+            );
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TraceHandle and spans
+// ---------------------------------------------------------------------------
+
+/// A cheap-to-clone handle bundling a [`Tracer`] sink with a
+/// [`MetricsRegistry`]. Every instrumented layer takes one of these; the
+/// default ([`TraceHandle::disabled`]) records nothing.
+#[derive(Clone)]
+pub struct TraceHandle {
+    tracer: Arc<dyn Tracer>,
+    metrics: MetricsRegistry,
+    epoch: Instant,
+}
+
+impl Default for TraceHandle {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+static DISABLED: OnceLock<TraceHandle> = OnceLock::new();
+
+impl TraceHandle {
+    /// A handle over the [`NullTracer`] (still carries a live registry, so
+    /// `--metrics` works without `--trace`).
+    pub fn disabled() -> Self {
+        Self::new(Arc::new(NullTracer))
+    }
+
+    /// A shared disabled handle, for default arguments on hot paths where
+    /// constructing a fresh handle per call would allocate.
+    pub fn disabled_ref() -> &'static TraceHandle {
+        DISABLED.get_or_init(TraceHandle::disabled)
+    }
+
+    /// A handle over `tracer` with a fresh registry.
+    pub fn new(tracer: Arc<dyn Tracer>) -> Self {
+        Self::with_metrics(tracer, MetricsRegistry::new())
+    }
+
+    /// A handle over `tracer` writing metrics into `metrics`.
+    pub fn with_metrics(tracer: Arc<dyn Tracer>, metrics: MetricsRegistry) -> Self {
+        TraceHandle {
+            tracer,
+            metrics,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether the sink is recording events. Hot loops may cache this.
+    pub fn enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// The metrics registry (live even when the sink is disabled).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Microseconds since this handle's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Flush the sink's buffered output.
+    pub fn flush(&self) {
+        self.tracer.flush();
+    }
+
+    /// Open a span. Disabled handles return an inert guard without reading
+    /// the clock.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        self.span_with(name, "")
+    }
+
+    /// Open a span with a detail string.
+    pub fn span_with(&self, name: &str, detail: &str) -> Span<'_> {
+        if !self.tracer.enabled() {
+            return Span { inner: None };
+        }
+        let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+        let parent = current_span();
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        self.tracer.record(&Event {
+            kind: EventKind::Enter,
+            span: id,
+            parent,
+            name: name.to_string(),
+            detail: detail.to_string(),
+            value: 0,
+            thread: thread_id(),
+            t_us: self.now_us(),
+        });
+        Span {
+            inner: Some(SpanInner {
+                handle: self,
+                id,
+                parent,
+                name: name.to_string(),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Emit a counter event for `value` units of `name` *and* add it to the
+    /// registry counter of the same name. No-op event-side when disabled.
+    pub fn count(&self, name: &str, value: u64) {
+        self.metrics.add(name, value);
+        if !self.tracer.enabled() {
+            return;
+        }
+        self.tracer.record(&Event {
+            kind: EventKind::Counter,
+            span: 0,
+            parent: current_span(),
+            name: name.to_string(),
+            detail: String::new(),
+            value,
+            thread: thread_id(),
+            t_us: self.now_us(),
+        });
+    }
+
+    /// Emit a point event (quarantine notices, checkpoint paths, …).
+    pub fn mark(&self, name: &str, detail: &str) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        self.tracer.record(&Event {
+            kind: EventKind::Mark,
+            span: 0,
+            parent: current_span(),
+            name: name.to_string(),
+            detail: detail.to_string(),
+            value: 0,
+            thread: thread_id(),
+            t_us: self.now_us(),
+        });
+    }
+}
+
+struct SpanInner<'h> {
+    handle: &'h TraceHandle,
+    id: u64,
+    parent: u64,
+    name: String,
+    start: Instant,
+}
+
+/// An open span; emits the `Exit` event (with duration) when dropped, and
+/// feeds the duration into the registry histogram named after the span.
+#[must_use = "a span measures the scope it is bound to"]
+pub struct Span<'h> {
+    inner: Option<SpanInner<'h>>,
+}
+
+impl Span<'_> {
+    /// The span id (0 when the handle is disabled).
+    pub fn id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.id)
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.last() == Some(&inner.id) {
+                s.pop();
+            } else {
+                // Out-of-order drop (spans held across each other): remove
+                // this id wherever it sits so the stack cannot leak.
+                s.retain(|&x| x != inner.id);
+            }
+        });
+        let dur_us = inner.start.elapsed().as_micros() as u64;
+        inner.handle.metrics.observe(&inner.name, dur_us);
+        inner.handle.tracer.record(&Event {
+            kind: EventKind::Exit,
+            span: inner.id,
+            parent: inner.parent,
+            name: inner.name.clone(),
+            detail: String::new(),
+            value: dur_us,
+            thread: thread_id(),
+            t_us: inner.handle.now_us(),
+        });
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tracer_spans_are_inert() {
+        let h = TraceHandle::disabled();
+        assert!(!h.enabled());
+        let sp = h.span("anything");
+        assert_eq!(sp.id(), 0);
+        drop(sp);
+        h.count("c", 3);
+        // Counters still land in the registry with a disabled sink.
+        assert_eq!(h.metrics().counter("c").get(), 3);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_events() {
+        let ev = Event {
+            kind: EventKind::Enter,
+            span: 7,
+            parent: 3,
+            name: "fix.stage".into(),
+            detail: "mode=lfp \"quoted\" \\slash\nline".into(),
+            value: 0,
+            thread: 2,
+            t_us: 123456,
+        };
+        let line = ev.to_jsonl();
+        assert_eq!(Event::parse_jsonl(&line).unwrap(), ev);
+        assert!(Event::parse_jsonl("").is_none());
+        assert!(Event::parse_jsonl("{\"v\":1}").is_none());
+    }
+
+    #[test]
+    fn memory_tracer_aggregates_self_and_total_time() {
+        let sink = Arc::new(MemoryTracer::new());
+        let h = TraceHandle::new(sink.clone());
+        {
+            let _outer = h.span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = h.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let s = sink.summary();
+        assert_eq!(s.unbalanced, 0);
+        let outer = s.rows.iter().find(|r| r.name == "outer").unwrap();
+        let inner = s.rows.iter().find(|r| r.name == "inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert!(outer.total_us >= inner.total_us);
+        assert!(outer.self_us <= outer.total_us - inner.total_us + 1);
+        // Self times partition the root's total (within µs rounding).
+        let self_sum: u64 = s.rows.iter().map(|r| r.self_us).sum();
+        assert!(self_sum <= outer.total_us);
+        assert!(self_sum + 2 >= outer.total_us, "{self_sum} vs {outer:?}");
+    }
+
+    #[test]
+    fn aggregate_matches_after_jsonl_replay() {
+        let sink = Arc::new(MemoryTracer::new());
+        let h = TraceHandle::new(sink.clone());
+        {
+            let _sp = h.span_with("work", "detail");
+            h.count("tuples", 5);
+            h.count("tuples", 7);
+            h.mark("quarantine", "site=lp.pivot");
+        }
+        let events = sink.events();
+        let text: String = events
+            .iter()
+            .map(|e| format!("{}\n", e.to_jsonl()))
+            .collect();
+        let replayed: Vec<Event> = text.lines().filter_map(Event::parse_jsonl).collect();
+        assert_eq!(replayed, events);
+        let live = aggregate(&events);
+        let replay = aggregate(&replayed);
+        assert_eq!(live.counters, replay.counters);
+        assert_eq!(live.counter("tuples"), 12);
+        assert_eq!(live.marks.get("quarantine"), Some(&1));
+        assert_eq!(live.rows.len(), replay.rows.len());
+    }
+
+    #[test]
+    fn spans_nest_via_thread_stack_and_ambient_parent() {
+        let sink = Arc::new(MemoryTracer::new());
+        let h = TraceHandle::new(sink.clone());
+        let outer = h.span("outer");
+        let outer_id = outer.id();
+        assert_eq!(current_span(), outer_id);
+        let inner = h.span("inner");
+        drop(inner);
+        drop(outer);
+        let events = sink.events();
+        let inner_enter = events
+            .iter()
+            .find(|e| e.kind == EventKind::Enter && e.name == "inner")
+            .unwrap();
+        assert_eq!(inner_enter.parent, outer_id);
+        // Ambient adoption: a "worker" with no open spans inherits the
+        // installed parent.
+        let _g = adopt_parent(outer_id);
+        assert_eq!(current_span(), outer_id);
+        drop(_g);
+        assert_eq!(current_span(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let hist = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            hist.observe(v);
+        }
+        assert_eq!(hist.count(), 6);
+        assert_eq!(hist.sum(), 1010);
+        let b = hist.bucket_counts();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[2], 2); // 2, 3
+        assert_eq!(b[3], 1); // 4
+        assert_eq!(b[10], 1); // 1000 in [512, 1024)
+        assert!(hist.quantile_upper_bound(50) >= 2);
+    }
+
+    #[test]
+    fn registry_render_is_stable() {
+        let m = MetricsRegistry::new();
+        m.add("b.second", 2);
+        m.add("a.first", 1);
+        m.observe("lat.us", 100);
+        let r = m.render();
+        let a = r.find("a.first 1").unwrap();
+        let b = r.find("b.second 2").unwrap();
+        assert!(a < b, "counters render sorted by name:\n{r}");
+        assert!(r.contains("lat.us count=1 sum=100"));
+    }
+
+    #[test]
+    fn thread_ids_are_stable_and_distinct() {
+        let here = thread_id();
+        assert!(here >= 1);
+        assert_eq!(here, thread_id());
+        let other = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(here, other);
+    }
+}
