@@ -10,7 +10,7 @@
 //! Every run writes a machine-readable summary to `BENCH_3.json`
 //! (override the path with `LCDB_BENCH_OUT`): per-experiment wall clock
 //! and metrics-registry deltas, the thread count, and the detailed
-//! `BENCH` rows emitted by E19, E20, E21, E22 and E23.
+//! `BENCH` rows emitted by E19 through E24.
 
 use lcdb_arith::{int, rat, Rational};
 use lcdb_bench::*;
@@ -127,6 +127,7 @@ fn main() {
     exp!("E21", e21_parallel_scaling(&mut rows));
     exp!("E22", e22_plan_economics(&mut rows));
     exp!("E23", e23_tracing_overhead(&mut rows));
+    exp!("E24", e24_server_throughput(&mut rows));
 
     trace().flush();
     let json = format!(
@@ -1241,4 +1242,77 @@ fn e23_tracing_overhead(rows: &mut Vec<String>) {
     jsonl.flush();
     let _ = std::fs::remove_file(&sink_path);
     println!("  disabled-handle overhead stays below the 5% budget on every workload\n");
+}
+
+/// E24: the concurrent query server under load — throughput and tail
+/// latency as the client count grows, with and without the shared result
+/// cache. Each cell starts a fresh in-process server on an OS-assigned
+/// port and drives it with the bundled load generator (every client sends
+/// the same sentence, so the cache-on rows serve almost everything from
+/// the cache after the first evaluation).
+fn e24_server_throughput(rows: &mut Vec<String>) {
+    use lcdb_server::load::LoadConfig;
+    use lcdb_server::{Server, ServerConfig};
+
+    header(
+        "E24",
+        "query server: throughput and tail latency vs concurrent clients",
+    );
+    println!(
+        "  {:>5} {:>7} {:>10} {:>8} {:>8} {:>8} {:>6} {:>7}",
+        "cache", "clients", "rps", "p50_us", "p95_us", "p99_us", "sheds", "cached"
+    );
+    for cache_capacity in [256usize, 0] {
+        for clients in [1usize, 2, 4, 8] {
+            let server = Server::start(
+                ServerConfig {
+                    workers: 4,
+                    cache_capacity,
+                    ..ServerConfig::default()
+                },
+                trace().clone(),
+            )
+            .expect("bind an OS-assigned port");
+            let cfg = LoadConfig {
+                addr: server.addr().to_string(),
+                clients,
+                requests: 32,
+                ..LoadConfig::default()
+            };
+            let report = lcdb_server::load::run(&cfg);
+            server.shutdown();
+            assert_eq!(
+                report.conn_errors, 0,
+                "in-process load run must not drop connections"
+            );
+            println!(
+                "  {:>5} {:>7} {:>10.1} {:>8} {:>8} {:>8} {:>6} {:>7}",
+                cache_capacity,
+                clients,
+                report.throughput_rps,
+                report.p50_us,
+                report.p95_us,
+                report.p99_us,
+                report.sheds,
+                report.cached
+            );
+            let row = format!(
+                "{{\"experiment\":\"E24\",\"cache\":{},\"clients\":{},\"requests\":{},\"ok\":{},\"cached\":{},\"sheds\":{},\"timeouts\":{},\"throughput_rps\":{:.1},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+                cache_capacity,
+                clients,
+                report.sent,
+                report.ok,
+                report.cached,
+                report.sheds,
+                report.timeouts,
+                report.throughput_rps,
+                report.p50_us,
+                report.p95_us,
+                report.p99_us
+            );
+            println!("  BENCH {}", row);
+            rows.push(row);
+        }
+    }
+    println!("  cache-on rows answer repeat sentences from the shared result cache\n");
 }

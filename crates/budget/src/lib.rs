@@ -137,6 +137,12 @@ impl EvalBudget {
         self.timeout
     }
 
+    /// True when an attached cancellation token has been tripped. A cheap
+    /// relaxed flag load — safe to consult before every unit of work.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+
     /// True when no limit or token is set, i.e. every check is a no-op.
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()
@@ -264,8 +270,16 @@ impl Meter {
     }
 
     /// Count one unit of work; every [`Meter::PERIOD`] units, run the
-    /// budget's interrupt check.
+    /// budget's interrupt check. Cancellation is checked on *every* tick,
+    /// before the work unit is counted.
     pub fn tick(&self, budget: &EvalBudget) -> Result<(), BudgetError> {
+        // Observe cancellation before claiming the next unit of work, not up
+        // to PERIOD-1 units later: a pool worker that polls its meter between
+        // chunks must stop at the first tick after the token trips, otherwise
+        // a cancelled query keeps claiming chunks until the period boundary.
+        if budget.is_cancelled() {
+            return Err(BudgetError::Cancelled);
+        }
         let t = self.ticks.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
         // `u64::is_multiple_of` needs a newer MSRV than the workspace floor.
         #[allow(clippy::manual_is_multiple_of)]
@@ -781,20 +795,45 @@ mod tests {
     }
 
     #[test]
-    fn meter_reacts_within_one_period() {
+    fn meter_observes_cancellation_on_first_tick() {
         let token = CancelToken::new();
         let b = EvalBudget::unlimited().with_cancel_token(token.clone());
         let m = b.meter();
         token.cancel();
-        let mut tripped = false;
+        // A cancelled budget trips the very next tick — before the work
+        // unit is counted — not up to PERIOD-1 units later.
+        assert_eq!(m.tick(&b), Err(BudgetError::Cancelled));
+        assert_eq!(m.count(), 0, "the cancelled tick claims no work");
+    }
+
+    #[test]
+    fn meter_checks_deadline_on_the_period() {
+        // Non-cancellation interrupts (the clock) still amortize: the
+        // deadline is only consulted every PERIOD ticks.
+        let b = EvalBudget::unlimited().with_timeout(Duration::from_secs(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let m = b.meter();
+        let mut tripped = None;
         for i in 0..Meter::PERIOD {
             if m.tick(&b).is_err() {
-                tripped = true;
-                assert!(i + 1 == Meter::PERIOD, "trips exactly on the period");
+                tripped = Some(i + 1);
                 break;
             }
         }
-        assert!(tripped);
+        assert_eq!(tripped, Some(Meter::PERIOD), "trips exactly on the period");
+    }
+
+    #[test]
+    fn meter_cancel_mid_stream_stops_next_tick() {
+        let token = CancelToken::new();
+        let b = EvalBudget::unlimited().with_cancel_token(token.clone());
+        let m = b.meter();
+        for _ in 0..10 {
+            m.tick(&b).expect("not cancelled yet");
+        }
+        token.cancel();
+        assert_eq!(m.tick(&b), Err(BudgetError::Cancelled));
+        assert_eq!(m.count(), 10, "no work claimed after cancellation");
     }
 
     #[test]

@@ -45,6 +45,11 @@
 //! per-plan-node self-time table after each evaluation, whose `#id` rows
 //! match `--explain`'s labels; `--metrics` dumps the counter/histogram
 //! registry (including quarantine counts) after each evaluation.
+//!
+//! Serving: `lcdb serve [SCRIPT] --addr HOST:PORT …` runs the long-lived
+//! concurrent query server from `lcdb-server` (see `lcdb serve --help`);
+//! `SCRIPT`'s `rel`/`spatial` lines become the base database every session
+//! starts from. Drive it with the bundled `lcdb-load` generator.
 
 use lcdb_core::{
     empty_checkpoint, explain_query, parse_regformula, queries, Decomposition, EvalBudget,
@@ -763,6 +768,130 @@ fn parse_limit_flags(args: &[String]) -> Result<(Limits, Vec<String>), String> {
     Ok((limits, rest))
 }
 
+const SERVE_USAGE: &str = "\
+usage: lcdb serve [SCRIPT] [options]
+
+Runs the concurrent query server until a client sends Shutdown (or the
+process is killed). SCRIPT's `rel`/`spatial` lines preload the base
+database every session starts from.
+
+serve options:
+  --addr HOST:PORT      bind address (port 0 = OS-assigned) [default: 127.0.0.1:7171]
+  --max-sessions N      live-session cap; excess connections are shed [default: 64]
+  --queue-cap N         global admission-queue bound        [default: 128]
+  --client-queue N      per-client queued-request bound     [default: 16]
+  --workers N           dispatch worker threads             [default: 2]
+  --cache N             result-cache entries (0 disables)   [default: 256]
+  --idle-secs N         drop idle connections after N s     [default: 30]
+
+shared flags (parsed before the subcommand):
+  --threads N           lcdb-exec pool width per evaluation
+  --timeout SECS        default per-request deadline        [default: 10]
+  --trace FILE          JSONL trace of every request";
+
+/// Parse serve-specific flags into a [`lcdb_server::ServerConfig`]. The
+/// shared `Limits` flags (`--threads`, `--timeout`, `--trace`) were already
+/// stripped by `parse_limit_flags`; whatever positional argument remains is
+/// a script whose lines seed the base database.
+fn parse_serve_flags(
+    limits: &Limits,
+    args: &[String],
+) -> Result<lcdb_server::ServerConfig, String> {
+    let mut cfg = lcdb_server::ServerConfig {
+        addr: "127.0.0.1:7171".into(),
+        eval_threads: Pool::resolve(limits.threads).threads(),
+        ..lcdb_server::ServerConfig::default()
+    };
+    if let Some(t) = limits.timeout {
+        cfg.default_timeout = t;
+    }
+    let mut script: Option<String> = None;
+    let mut it = args.iter();
+    let need = |it: &mut std::slice::Iter<String>, flag: &str| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", flag))
+    };
+    let parse =
+        |v: String, flag: &str| v.parse().map_err(|_| format!("bad {} value '{}'", flag, v));
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = need(&mut it, "--addr")?,
+            "--max-sessions" => {
+                cfg.max_sessions = parse(need(&mut it, "--max-sessions")?, "--max-sessions")?
+            }
+            "--queue-cap" => {
+                cfg.queue_capacity = parse(need(&mut it, "--queue-cap")?, "--queue-cap")?
+            }
+            "--client-queue" => {
+                cfg.per_client_queue = parse(need(&mut it, "--client-queue")?, "--client-queue")?
+            }
+            "--workers" => cfg.workers = parse(need(&mut it, "--workers")?, "--workers")?,
+            "--cache" => cfg.cache_capacity = parse(need(&mut it, "--cache")?, "--cache")?,
+            "--idle-secs" => {
+                let v = need(&mut it, "--idle-secs")?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --idle-secs value '{}'", v))?;
+                cfg.idle_timeout = Duration::from_secs(secs);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if !other.starts_with('-') && script.is_none() => {
+                script = Some(other.to_string())
+            }
+            other => return Err(format!("unknown serve flag '{}'", other)),
+        }
+    }
+    if let Some(path) = script {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {}", path, e))?;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            cfg.base_db.push(line.to_string());
+        }
+    }
+    // Validate the preamble up front: a bad base database should be a
+    // startup error, not a surprise inside every session.
+    {
+        let mut db = Database::new();
+        let mut spatial = None;
+        for line in &cfg.base_db {
+            lcdb_server::apply_define(&mut db, &mut spatial, line)
+                .map_err(|e| format!("base database line '{}': {}", line, e))?;
+        }
+    }
+    Ok(cfg)
+}
+
+/// `lcdb serve`: run the query server in the foreground until a protocol
+/// Shutdown arrives. Prints the bound address first (flushed) so wrappers
+/// can discover an OS-assigned port.
+fn run_serve(limits: &Limits, args: &[String]) -> Result<(), String> {
+    let cfg = parse_serve_flags(limits, args)?;
+    let trace = match &limits.trace {
+        Some(path) => match JsonlTracer::create(path) {
+            Ok(t) => TraceHandle::new(Arc::new(t)),
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open trace file '{}': {} (tracing disabled)",
+                    path.display(),
+                    e
+                );
+                TraceHandle::disabled()
+            }
+        },
+        None => TraceHandle::disabled(),
+    };
+    let server = lcdb_server::Server::start(cfg, trace).map_err(|e| format!("bind: {}", e))?;
+    println!("listening on {}", server.addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.wait();
+    Ok(())
+}
+
 fn main() -> std::process::ExitCode {
     let raw_args: Vec<String> = std::env::args().skip(1).collect();
     let (limits, args) = match parse_limit_flags(&raw_args) {
@@ -776,6 +905,20 @@ fn main() -> std::process::ExitCode {
     // process, so integration tests can provoke exit codes 8 and 9.
     #[cfg(feature = "faults")]
     let _fault_guard = lcdb_budget::faults::FaultPlan::from_env().map(|p| p.arm());
+
+    if args.first().map(String::as_str) == Some("serve") {
+        return match run_serve(&limits, &args[1..]) {
+            Ok(()) => std::process::ExitCode::SUCCESS,
+            Err(msg) if msg.is_empty() => {
+                println!("{}", SERVE_USAGE);
+                std::process::ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {}\n{}", msg, SERVE_USAGE);
+                std::process::ExitCode::from(1)
+            }
+        };
+    }
 
     let mut shell = Shell::with_limits(limits);
     let stdout = std::io::stdout();
@@ -971,6 +1114,87 @@ mod tests {
         assert!(limits.allow_partial);
         assert!(rest.is_empty());
         assert!(parse_limit_flags(&["--resume".to_string()]).is_err());
+    }
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_flag_parsing() {
+        // Defaults: well-known port, shared limits mapped through.
+        let limits = Limits {
+            threads: Some(3),
+            timeout: Some(Duration::from_secs(2)),
+            ..Limits::default()
+        };
+        let cfg = parse_serve_flags(&limits, &[]).unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:7171");
+        assert_eq!(cfg.eval_threads, 3);
+        assert_eq!(cfg.default_timeout, Duration::from_secs(2));
+
+        let cfg = parse_serve_flags(
+            &Limits::default(),
+            &strs(&[
+                "--addr",
+                "127.0.0.1:0",
+                "--max-sessions",
+                "5",
+                "--queue-cap",
+                "9",
+                "--client-queue",
+                "2",
+                "--workers",
+                "4",
+                "--cache",
+                "0",
+                "--idle-secs",
+                "7",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.max_sessions, 5);
+        assert_eq!(cfg.queue_capacity, 9);
+        assert_eq!(cfg.per_client_queue, 2);
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.cache_capacity, 0);
+        assert_eq!(cfg.idle_timeout, Duration::from_secs(7));
+
+        // --help is the empty-message sentinel; junk flags are errors.
+        assert_eq!(
+            parse_serve_flags(&Limits::default(), &strs(&["--help"])),
+            Err(String::new())
+        );
+        assert!(parse_serve_flags(&Limits::default(), &strs(&["--bogus"])).is_err());
+        assert!(parse_serve_flags(&Limits::default(), &strs(&["--addr"])).is_err());
+    }
+
+    #[test]
+    fn serve_script_seeds_and_validates_base_db() {
+        let dir = std::env::temp_dir().join(format!("lcdb-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let good = dir.join("good.lcdb");
+        std::fs::write(&good, "# preamble\n\nrel S(x) := 0 < x and x < 1\nspatial S\n").unwrap();
+        let cfg =
+            parse_serve_flags(&Limits::default(), &strs(&[good.to_str().unwrap()])).unwrap();
+        assert_eq!(
+            cfg.base_db,
+            vec!["rel S(x) := 0 < x and x < 1".to_string(), "spatial S".to_string()]
+        );
+
+        // A bad base database is a startup error, not a per-session one.
+        let bad = dir.join("bad.lcdb");
+        std::fs::write(&bad, "rel S(x) := not a formula\n").unwrap();
+        let err =
+            parse_serve_flags(&Limits::default(), &strs(&[bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("base database line"), "{}", err);
+
+        let err = parse_serve_flags(&Limits::default(), &strs(&["/no/such/script.lcdb"]))
+            .unwrap_err();
+        assert!(err.contains("reading"), "{}", err);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     const GAPPED: &str = "rel S(x) := (0 < x and x < 1) or (2 < x and x < 3)";

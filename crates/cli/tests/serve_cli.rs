@@ -1,0 +1,90 @@
+//! Process-level tests for `lcdb serve`: the subcommand binds, announces
+//! its address on stdout, serves a base database from a script, and exits
+//! zero on a protocol shutdown — end to end through the real binary.
+
+use lcdb_server::{Client, RespCode};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+const NONEMPTY: &str = "exists x. S(x)";
+
+/// Spawn `lcdb serve` on an OS-assigned port and read the announced
+/// address off its stdout.
+fn spawn_serve(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lcdb"))
+        .arg("serve")
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read announcement");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {:?}", line))
+        .to_string();
+    (child, addr)
+}
+
+fn wait_zero(mut child: Child) {
+    let status = child.wait().expect("server process joins");
+    assert!(status.success(), "serve exited with {:?}", status.code());
+}
+
+#[test]
+fn serve_announces_serves_and_shuts_down_cleanly() {
+    let (child, addr) = spawn_serve(&[]);
+    let mut c = Client::connect(&addr).expect("connect to announced address");
+    let r = c
+        .define("S(x) := (0 < x and x < 1) or (2 < x and x < 3)")
+        .expect("define io");
+    assert_eq!(r.code, RespCode::Ok, "{}", r.body);
+    let r = c.eval_sentence(NONEMPTY, 0).expect("eval io");
+    assert_eq!((r.code, r.body.as_str()), (RespCode::Ok, "true"));
+    assert_eq!(c.shutdown().expect("shutdown io").code, RespCode::Ok);
+    wait_zero(child);
+}
+
+#[test]
+fn serve_preloads_script_base_database() {
+    let dir = std::env::temp_dir().join(format!("lcdb-serve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let script = dir.join("base.lcdb");
+    std::fs::write(&script, "# base database\nrel S(x) := 0 < x and x < 1\n")
+        .expect("write script");
+
+    let (child, addr) = spawn_serve(&[script.to_str().expect("utf8 path")]);
+    // No define on this connection: the base database answers anyway.
+    let mut c = Client::connect(&addr).expect("connect");
+    let r = c.eval_sentence(NONEMPTY, 0).expect("eval io");
+    assert_eq!((r.code, r.body.as_str()), (RespCode::Ok, "true"));
+    assert_eq!(c.shutdown().expect("shutdown io").code, RespCode::Ok);
+    wait_zero(child);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_usage_errors_exit_one() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lcdb"))
+        .args(["serve", "--bogus"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown serve flag"), "{}", err);
+    assert!(err.contains("usage: lcdb serve"), "{}", err);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_lcdb"))
+        .args(["serve", "--help"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage: lcdb serve"), "{}", text);
+}

@@ -30,10 +30,11 @@ pub struct RegionData {
 /// database it was derived from. This is the second sort of `B^Reg`; the
 /// logics of §4–§7 are parametric in it (Note 7.1).
 ///
-/// Decompositions are `Sync` so parallel evaluation can share one across
-/// the worker threads of a pool: all queries are `&self`, and the lazy
-/// caches of [`Nc1Regions`] sit behind a mutex.
-pub trait Decomposition: Sync {
+/// Decompositions are `Send + Sync` so parallel evaluation can share one
+/// across the worker threads of a pool and a query server can hand one
+/// between sessions: all queries are `&self`, and the lazy caches of
+/// [`Nc1Regions`] sit behind a mutex.
+pub trait Decomposition: Send + Sync {
     /// Ambient dimension `d`.
     fn ambient_dim(&self) -> usize;
 

@@ -1,0 +1,194 @@
+//! `lcdb-load`: the bundled load generator for a running `lcdb serve`.
+//!
+//! ```text
+//! lcdb-load --addr 127.0.0.1:7171 --clients 8 --requests 32 \
+//!           --define 'S(x) := 0 < x and x < 1' \
+//!           --query 'exists R. R subset S' \
+//!           --assert-sheds --json-out report.json --shutdown
+//! ```
+//!
+//! Exit codes: `0` success, `1` connection errors or a failed assertion,
+//! `2` usage error.
+
+use lcdb_server::load::{run, LoadConfig};
+use lcdb_server::proto::OpCode;
+use lcdb_server::Client;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: lcdb-load --addr HOST:PORT [options]
+
+options:
+  --addr HOST:PORT     server to drive (required)
+  --clients N          concurrent client connections   [default: 4]
+  --requests N         requests per client             [default: 16]
+  --define LINE        definition preamble (repeatable; default: a 1-D
+                       two-interval relation S)
+  --no-define          send no definition preamble
+  --query TEXT         query text per request          [default: 'exists R. R subset S']
+  --mode MODE          sentence | query | explain      [default: sentence]
+  --timeout-ms N       per-request deadline, 0 = server default [default: 0]
+  --seed N             backoff jitter seed             [default: 7]
+  --retries N          shed retries per request        [default: 8]
+  --assert-sheds       fail (exit 1) unless sheds > 0
+  --assert-no-errors   fail (exit 1) on any non-Ok final response
+  --status             print server status after the run
+  --shutdown           send a graceful shutdown after the run
+  --json-out PATH      write the JSON report to PATH
+  --help               this text";
+
+struct Flags {
+    cfg: LoadConfig,
+    assert_sheds: bool,
+    assert_no_errors: bool,
+    status: bool,
+    shutdown: bool,
+    json_out: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut cfg = LoadConfig::default();
+    let mut defines_given = false;
+    let mut no_define = false;
+    let mut flags = Flags {
+        cfg: LoadConfig::default(),
+        assert_sheds: false,
+        assert_no_errors: false,
+        status: false,
+        shutdown: false,
+        json_out: None,
+    };
+    let mut it = args.iter();
+    let need = |it: &mut std::slice::Iter<String>, flag: &str| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", flag))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = need(&mut it, "--addr")?,
+            "--clients" => {
+                cfg.clients = need(&mut it, "--clients")?
+                    .parse()
+                    .map_err(|_| "bad --clients value".to_string())?
+            }
+            "--requests" => {
+                cfg.requests = need(&mut it, "--requests")?
+                    .parse()
+                    .map_err(|_| "bad --requests value".to_string())?
+            }
+            "--define" => {
+                if !defines_given {
+                    cfg.defines.clear();
+                    defines_given = true;
+                }
+                cfg.defines.push(need(&mut it, "--define")?);
+            }
+            "--no-define" => no_define = true,
+            "--query" => cfg.query = need(&mut it, "--query")?,
+            "--mode" => {
+                cfg.op = match need(&mut it, "--mode")?.as_str() {
+                    "sentence" => OpCode::EvalSentence,
+                    "query" => OpCode::EvalQuery,
+                    "explain" => OpCode::Explain,
+                    other => return Err(format!("unknown --mode '{}'", other)),
+                }
+            }
+            "--timeout-ms" => {
+                cfg.timeout_ms = need(&mut it, "--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "bad --timeout-ms value".to_string())?
+            }
+            "--seed" => {
+                cfg.seed = need(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_string())?
+            }
+            "--retries" => {
+                cfg.max_retries = need(&mut it, "--retries")?
+                    .parse()
+                    .map_err(|_| "bad --retries value".to_string())?
+            }
+            "--assert-sheds" => flags.assert_sheds = true,
+            "--assert-no-errors" => flags.assert_no_errors = true,
+            "--status" => flags.status = true,
+            "--shutdown" => flags.shutdown = true,
+            "--json-out" => flags.json_out = Some(need(&mut it, "--json-out")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{}'", other)),
+        }
+    }
+    if cfg.addr.is_empty() {
+        return Err("--addr is required".into());
+    }
+    if no_define {
+        cfg.defines.clear();
+    }
+    flags.cfg = cfg;
+    Ok(flags)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", USAGE);
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("lcdb-load: {}\n{}", msg, USAGE);
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = run(&flags.cfg);
+    println!("{}", report.to_json());
+    if let Some(path) = &flags.json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("lcdb-load: writing {}: {}", path, e);
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if flags.status || flags.shutdown {
+        match Client::connect(&flags.cfg.addr) {
+            Ok(mut c) => {
+                if flags.status {
+                    match c.status() {
+                        Ok(r) => print!("{}", r.body),
+                        Err(e) => eprintln!("lcdb-load: status: {}", e),
+                    }
+                }
+                if flags.shutdown {
+                    if let Err(e) = c.shutdown() {
+                        eprintln!("lcdb-load: shutdown: {}", e);
+                    }
+                }
+            }
+            Err(e) => eprintln!("lcdb-load: connecting for status/shutdown: {}", e),
+        }
+    }
+
+    let mut failed = false;
+    if report.conn_errors > 0 {
+        eprintln!("lcdb-load: {} connection error(s)", report.conn_errors);
+        failed = true;
+    }
+    if flags.assert_sheds && report.sheds == 0 {
+        eprintln!("lcdb-load: expected sheds > 0, saw none");
+        failed = true;
+    }
+    if flags.assert_no_errors && (report.errors > 0 || report.gave_up > 0 || report.timeouts > 0) {
+        eprintln!(
+            "lcdb-load: expected clean run, saw errors={} gave_up={} timeouts={}",
+            report.errors, report.gave_up, report.timeouts
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,137 @@
+//! Shared query-result cache keyed by `(plan hash, database fingerprint)`.
+//!
+//! The plan hash is the canonical, process-stable query fingerprint from
+//! `lcdb-plan` (the same hash the checkpoint format validates on resume),
+//! so two syntactically different spellings of one query — `¬¬φ` vs `φ`,
+//! duplicated conjuncts — share a cache entry. The database fingerprint
+//! covers every relation's name, variables and defining formula plus the
+//! designated spatial relation, so sessions that defined identical
+//! databases share entries while a session that redefines a relation never
+//! sees a stale result.
+//!
+//! Eviction is FIFO over insertion order: the workloads this serves are
+//! dominated by verbatim-repeated queries (dashboards, polling monitors),
+//! where *any* bounded policy captures most of the win and FIFO's
+//! single-deque bookkeeping keeps the critical section tiny. Capacity 0
+//! disables the cache entirely (every lookup misses), which is what the E24
+//! ablation measures against.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// Cache key: (salted plan hash, database fingerprint).
+pub type CacheKey = (u64, u64);
+
+/// A bounded, thread-safe map from [`CacheKey`] to a response body.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, String>,
+    order: VecDeque<CacheKey>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Look up a cached response body.
+    pub fn get(&self, key: CacheKey) -> Option<String> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.map.get(&key).cloned()
+    }
+
+    /// Insert a response body, evicting the oldest entry at capacity.
+    pub fn put(&self, key: CacheKey, body: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        match inner.map.entry(key) {
+            Entry::Occupied(mut e) => {
+                // Refresh the body (a re-evaluation after a miss elsewhere);
+                // insertion order is unchanged.
+                e.insert(body);
+                return;
+            }
+            Entry::Vacant(e) => {
+                e.insert(body);
+            }
+        }
+        inner.order.push_back(key);
+        while inner.order.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.map.remove(&old);
+            }
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put_miss_before() {
+        let c = ResultCache::new(4);
+        assert_eq!(c.get((1, 2)), None);
+        c.put((1, 2), "true".into());
+        assert_eq!(c.get((1, 2)), Some("true".into()));
+        assert_eq!(c.get((1, 3)), None, "different database fingerprint");
+        assert_eq!(c.get((2, 2)), None, "different plan hash");
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let c = ResultCache::new(0);
+        c.put((1, 1), "x".into());
+        assert_eq!(c.get((1, 1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let c = ResultCache::new(2);
+        c.put((1, 0), "a".into());
+        c.put((2, 0), "b".into());
+        c.put((3, 0), "c".into());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get((1, 0)), None, "oldest evicted");
+        assert_eq!(c.get((2, 0)), Some("b".into()));
+        assert_eq!(c.get((3, 0)), Some("c".into()));
+    }
+
+    #[test]
+    fn reinsert_refreshes_body_without_duplicating() {
+        let c = ResultCache::new(2);
+        c.put((1, 0), "a".into());
+        c.put((1, 0), "a2".into());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get((1, 0)), Some("a2".into()));
+    }
+}

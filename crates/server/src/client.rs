@@ -1,0 +1,132 @@
+//! Blocking client for the wire protocol, with jittered retry backoff.
+//!
+//! The client is strictly request/response: one frame out, one frame in.
+//! (Responses to queued evaluations and to inline operations travel over
+//! the same socket; pipelining could reorder them, so the client never
+//! pipelines.) On a [`RespCode::RetryAfter`] shed, [`Client::with_backoff`]
+//! sleeps for the server's hint plus deterministic jitter — seeded, so two
+//! clients created with different seeds desynchronise instead of
+//! re-stampeding the server in lockstep.
+
+use crate::proto::{read_frame, write_frame, OpCode, ProtoError, Request, RespCode, Response};
+use lcdb_recover::splitmix64;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A connected protocol client.
+pub struct Client {
+    addr: String,
+    stream: TcpStream,
+    next_id: u64,
+    seed: u64,
+    /// Shed responses observed across this client's lifetime.
+    pub sheds: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            addr: addr.to_string(),
+            stream,
+            next_id: 1,
+            seed: 1,
+            sheds: 0,
+        })
+    }
+
+    /// Set the jitter seed used by [`Client::with_backoff`].
+    pub fn with_seed(mut self, seed: u64) -> Client {
+        self.seed = seed;
+        self
+    }
+
+    /// Send one request and block for its response.
+    pub fn request(&mut self, op: OpCode, aux: u32, text: &str) -> io::Result<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request {
+            op,
+            id,
+            aux,
+            text: text.to_string(),
+        };
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Response::decode(&payload)
+            .map_err(|e: ProtoError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Define (or replace) a relation: `NAME(vars) := formula`, or
+    /// `spatial NAME`.
+    pub fn define(&mut self, line: &str) -> io::Result<Response> {
+        self.request(OpCode::Define, 0, line)
+    }
+
+    /// Evaluate a sentence under an optional deadline (0 = server default).
+    pub fn eval_sentence(&mut self, query: &str, timeout_ms: u32) -> io::Result<Response> {
+        self.request(OpCode::EvalSentence, timeout_ms, query)
+    }
+
+    /// Evaluate an open query under an optional deadline.
+    pub fn eval_query(&mut self, query: &str, timeout_ms: u32) -> io::Result<Response> {
+        self.request(OpCode::EvalQuery, timeout_ms, query)
+    }
+
+    /// Fetch the rendered evaluation plan without evaluating.
+    pub fn explain(&mut self, query: &str) -> io::Result<Response> {
+        self.request(OpCode::Explain, 0, query)
+    }
+
+    /// Fetch server counters and gauges.
+    pub fn status(&mut self) -> io::Result<Response> {
+        self.request(OpCode::Status, 0, "")
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.request(OpCode::Shutdown, 0, "")
+    }
+
+    /// Like [`Client::request`], but on a shed response sleep for the
+    /// server's retry hint plus jitter and try again, up to `max_retries`
+    /// times. A session-capacity shed (correlation id 0) closes the
+    /// connection server-side, so the client reconnects before retrying.
+    /// Returns the final response (which is still `RetryAfter` if every
+    /// attempt was shed).
+    pub fn with_backoff(
+        &mut self,
+        op: OpCode,
+        aux: u32,
+        text: &str,
+        max_retries: u32,
+    ) -> io::Result<Response> {
+        let mut attempt: u64 = 0;
+        loop {
+            let resp = self.request(op, aux, text)?;
+            if resp.code != RespCode::RetryAfter {
+                return Ok(resp);
+            }
+            self.sheds += 1;
+            if resp.id == 0 {
+                // Accept-time shed: the server already closed this socket.
+                self.stream = TcpStream::connect(&self.addr)?;
+                self.stream.set_nodelay(true).ok();
+            }
+            if attempt >= max_retries as u64 {
+                return Ok(resp);
+            }
+            // Hint + deterministic jitter in [0, hint/2]: spreads the
+            // retrying herd without a shared clock or RNG state.
+            let hint = resp.aux as u64;
+            let jitter = splitmix64(self.seed ^ (attempt.wrapping_mul(0x9e37_79b9))) % (hint / 2 + 1);
+            std::thread::sleep(Duration::from_millis(hint + jitter));
+            attempt += 1;
+        }
+    }
+}

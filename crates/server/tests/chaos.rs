@@ -1,0 +1,186 @@
+//! Seeded chaos tests (enabled with `--features faults`): the server's
+//! injection sites — `server.accept`, `server.read`, `server.dispatch` —
+//! poison at most the affected connection or request. The listener keeps
+//! accepting, sibling sessions keep completing with answers identical to a
+//! fault-free run, and shutdown stays clean.
+//!
+//! The seed comes from `LCDB_FAULT_SEED` (default 3), matching the CI fault
+//! matrix of the rest of the workspace.
+
+#![cfg(feature = "faults")]
+
+use lcdb_budget::faults::FaultPlan;
+use lcdb_server::{Client, OpCode, RespCode, Server, ServerConfig};
+use lcdb_trace::TraceHandle;
+use std::time::Duration;
+
+const SERVER_SITES: &[&str] = &["server.accept", "server.read", "server.dispatch"];
+const GAPPED: &str = "S(x) := (0 < x and x < 1) or (2 < x and x < 3)";
+const NONEMPTY: &str = "exists x. S(x)";
+
+fn seed() -> u64 {
+    std::env::var("LCDB_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+fn start() -> Server {
+    Server::start(
+        ServerConfig {
+            idle_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+        TraceHandle::disabled(),
+    )
+    .expect("bind and start")
+}
+
+/// A poisoned accept drops exactly one connection; the listener and every
+/// later session are untouched.
+#[test]
+fn accept_fault_drops_one_connection_listener_survives() {
+    let _guard = FaultPlan::new().fail_on("server.accept", 1).arm();
+    let server = start();
+    let addr = server.addr().to_string();
+
+    // The victim: TCP connects (the listener accepted), but the server
+    // drops the socket before any session starts.
+    let mut victim = Client::connect(&addr).expect("tcp handshake succeeds");
+    assert!(
+        victim.status().is_err(),
+        "poisoned accept must close the connection"
+    );
+
+    // The site fires once per arming: every subsequent connection is served.
+    for _ in 0..3 {
+        let mut c = Client::connect(&addr).expect("connect");
+        assert_eq!(c.define(GAPPED).expect("define").code, RespCode::Ok);
+        let r = c.eval_sentence(NONEMPTY, 0).expect("eval");
+        assert_eq!((r.code, r.body.as_str()), (RespCode::Ok, "true"));
+    }
+    server.shutdown();
+}
+
+/// A poisoned read quarantines exactly one session: the client gets a typed
+/// Fault response and a closed connection; siblings are unaffected.
+#[test]
+fn read_fault_quarantines_one_session() {
+    let _guard = FaultPlan::new().fail_on("server.read", 1).arm();
+    let server = start();
+    let addr = server.addr().to_string();
+
+    let mut victim = Client::connect(&addr).expect("connect");
+    let r = victim.define(GAPPED).expect("fault response arrives");
+    assert_eq!((r.code, r.id), (RespCode::Fault, 0), "{}", r.body);
+    assert!(
+        victim.status().is_err(),
+        "quarantined session is closed after the fault response"
+    );
+
+    let mut sibling = Client::connect(&addr).expect("connect");
+    assert_eq!(sibling.define(GAPPED).expect("define").code, RespCode::Ok);
+    let r = sibling.eval_sentence(NONEMPTY, 0).expect("eval");
+    assert_eq!((r.code, r.body.as_str()), (RespCode::Ok, "true"));
+    server.shutdown();
+}
+
+/// A poisoned dispatch fails exactly one request — with the request's own
+/// correlation id — and the same session immediately recovers.
+#[test]
+fn dispatch_fault_fails_one_request_session_recovers() {
+    let _guard = FaultPlan::new().fail_on("server.dispatch", 1).arm();
+    let server = start();
+    let addr = server.addr().to_string();
+
+    let mut c = Client::connect(&addr).expect("connect");
+    // Define is handled inline by the session, not dispatched: unaffected.
+    assert_eq!(c.define(GAPPED).expect("define").code, RespCode::Ok);
+    let r = c.eval_sentence(NONEMPTY, 0).expect("eval io");
+    assert_eq!(r.code, RespCode::Fault, "{}", r.body);
+    assert_ne!(r.id, 0, "dispatch fault is request-scoped");
+
+    // Same connection, next request: served normally.
+    let r = c.eval_sentence(NONEMPTY, 0).expect("eval io");
+    assert_eq!((r.code, r.body.as_str()), (RespCode::Ok, "true"));
+    server.shutdown();
+}
+
+/// Evaluate `query` against `define`, riding out injected faults: reconnect
+/// on dropped connections, retry on Fault responses. Returns the body of
+/// the eventual Ok response.
+fn robust_eval(addr: &str, define: &str, query: &str) -> String {
+    for _attempt in 0..10 {
+        let mut c = match Client::connect(addr) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let ok = match c.define(define) {
+            Ok(r) if r.code == RespCode::Ok => true,
+            Ok(r) if r.code == RespCode::Fault => false, // quarantined session
+            Ok(r) => panic!("define: unexpected {:?}: {}", r.code, r.body),
+            Err(_) => false, // dropped connection (accept fault)
+        };
+        if !ok {
+            continue;
+        }
+        // Retry Fault responses on the same session; reconnect on I/O
+        // failure. Anything else is a contract violation.
+        for _ in 0..10 {
+            match c.request(OpCode::EvalSentence, 0, query) {
+                Ok(r) if r.code == RespCode::Ok => return r.body,
+                Ok(r) if r.code == RespCode::Fault => continue,
+                Ok(r) => panic!("eval: unexpected {:?}: {}", r.code, r.body),
+                Err(_) => break,
+            }
+        }
+    }
+    panic!("no successful evaluation within the retry budget");
+}
+
+/// The acceptance gate: under a seeded plan over all three server sites,
+/// every client's every query eventually completes with *exactly* the
+/// fault-free answer, only fault-poisoned connections/requests are
+/// disrupted, and the server shuts down cleanly.
+#[test]
+fn seeded_chaos_preserves_answers_and_shuts_down_cleanly() {
+    // Three clients with distinct databases and distinct expected verdicts.
+    let workload: &[(&str, &str, &str)] = &[
+        (GAPPED, NONEMPTY, "true"),
+        ("S(x) := x < x", NONEMPTY, "false"),
+        ("S(x) := 0 <= x and x <= 1", "forall x. not S(x)", "false"),
+    ];
+
+    // Fault-free baseline: confirms the expected bodies above.
+    {
+        let server = start();
+        let addr = server.addr().to_string();
+        for (def, query, want) in workload {
+            assert_eq!(robust_eval(&addr, def, query), *want, "baseline {def}");
+        }
+        server.shutdown();
+    }
+
+    let base = seed();
+    for delta in 0..3u64 {
+        let _guard = FaultPlan::seeded(base.wrapping_add(delta), SERVER_SITES, 3).arm();
+        let server = start();
+        let addr = server.addr().to_string();
+        std::thread::scope(|scope| {
+            for (def, query, want) in workload {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    for round in 0..3 {
+                        assert_eq!(
+                            robust_eval(&addr, def, query),
+                            *want,
+                            "seed {base}+{delta} round {round} db {def}"
+                        );
+                    }
+                });
+            }
+        });
+        // Clean shutdown: every listener/worker/session thread joins.
+        server.shutdown();
+    }
+}

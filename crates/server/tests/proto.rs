@@ -1,0 +1,223 @@
+//! Wire-protocol robustness: proptest roundtrips over arbitrary payloads
+//! and chunkings, plus a deterministic malformed-input suite. The decoder's
+//! contract is *totality* — every byte sequence either decodes or yields a
+//! typed [`ProtoError`]; nothing panics and nothing over-allocates.
+
+use lcdb_server::proto::{
+    frame, read_frame, FrameReader, OpCode, ProtoError, Request, RespCode, Response, MAX_FRAME,
+    PROTO_VERSION,
+};
+use proptest::prelude::*;
+
+/// UTF-8 text from arbitrary bytes (lossy, so always valid).
+fn text_strategy(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..=max_len)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (1u8..=6, any::<u64>(), any::<u32>(), text_strategy(200)).prop_map(|(op, id, aux, text)| {
+        Request {
+            op: OpCode::from_u8(op).expect("1..=6 are all opcodes"),
+            id,
+            aux,
+            text,
+        }
+    })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    (0u8..=7, any::<u64>(), any::<u32>(), text_strategy(200)).prop_map(|(code, id, aux, body)| {
+        Response {
+            code: RespCode::from_u8(code).expect("0..=7 are all codes"),
+            id,
+            aux,
+            body,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_roundtrips(req in request_strategy()) {
+        prop_assert_eq!(Request::decode(&req.encode()).ok(), Some(req));
+    }
+
+    #[test]
+    fn response_roundtrips(resp in response_strategy()) {
+        prop_assert_eq!(Response::decode(&resp.encode()).ok(), Some(resp));
+    }
+
+    /// A stream of frames reassembles identically under every chunking.
+    #[test]
+    fn frame_reader_invariant_under_chunking(
+        reqs in proptest::collection::vec(request_strategy(), 1..=5),
+        chunk in 1usize..=23,
+    ) {
+        let mut bytes = Vec::new();
+        for r in &reqs {
+            bytes.extend_from_slice(&r.to_frame());
+        }
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            reader.push(piece);
+            while let Some(payload) = reader.next_frame().map_err(|e| {
+                TestCaseError::fail(format!("unexpected proto error: {}", e))
+            })? {
+                decoded.push(Request::decode(&payload).map_err(|e| {
+                    TestCaseError::fail(format!("decode failed: {}", e))
+                })?);
+            }
+        }
+        prop_assert!(!reader.mid_frame(), "no residue after whole frames");
+        prop_assert_eq!(decoded, reqs);
+    }
+
+    /// Decoding arbitrary bytes is total: typed error or success, no panic.
+    #[test]
+    fn arbitrary_payloads_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..=64)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+        let mut reader = FrameReader::new();
+        reader.push(&bytes);
+        // Drain until quiescent; errors are fine, panics are not.
+        while let Ok(Some(_)) = reader.next_frame() {}
+    }
+
+    /// A frame truncated anywhere strictly inside never yields a frame.
+    #[test]
+    fn truncated_frames_stay_pending(req in request_strategy(), cut_seed in any::<u64>()) {
+        let full = req.to_frame();
+        let cut = 1 + (cut_seed as usize) % (full.len() - 1);
+        let mut reader = FrameReader::new();
+        reader.push(&full[..cut]);
+        prop_assert_eq!(reader.next_frame(), Ok(None));
+        prop_assert!(reader.mid_frame());
+        // Blocking reader: EOF after a complete length prefix is an error
+        // (the peer promised more bytes); EOF inside the prefix itself is
+        // indistinguishable from a clean close and reports `None`.
+        let mut cur = std::io::Cursor::new(full[..cut].to_vec());
+        if cut >= 4 {
+            prop_assert!(read_frame(&mut cur).is_err());
+        } else {
+            prop_assert_eq!(read_frame(&mut cur).ok(), Some(None));
+        }
+    }
+
+    /// Every length prefix above MAX_FRAME is rejected without buffering.
+    #[test]
+    fn oversized_prefix_always_rejected(extra in 1u64..=u32::MAX as u64 - MAX_FRAME as u64) {
+        let len = (MAX_FRAME as u64 + extra) as u32;
+        let mut reader = FrameReader::new();
+        reader.push(&len.to_le_bytes());
+        prop_assert_eq!(
+            reader.next_frame(),
+            Err(ProtoError::Oversized { len: len as usize })
+        );
+        let mut cur = std::io::Cursor::new(len.to_le_bytes().to_vec());
+        prop_assert!(read_frame(&mut cur).is_err());
+    }
+}
+
+// ---- deterministic malformed-input suite (fuzz-style corpus) ----
+
+/// A valid encoded request to mutate.
+fn valid_payload() -> Vec<u8> {
+    Request {
+        op: OpCode::EvalSentence,
+        id: 7,
+        aux: 250,
+        text: "exists R. R subset S".into(),
+    }
+    .encode()
+}
+
+#[test]
+fn bad_version_rejected() {
+    let mut p = valid_payload();
+    p[0] = PROTO_VERSION + 1;
+    assert_eq!(
+        Request::decode(&p),
+        Err(ProtoError::BadVersion(PROTO_VERSION + 1))
+    );
+    assert_eq!(
+        Response::decode(&p),
+        Err(ProtoError::BadVersion(PROTO_VERSION + 1))
+    );
+}
+
+#[test]
+fn bad_opcode_and_code_rejected() {
+    let mut p = valid_payload();
+    p[1] = 99;
+    assert_eq!(Request::decode(&p), Err(ProtoError::BadOpcode(99)));
+    assert_eq!(Response::decode(&p), Err(ProtoError::BadCode(99)));
+    // Opcode 0 is reserved / invalid in both directions of the tag space.
+    p[1] = 0;
+    assert_eq!(Request::decode(&p), Err(ProtoError::BadOpcode(0)));
+}
+
+#[test]
+fn truncated_header_rejected() {
+    let p = valid_payload();
+    for cut in 0..18.min(p.len()) {
+        assert_eq!(
+            Request::decode(&p[..cut]),
+            Err(ProtoError::Truncated),
+            "cut at {}",
+            cut
+        );
+    }
+}
+
+#[test]
+fn length_mismatch_rejected() {
+    let mut p = valid_payload();
+    // Declare one more text byte than is present.
+    let declared = u32::from_le_bytes([p[14], p[15], p[16], p[17]]) + 1;
+    p[14..18].copy_from_slice(&declared.to_le_bytes());
+    assert!(matches!(
+        Request::decode(&p),
+        Err(ProtoError::LengthMismatch { .. })
+    ));
+}
+
+#[test]
+fn invalid_utf8_rejected() {
+    let mut p = valid_payload();
+    let text_start = 18;
+    p[text_start] = 0xFF;
+    p[text_start + 1] = 0xFE;
+    assert_eq!(Request::decode(&p), Err(ProtoError::BadUtf8));
+    assert_eq!(Response::decode(&p), Err(ProtoError::BadUtf8));
+}
+
+#[test]
+fn boundary_frame_sizes() {
+    // Exactly MAX_FRAME is allowed through the framing layer...
+    let payload = vec![0u8; MAX_FRAME];
+    let framed = frame(&payload);
+    let mut reader = FrameReader::new();
+    reader.push(&framed);
+    assert_eq!(reader.next_frame(), Ok(Some(payload)));
+    // ...and one byte more is not.
+    let mut reader = FrameReader::new();
+    reader.push(&((MAX_FRAME as u32 + 1).to_le_bytes()));
+    assert_eq!(
+        reader.next_frame(),
+        Err(ProtoError::Oversized { len: MAX_FRAME + 1 })
+    );
+}
+
+#[test]
+fn empty_and_zero_length_frames() {
+    // A zero-length frame is well-formed framing but an invalid payload.
+    let mut reader = FrameReader::new();
+    reader.push(&0u32.to_le_bytes());
+    let payload = reader.next_frame().expect("framing ok").expect("complete");
+    assert!(payload.is_empty());
+    assert_eq!(Request::decode(&payload), Err(ProtoError::Truncated));
+}

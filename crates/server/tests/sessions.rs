@@ -1,0 +1,299 @@
+//! End-to-end session tests: N concurrent clients against one server,
+//! per-client database isolation across evaluation-pool widths, mixed
+//! deadlines, deterministic shedding, disconnect cancellation, and
+//! malformed-bytes handling — all over real TCP connections.
+
+use lcdb_server::proto::{read_frame, write_frame, OpCode, Request, RespCode};
+use lcdb_server::{Client, Server, ServerConfig};
+use lcdb_trace::TraceHandle;
+use std::net::TcpStream;
+use std::time::Duration;
+
+const GAPPED: &str = "S(x) := (0 < x and x < 1) or (2 < x and x < 3)";
+const NONEMPTY: &str = "exists x. S(x)";
+
+fn start(cfg: ServerConfig) -> Server {
+    Server::start(cfg, TraceHandle::disabled()).expect("bind and start")
+}
+
+fn quick_cfg() -> ServerConfig {
+    ServerConfig {
+        idle_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    }
+}
+
+fn addr_of(server: &Server) -> String {
+    server.addr().to_string()
+}
+
+#[test]
+fn define_eval_explain_status_shutdown_roundtrip() {
+    let server = start(quick_cfg());
+    let addr = addr_of(&server);
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let r = c.define(GAPPED).expect("define io");
+    assert_eq!(r.code, RespCode::Ok, "{}", r.body);
+
+    let r = c.eval_sentence(NONEMPTY, 0).expect("eval io");
+    assert_eq!(r.code, RespCode::Ok, "{}", r.body);
+    assert_eq!(r.body, "true");
+    assert_eq!(r.aux, 0, "first evaluation is not cached");
+
+    // Same plan + same database fingerprint → served from the cache.
+    let r = c.eval_sentence(NONEMPTY, 0).expect("eval io");
+    assert_eq!((r.code, r.body.as_str(), r.aux), (RespCode::Ok, "true", 1));
+
+    let r = c.explain(NONEMPTY).expect("explain io");
+    assert_eq!(r.code, RespCode::Ok, "{}", r.body);
+    assert!(!r.body.is_empty(), "plan rendering is non-empty");
+
+    let r = c.status().expect("status io");
+    assert_eq!(r.code, RespCode::Ok);
+    assert!(r.body.contains("accepted=1"), "status:\n{}", r.body);
+    assert!(r.body.contains("cache_hits=1"), "status:\n{}", r.body);
+
+    let r = c.shutdown().expect("shutdown io");
+    assert_eq!(r.code, RespCode::Ok);
+    // Graceful: wait() observes the protocol-initiated shutdown and joins
+    // every thread.
+    server.wait();
+}
+
+/// Redefining a relation changes the database fingerprint, so a stale
+/// cached answer is never served across a redefinition.
+#[test]
+fn redefinition_invalidates_cached_answers() {
+    let server = start(quick_cfg());
+    let mut c = Client::connect(&addr_of(&server)).expect("connect");
+    c.define(GAPPED).expect("define");
+    let r = c.eval_sentence(NONEMPTY, 0).expect("eval");
+    assert_eq!((r.code, r.body.as_str()), (RespCode::Ok, "true"));
+
+    // Redefine S to be empty: the same sentence now evaluates fresh (no
+    // cache flag) to the opposite verdict.
+    c.define("S(x) := x < x").expect("redefine");
+    let r = c.eval_sentence(NONEMPTY, 0).expect("eval");
+    assert_eq!((r.code, r.body.as_str(), r.aux), (RespCode::Ok, "false", 0));
+    server.shutdown();
+}
+
+/// N clients with distinct databases stay isolated — each sees only its own
+/// relation — across evaluation-pool widths 1, 2 and 8.
+#[test]
+fn concurrent_clients_isolated_at_each_pool_width() {
+    for eval_threads in [1usize, 2, 8] {
+        let server = start(ServerConfig {
+            eval_threads,
+            workers: 4,
+            ..quick_cfg()
+        });
+        let addr = addr_of(&server);
+        std::thread::scope(|scope| {
+            for i in 0..4u64 {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut c = Client::connect(&addr).expect("connect");
+                    // Even clients define a non-empty S, odd ones an empty
+                    // S; the verdicts must never bleed across sessions.
+                    let (def, want) = if i % 2 == 0 {
+                        (GAPPED, "true")
+                    } else {
+                        ("S(x) := x < x", "false")
+                    };
+                    let r = c.define(def).expect("define");
+                    assert_eq!(r.code, RespCode::Ok, "{}", r.body);
+                    for round in 0..6 {
+                        let r = c.eval_sentence(NONEMPTY, 0).expect("eval");
+                        assert_eq!(
+                            (r.code, r.body.as_str()),
+                            (RespCode::Ok, want),
+                            "client {} round {} (threads {})",
+                            i,
+                            round,
+                            eval_threads
+                        );
+                    }
+                });
+            }
+        });
+        server.shutdown();
+    }
+}
+
+/// Mixed deadlines: a 1 ms budget on a 2-D database either times out or
+/// completes — never hangs, never poisons the session — while an unhurried
+/// sibling client completes normally.
+#[test]
+fn mixed_deadlines_one_server() {
+    let server = start(ServerConfig {
+        workers: 2,
+        ..quick_cfg()
+    });
+    let addr = addr_of(&server);
+    let planar = "S(x, y) := (x >= 0 and y >= 0 and x + y <= 2) or (3 < x and x < 4 and 0 < y and y < 1)";
+    let sentence = "exists x, y. S(x, y)";
+    std::thread::scope(|scope| {
+        let hurried = scope.spawn(|| {
+            let mut c = Client::connect(&addr).expect("connect");
+            assert_eq!(c.define(planar).expect("define").code, RespCode::Ok);
+            let r = c.eval_sentence(sentence, 1).expect("eval io");
+            assert!(
+                matches!(r.code, RespCode::Ok | RespCode::Timeout),
+                "unexpected code {:?}: {}",
+                r.code,
+                r.body
+            );
+            // The session survives its own timeout: a follow-up request on
+            // the same connection still completes.
+            let r = c.eval_sentence(sentence, 0).expect("eval io");
+            assert_eq!((r.code, r.body.as_str()), (RespCode::Ok, "true"));
+        });
+        let unhurried = scope.spawn(|| {
+            let mut c = Client::connect(&addr).expect("connect");
+            assert_eq!(c.define(planar).expect("define").code, RespCode::Ok);
+            let r = c.eval_sentence(sentence, 0).expect("eval io");
+            assert_eq!((r.code, r.body.as_str()), (RespCode::Ok, "true"));
+        });
+        hurried.join().expect("hurried client");
+        unhurried.join().expect("unhurried client");
+    });
+    server.shutdown();
+}
+
+/// With a zero-length per-client queue every evaluation is shed, with a
+/// positive retry hint and the request's own correlation id.
+#[test]
+fn per_client_queue_sheds_deterministically() {
+    let server = start(ServerConfig {
+        per_client_queue: 0,
+        ..quick_cfg()
+    });
+    let mut c = Client::connect(&addr_of(&server)).expect("connect");
+    assert_eq!(c.define(GAPPED).expect("define").code, RespCode::Ok);
+    let r = c.eval_sentence(NONEMPTY, 0).expect("eval io");
+    assert_eq!(r.code, RespCode::RetryAfter, "{}", r.body);
+    assert!(r.aux > 0, "retry hint must be positive");
+    assert_ne!(r.id, 0, "request-level shed echoes the correlation id");
+
+    // Backoff gives up after its retries and reports the shed; the client
+    // counted every shed response it saw.
+    let r = c
+        .with_backoff(OpCode::EvalSentence, 0, NONEMPTY, 2)
+        .expect("backoff io");
+    assert_eq!(r.code, RespCode::RetryAfter);
+    assert_eq!(c.sheds, 3, "initial attempt + 2 retries, all shed");
+    server.shutdown();
+}
+
+/// With a zero session cap every connection is shed at accept with an
+/// unsolicited (id 0) RETRY_AFTER, and the listener keeps running.
+#[test]
+fn session_cap_sheds_at_accept() {
+    let server = start(ServerConfig {
+        max_sessions: 0,
+        ..quick_cfg()
+    });
+    let addr = addr_of(&server);
+    for _ in 0..3 {
+        let mut c = Client::connect(&addr).expect("tcp connect still accepted");
+        let r = c.status().expect("shed response arrives");
+        assert_eq!((r.code, r.id), (RespCode::RetryAfter, 0));
+        assert!(r.aux > 0);
+    }
+    server.shutdown();
+}
+
+/// A client that enqueues work and vanishes: its cancel token stops the
+/// in-flight evaluation, and the server keeps serving everyone else.
+#[test]
+fn disconnect_cancels_in_flight_work() {
+    let server = start(quick_cfg());
+    let addr = addr_of(&server);
+    {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        let define = Request {
+            op: OpCode::Define,
+            id: 1,
+            aux: 0,
+            text: GAPPED.into(),
+        };
+        write_frame(&mut s, &define.encode()).expect("write define");
+        read_frame(&mut s).expect("define reply").expect("frame");
+        let eval = Request {
+            op: OpCode::EvalSentence,
+            id: 2,
+            aux: 0,
+            text: NONEMPTY.into(),
+        };
+        write_frame(&mut s, &eval.encode()).expect("write eval");
+        // Drop without reading the answer: connection close trips the
+        // session's cancel token.
+    }
+    // The server remains fully responsive for a well-behaved client.
+    let mut c = Client::connect(&addr).expect("connect");
+    assert_eq!(c.define(GAPPED).expect("define").code, RespCode::Ok);
+    let r = c.eval_sentence(NONEMPTY, 0).expect("eval");
+    assert_eq!((r.code, r.body.as_str()), (RespCode::Ok, "true"));
+    server.shutdown();
+}
+
+/// Garbage inside a well-formed frame poisons only that request; garbage at
+/// the framing layer poisons only that connection.
+#[test]
+fn malformed_input_is_contained()  {
+    let server = start(quick_cfg());
+    let addr = addr_of(&server);
+
+    // Well-formed frame, nonsense payload: BadRequest, session lives on.
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    write_frame(&mut s, b"\xFF\xFE not a request").expect("write");
+    let resp = read_frame(&mut s).expect("reply").expect("frame");
+    let resp = lcdb_server::Response::decode(&resp).expect("decodes");
+    assert_eq!((resp.code, resp.id), (RespCode::BadRequest, 0));
+    let status = Request {
+        op: OpCode::Status,
+        id: 9,
+        aux: 0,
+        text: String::new(),
+    };
+    write_frame(&mut s, &status.encode()).expect("write status");
+    let resp = read_frame(&mut s).expect("reply").expect("frame");
+    let resp = lcdb_server::Response::decode(&resp).expect("decodes");
+    assert_eq!((resp.code, resp.id), (RespCode::Ok, 9));
+
+    // Oversized length prefix: the stream is unrecoverable, so the server
+    // reports BadRequest and closes — without disturbing the listener.
+    let mut s2 = TcpStream::connect(&addr).expect("connect");
+    use std::io::Write as _;
+    s2.write_all(&u32::MAX.to_le_bytes()).expect("write prefix");
+    let resp = read_frame(&mut s2).expect("reply").expect("frame");
+    let resp = lcdb_server::Response::decode(&resp).expect("decodes");
+    assert_eq!(resp.code, RespCode::BadRequest);
+    assert!(
+        read_frame(&mut s2).expect("clean close").is_none(),
+        "connection closed after framing poison"
+    );
+
+    // The listener is unaffected.
+    let mut c = Client::connect(&addr).expect("connect");
+    assert_eq!(c.status().expect("status").code, RespCode::Ok);
+    server.shutdown();
+}
+
+/// A server started with a base database serves it to every session.
+#[test]
+fn base_database_preloaded_for_all_sessions() {
+    let server = start(ServerConfig {
+        base_db: vec![GAPPED.to_string()],
+        ..quick_cfg()
+    });
+    let addr = addr_of(&server);
+    for _ in 0..2 {
+        let mut c = Client::connect(&addr).expect("connect");
+        let r = c.eval_sentence(NONEMPTY, 0).expect("eval");
+        assert_eq!((r.code, r.body.as_str()), (RespCode::Ok, "true"));
+    }
+    server.shutdown();
+}
