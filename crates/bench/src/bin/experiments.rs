@@ -10,7 +10,7 @@
 //! Every run writes a machine-readable summary to `BENCH_3.json`
 //! (override the path with `LCDB_BENCH_OUT`): per-experiment wall clock
 //! and metrics-registry deltas, the thread count, and the detailed
-//! `BENCH` rows emitted by E19 through E24.
+//! `BENCH` rows emitted by E19 through E25.
 
 use lcdb_arith::{int, rat, Rational};
 use lcdb_bench::*;
@@ -128,6 +128,7 @@ fn main() {
     exp!("E22", e22_plan_economics(&mut rows));
     exp!("E23", e23_tracing_overhead(&mut rows));
     exp!("E24", e24_server_throughput(&mut rows));
+    exp!("E25", e25_catalog_warm_start(&mut rows));
 
     trace().flush();
     let json = format!(
@@ -1315,4 +1316,67 @@ fn e24_server_throughput(rows: &mut Vec<String>) {
         }
     }
     println!("  cache-on rows answer repeat sentences from the shared result cache\n");
+}
+
+/// E25: the persistent plan catalog — cold arrangement construction vs a
+/// warm catalog hit. The cold column builds `A(S)` from scratch and
+/// persists it; the warm column reopens the store (a fresh handle, so
+/// every byte comes back off disk through WAL replay and page checksums)
+/// and decodes the persisted arrangement instead of rebuilding it. Both
+/// paths then answer the §5 connectivity sentence, which must agree.
+fn e25_catalog_warm_start(rows: &mut Vec<String>) {
+    use lcdb_core::{ArrangementRegions, PlanCatalog, RegionExtension};
+
+    header("E25", "plan catalog: cold arrangement build vs warm store hit");
+    println!(
+        "  {:>3} {:>7} {:>12} {:>12} {:>8}",
+        "k", "faces", "cold_us", "warm_us", "speedup"
+    );
+    for k in [2usize, 4, 6] {
+        let dir = std::env::temp_dir().join(format!("lcdb-e25-{}-{}", std::process::id(), k));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = Database::new();
+        db.insert("S", boxes(k));
+
+        // Cold: build the arrangement, persist it, checkpoint the store.
+        let t = Instant::now();
+        let regions = ArrangementRegions::try_new(db.clone(), "S", &experiment_budget())
+            .expect("arrangement build succeeds");
+        let cold_us = t.elapsed().as_micros();
+        let catalog = PlanCatalog::open(&dir).expect("store opens");
+        catalog.save_extension(&regions).expect("extension persists");
+        catalog.checkpoint().expect("checkpoint succeeds");
+        let entries = catalog.stat().entries;
+        drop(catalog);
+        let ext_cold = RegionExtension::from_arrangement_regions(regions);
+        let faces = ext_cold.num_regions();
+        let cold_verdict = Evaluator::new(&ext_cold).eval_sentence(&queries::connectivity());
+
+        // Warm: a fresh process-equivalent handle loads the blob back.
+        let t = Instant::now();
+        let catalog = PlanCatalog::open(&dir).expect("store reopens");
+        let regions = catalog
+            .load_extension(&db, "S")
+            .expect("store read succeeds")
+            .expect("persisted extension found");
+        let warm_us = t.elapsed().as_micros();
+        let ext_warm = RegionExtension::from_arrangement_regions(regions);
+        assert_eq!(ext_warm.num_regions(), faces, "warm region census differs");
+        let warm_verdict = Evaluator::new(&ext_warm).eval_sentence(&queries::connectivity());
+        assert_eq!(cold_verdict, warm_verdict, "warm verdict differs");
+
+        let speedup = cold_us as f64 / warm_us.max(1) as f64;
+        println!(
+            "  {:>3} {:>7} {:>12} {:>12} {:>8.2}",
+            k, faces, cold_us, warm_us, speedup
+        );
+        let row = format!(
+            "{{\"experiment\":\"E25\",\"k\":{},\"faces\":{},\"store_entries\":{},\"cold_build_us\":{},\"warm_load_us\":{},\"speedup\":{:.3},\"verdict\":{}}}",
+            k, faces, entries, cold_us, warm_us, speedup, cold_verdict
+        );
+        println!("  BENCH {}", row);
+        rows.push(row);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!("  warm rows decode the persisted arrangement instead of re-running construction\n");
 }

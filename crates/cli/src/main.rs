@@ -52,9 +52,9 @@
 //! starts from. Drive it with the bundled `lcdb-load` generator.
 
 use lcdb_core::{
-    empty_checkpoint, explain_query, parse_regformula, queries, Decomposition, EvalBudget,
-    EvalError, EvalOutcome, EvalStats, Evaluator, JsonlTracer, Pool, ProfEntry, Quarantine,
-    RegFormula, RegionExtension, Snapshot, TraceHandle,
+    empty_checkpoint, explain_query, parse_regformula, queries, ArrangementRegions, Decomposition,
+    EvalBudget, EvalError, EvalOutcome, EvalStats, Evaluator, JsonlTracer, Pool, ProfEntry,
+    Quarantine, RegFormula, RegionExtension, Snapshot, TraceHandle,
 };
 use lcdb_logic::{parse_formula, Database, Relation};
 use lcdb_plan::PlanId;
@@ -91,6 +91,11 @@ struct Limits {
     /// Print the metrics-registry dump after each evaluation command
     /// (`--metrics`).
     metrics: bool,
+    /// Root of the persistent plan catalog (`--store DIR`): completed
+    /// arrangements are looked up there before being rebuilt, and saved
+    /// there after construction. Also the default directory for the
+    /// `store` subcommand and `serve`.
+    store_dir: Option<PathBuf>,
 }
 
 impl Limits {
@@ -283,6 +288,11 @@ struct Shell {
     /// `--trace FILE` was given, otherwise disabled (the metrics registry
     /// stays live either way, for `--metrics`).
     trace: TraceHandle,
+    /// Persistent plan catalog (`--store DIR`): arrangement extensions are
+    /// warm-loaded from here before being rebuilt, persisted after a fresh
+    /// build, and invalidated when `rel` redefines a relation. Store
+    /// failures degrade to recomputation — they never fail a command.
+    catalog: Option<lcdb_core::PlanCatalog>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -308,6 +318,19 @@ impl Shell {
             },
             None => TraceHandle::disabled(),
         };
+        let catalog = limits.store_dir.as_ref().and_then(|dir| {
+            match lcdb_core::PlanCatalog::open(dir) {
+                Ok(cat) => Some(cat),
+                Err(e) => {
+                    eprintln!(
+                        "warning: cannot open store '{}': {} (persistence disabled)",
+                        dir.display(),
+                        e
+                    );
+                    None
+                }
+            }
+        });
         Shell {
             db: Database::new(),
             spatial: None,
@@ -317,6 +340,7 @@ impl Shell {
             ext: None,
             exit_code: 0,
             trace,
+            catalog,
         }
     }
 
@@ -328,13 +352,36 @@ impl Shell {
                 )
             })?;
             let ext = match self.decomposition {
-                DecompositionKind::Arrangement => RegionExtension::try_arrangement_db_traced(
-                    self.db.clone(),
-                    &spatial,
-                    budget,
-                    &self.pool,
-                    &self.trace,
-                )?,
+                DecompositionKind::Arrangement => {
+                    // Warm path: a previous process persisted this exact
+                    // arrangement (same database fingerprint) — reuse it
+                    // instead of re-running the construction. A store
+                    // error (corrupt blob, IO) falls through to a rebuild.
+                    let warm = self.catalog.as_ref().and_then(|cat| {
+                        cat.load_extension(&self.db, &spatial).ok().flatten()
+                    });
+                    match warm {
+                        Some(regions) => RegionExtension::from_arrangement_regions(regions),
+                        None => {
+                            let regions = ArrangementRegions::try_new_traced(
+                                self.db.clone(),
+                                &spatial,
+                                budget,
+                                &self.pool,
+                                &self.trace,
+                            )?;
+                            if let Some(cat) = &self.catalog {
+                                if let Err(e) = cat
+                                    .save_extension(&regions)
+                                    .and_then(|()| cat.checkpoint())
+                                {
+                                    eprintln!("warning: store write failed: {}", e);
+                                }
+                            }
+                            RegionExtension::from_arrangement_regions(regions)
+                        }
+                    }
+                }
                 DecompositionKind::Nc1 => {
                     RegionExtension::try_nc1_db(self.db.clone(), &spatial, budget)?
                 }
@@ -503,6 +550,7 @@ impl Shell {
                 writeln!(out, "  --trace FILE           write a JSONL structured trace of every command")?;
                 writeln!(out, "  --profile              print a per-plan-node self-time table after evaluations")?;
                 writeln!(out, "  --metrics              print the metrics-registry dump after evaluations")?;
+                writeln!(out, "  --store DIR            persist arrangements across runs (see `lcdb store --help`)")?;
             }
             "rel" => match parse_rel_definition(rest) {
                 Ok((name, vars, formula)) => {
@@ -510,8 +558,21 @@ impl Shell {
                     if self.spatial.is_none() {
                         self.spatial = Some(name.clone());
                     }
+                    // A *changed* definition invalidates every persisted
+                    // entry computed against the old one. Re-issuing an
+                    // identical `rel` line (the warm-start pattern: every
+                    // script re-states its database) must not — the
+                    // persisted arrangement is still exactly right.
+                    let redefined = self.db.relation(&name).is_some_and(|old| *old != rel);
                     self.db.insert(name.clone(), rel);
                     self.ext = None;
+                    if redefined {
+                        if let Some(cat) = &self.catalog {
+                            if let Err(e) = cat.invalidate_relation(&name) {
+                                eprintln!("warning: store invalidation failed: {}", e);
+                            }
+                        }
+                    }
                     writeln!(out, "defined {}", name)?;
                 }
                 Err(e) => {
@@ -755,6 +816,9 @@ fn parse_limit_flags(args: &[String]) -> Result<(Limits, Vec<String>), String> {
             "--metrics" => {
                 limits.metrics = true;
             }
+            "--store" => {
+                limits.store_dir = Some(PathBuf::from(value(&mut it)?));
+            }
             "--threads" => {
                 let v = value(&mut it)?;
                 limits.threads = Some(
@@ -766,6 +830,107 @@ fn parse_limit_flags(args: &[String]) -> Result<(Limits, Vec<String>), String> {
         }
     }
     Ok((limits, rest))
+}
+
+const STORE_USAGE: &str = "\
+usage: lcdb store <init|stat|verify|compact> [DIR]
+
+Maintains the WAL-durable plan catalog used by `--store DIR` (shell) and
+`lcdb serve --store DIR`. DIR falls back to the shared `--store` flag
+when omitted.
+
+  init      create an empty store (error if one already exists)
+  stat      print catalog, page, WAL and buffer-pool statistics
+  verify    checksum every page and reassemble every entry; exit 1 on damage
+  compact   rewrite live blobs contiguously and drop free pages";
+
+/// `lcdb store <action> [DIR]`: offline maintenance of a plan catalog.
+/// Returns `Err("")` to request the usage text without an error banner.
+fn run_store(limits: &Limits, args: &[String]) -> Result<(), String> {
+    use lcdb_store::{Store, StoreOptions};
+    let mut it = args.iter();
+    let action = match it.next().map(String::as_str) {
+        None | Some("--help") | Some("-h") => return Err(String::new()),
+        Some(a) => a.to_string(),
+    };
+    let dir = it
+        .next()
+        .map(PathBuf::from)
+        .or_else(|| limits.store_dir.clone())
+        .ok_or_else(|| "store needs a directory (positional DIR or --store DIR)".to_string())?;
+    if let Some(extra) = it.next() {
+        return Err(format!("unexpected argument '{}'", extra));
+    }
+    let open = |dir: &std::path::Path| -> Result<Store, String> {
+        if !Store::exists(dir) {
+            return Err(format!(
+                "no store at {} (run `lcdb store init {}`)",
+                dir.display(),
+                dir.display()
+            ));
+        }
+        Store::open(dir, StoreOptions::default()).map_err(|e| e.to_string())
+    };
+    match action.as_str() {
+        "init" => {
+            if Store::exists(&dir) {
+                return Err(format!("store already exists at {}", dir.display()));
+            }
+            Store::init(&dir).map_err(|e| e.to_string())?;
+            println!("initialized empty store at {}", dir.display());
+        }
+        "stat" => {
+            let store = open(&dir)?;
+            let st = store.stat();
+            println!("store {}", dir.display());
+            println!("  entries     {}", st.entries);
+            println!(
+                "  pages       {} ({} bytes, {} free, {} quarantined)",
+                st.pages, st.pages_bytes, st.free_pages, st.quarantined
+            );
+            let torn = st
+                .torn_at
+                .map(|o| format!(", torn tail truncated at byte {}", o))
+                .unwrap_or_default();
+            println!(
+                "  wal         {} bytes (next lsn {}, {} record(s) replayed on open{})",
+                st.wal_bytes, st.next_lsn, st.replayed, torn
+            );
+            println!(
+                "  pool        {} resident, {} hits, {} misses",
+                st.pool_resident, st.pool_hits, st.pool_misses
+            );
+        }
+        "verify" => {
+            let mut store = open(&dir)?;
+            let rep = store.verify().map_err(|e| e.to_string())?;
+            println!(
+                "verified {} entr(ies) over {} page(s) ({} hole(s))",
+                rep.entries, rep.pages, rep.holes
+            );
+            for p in &rep.corrupt_pages {
+                println!("  corrupt page {}", p);
+            }
+            for (key, err) in &rep.bad_entries {
+                println!("  bad entry {}: {}", key, err);
+            }
+            if !rep.ok {
+                return Err(format!(
+                    "verification failed: {} corrupt page(s), {} bad entr(ies)",
+                    rep.corrupt_pages.len(),
+                    rep.bad_entries.len()
+                ));
+            }
+            println!("ok");
+        }
+        "compact" => {
+            let mut store = open(&dir)?;
+            let (before, after) = store.compact().map_err(|e| e.to_string())?;
+            println!("compacted {} -> {} page(s)", before, after);
+        }
+        other => return Err(format!("unknown store action '{}'", other)),
+    }
+    Ok(())
 }
 
 const SERVE_USAGE: &str = "\
@@ -783,6 +948,8 @@ serve options:
   --workers N           dispatch worker threads             [default: 2]
   --cache N             result-cache entries (0 disables)   [default: 256]
   --idle-secs N         drop idle connections after N s     [default: 30]
+  --store DIR           persistent plan catalog: warm-start results and
+                        arrangements across restarts        [default: off]
 
 shared flags (parsed before the subcommand):
   --threads N           lcdb-exec pool width per evaluation
@@ -805,6 +972,7 @@ fn parse_serve_flags(
     if let Some(t) = limits.timeout {
         cfg.default_timeout = t;
     }
+    cfg.store_dir = limits.store_dir.clone();
     let mut script: Option<String> = None;
     let mut it = args.iter();
     let need = |it: &mut std::slice::Iter<String>, flag: &str| {
@@ -835,6 +1003,7 @@ fn parse_serve_flags(
                     .map_err(|_| format!("bad --idle-secs value '{}'", v))?;
                 cfg.idle_timeout = Duration::from_secs(secs);
             }
+            "--store" => cfg.store_dir = Some(PathBuf::from(need(&mut it, "--store")?)),
             "--help" | "-h" => return Err(String::new()),
             other if !other.starts_with('-') && script.is_none() => {
                 script = Some(other.to_string())
@@ -905,6 +1074,20 @@ fn main() -> std::process::ExitCode {
     // process, so integration tests can provoke exit codes 8 and 9.
     #[cfg(feature = "faults")]
     let _fault_guard = lcdb_budget::faults::FaultPlan::from_env().map(|p| p.arm());
+
+    if args.first().map(String::as_str) == Some("store") {
+        return match run_store(&limits, &args[1..]) {
+            Ok(()) => std::process::ExitCode::SUCCESS,
+            Err(msg) if msg.is_empty() => {
+                println!("{}", STORE_USAGE);
+                std::process::ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {}\n{}", msg, STORE_USAGE);
+                std::process::ExitCode::from(1)
+            }
+        };
+    }
 
     if args.first().map(String::as_str) == Some("serve") {
         return match run_serve(&limits, &args[1..]) {

@@ -30,6 +30,7 @@ mod error;
 mod evaluator;
 pub mod lower;
 mod parser;
+pub mod persist;
 pub mod queries;
 mod region;
 mod regfo;
@@ -47,6 +48,7 @@ pub use lcdb_trace::{
     NullTracer, TraceHandle, TraceSummary, Tracer,
 };
 pub use parser::parse_regformula;
+pub use persist::{database_fingerprint, PlanCatalog};
 pub use regfo::{FixMode, RegFormula, RegionVar, SetVar};
 pub use region::{ArrangementRegions, Decomposition, Nc1Regions, RegionData, RegionExtension};
 

@@ -1,0 +1,441 @@
+//! Persistent plan catalog: durable reuse of expensive evaluation artifacts
+//! across processes, backed by [`lcdb_store`].
+//!
+//! Every process start previously rebuilt the region extension — an `O(n^d)`
+//! hyperplane arrangement (Theorem 3.1) — and re-ran every fixpoint from
+//! stage zero. The [`PlanCatalog`] gives those artifacts a crash-safe home:
+//!
+//! * **arrangements** ([`lcdb_store::CLASS_ARRANGEMENT`]) keyed by the
+//!   database fingerprint, with the database's relation names as dependency
+//!   tags, so a redefined relation invalidates exactly the extensions built
+//!   over it;
+//! * **query results** ([`lcdb_store::CLASS_RESULT`]) keyed by
+//!   `(plan fingerprint, database fingerprint)` — the same key the server's
+//!   in-memory result cache uses, so a warm start serves µs-scale catalog
+//!   fetches instead of ms-scale recomputes;
+//! * **fixpoint snapshots** ([`lcdb_store::CLASS_FIXPOINT`]): the
+//!   [`Snapshot`] bytes of a completed or aborted run, resumable via
+//!   [`crate::Evaluator::resume_from`].
+//!
+//! All blobs ride the store's WAL, page checksums, and quarantine: a torn or
+//! bit-flipped catalog entry is reported as a typed [`StoreError`] and the
+//! caller falls back to recomputing — never to serving corrupt state.
+
+use crate::region::ArrangementRegions;
+use lcdb_geom::{Arrangement, Face, Hyperplane};
+use lcdb_logic::Database;
+use lcdb_recover::{fingerprint_str, Snapshot};
+use lcdb_store::codec::{put_str, put_u64, put_u8, Cursor};
+use lcdb_store::{
+    EntryKey, Store, StoreError, StoreOptions, StoreStat, VerifyReport, CLASS_ARRANGEMENT,
+    CLASS_FIXPOINT, CLASS_RESULT,
+};
+use std::path::Path;
+use std::str::FromStr;
+use std::sync::{Mutex, MutexGuard};
+
+/// Fingerprint of a database: every relation's name, variables and defining
+/// formula, plus the designated spatial relation. Process-stable (FNV-1a
+/// over the canonical rendering), so catalog keys survive restarts.
+pub fn database_fingerprint(db: &Database, spatial: Option<&str>) -> u64 {
+    let mut desc = String::new();
+    for (name, rel) in db.relations() {
+        desc.push_str(name);
+        desc.push_str(&rel.to_string());
+        desc.push(';');
+    }
+    desc.push_str("|spatial=");
+    desc.push_str(spatial.unwrap_or(""));
+    fingerprint_str(&desc)
+}
+
+/// Version tag of the arrangement blob layout.
+const ARR_VERSION: u8 = 1;
+
+fn malformed(message: String) -> StoreError {
+    StoreError::Malformed {
+        context: "arrangement blob",
+        message,
+    }
+}
+
+/// Serialize an arrangement to the catalog blob layout: exact `Rational`
+/// renderings for hyperplane coefficients and witnesses, one byte per sign.
+pub fn encode_arrangement(a: &Arrangement) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u8(&mut out, ARR_VERSION);
+    put_u64(&mut out, a.ambient_dim() as u64);
+    put_u64(&mut out, a.hyperplanes().len() as u64);
+    for h in a.hyperplanes() {
+        put_u64(&mut out, h.coeffs().len() as u64);
+        for c in h.coeffs() {
+            put_str(&mut out, &c.to_string());
+        }
+        put_str(&mut out, &h.rhs().to_string());
+    }
+    put_u64(&mut out, a.faces().len() as u64);
+    for f in a.faces() {
+        put_u64(&mut out, f.signs.len() as u64);
+        for s in &f.signs {
+            put_u8(
+                &mut out,
+                match s {
+                    lcdb_arith::Sign::Negative => 0,
+                    lcdb_arith::Sign::Zero => 1,
+                    lcdb_arith::Sign::Positive => 2,
+                },
+            );
+        }
+        put_u64(&mut out, f.dim as u64);
+        put_u64(&mut out, f.witness.len() as u64);
+        for w in &f.witness {
+            put_str(&mut out, &w.to_string());
+        }
+        put_u8(&mut out, u8::from(f.bounded));
+    }
+    out
+}
+
+fn rational(cur: &mut Cursor<'_>, context: &'static str) -> Result<lcdb_arith::Rational, StoreError> {
+    let s = cur.string(context)?;
+    lcdb_arith::Rational::from_str(&s)
+        .map_err(|_| malformed(format!("unparseable rational '{s}' in {context}")))
+}
+
+/// Decode an arrangement blob, validating structure (the store has already
+/// verified the bytes' checksum). The sign-vector index is rebuilt; LP
+/// feasibility is **not** re-run.
+pub fn decode_arrangement(bytes: &[u8]) -> Result<Arrangement, StoreError> {
+    let mut cur = Cursor::new(bytes, "arrangement blob");
+    let version = cur.u8("blob version")?;
+    if version != ARR_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            file: "arrangement blob",
+            found: u32::from(version),
+            supported: u32::from(ARR_VERSION),
+        });
+    }
+    let dim = cur.u64("ambient dimension")? as usize;
+    let nh = cur.len_prefix("hyperplane count")?;
+    let mut hyperplanes = Vec::with_capacity(nh);
+    for i in 0..nh {
+        let nc = cur.len_prefix("coefficient count")?;
+        let mut coeffs = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            coeffs.push(rational(&mut cur, "hyperplane coefficient")?);
+        }
+        let rhs = rational(&mut cur, "hyperplane rhs")?;
+        if coeffs.iter().all(|c| c.is_zero()) {
+            return Err(malformed(format!("hyperplane {i} has a zero normal")));
+        }
+        hyperplanes.push(Hyperplane::new(coeffs, rhs));
+    }
+    let nf = cur.len_prefix("face count")?;
+    let mut faces = Vec::with_capacity(nf);
+    for id in 0..nf {
+        let ns = cur.len_prefix("sign count")?;
+        let mut signs = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            signs.push(match cur.u8("sign")? {
+                0 => lcdb_arith::Sign::Negative,
+                1 => lcdb_arith::Sign::Zero,
+                2 => lcdb_arith::Sign::Positive,
+                other => return Err(malformed(format!("unknown sign tag {other}"))),
+            });
+        }
+        let fdim = cur.u64("face dimension")? as usize;
+        let nw = cur.len_prefix("witness length")?;
+        let mut witness = Vec::with_capacity(nw);
+        for _ in 0..nw {
+            witness.push(rational(&mut cur, "witness coordinate")?);
+        }
+        let bounded = match cur.u8("bounded flag")? {
+            0 => false,
+            1 => true,
+            other => return Err(malformed(format!("unknown bounded flag {other}"))),
+        };
+        faces.push(Face {
+            id,
+            signs,
+            dim: fdim,
+            witness,
+            bounded,
+        });
+    }
+    cur.done("arrangement blob")?;
+    Arrangement::from_parts(dim, hyperplanes, faces).map_err(malformed)
+}
+
+/// A process-shared handle on the persistent catalog. All methods take
+/// `&self`; the store behind the mutex serializes access, so a server's
+/// sessions and a CLI shell can share one handle.
+pub struct PlanCatalog {
+    store: Mutex<Store>,
+}
+
+impl PlanCatalog {
+    /// Open the catalog at `dir`, initializing a fresh store if none exists.
+    pub fn open(dir: &Path) -> Result<PlanCatalog, StoreError> {
+        let store = if Store::exists(dir) {
+            Store::open(dir, StoreOptions::default())?
+        } else {
+            Store::init(dir)?
+        };
+        Ok(PlanCatalog {
+            store: Mutex::new(store),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Store> {
+        self.store.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn extension_key(db_fp: u64, spatial: &str) -> EntryKey {
+        EntryKey {
+            class: CLASS_ARRANGEMENT,
+            plan_fp: 0,
+            db_fp,
+            name: format!("ext:{spatial}"),
+        }
+    }
+
+    /// Load a previously persisted region extension for `db`, rebuilding the
+    /// [`ArrangementRegions`] around the live database. Returns `Ok(None)`
+    /// on a catalog miss; corrupt blobs surface as typed errors (the entry
+    /// stays quarantined) and the caller recomputes.
+    pub fn load_extension(
+        &self,
+        db: &Database,
+        spatial: &str,
+    ) -> Result<Option<ArrangementRegions>, StoreError> {
+        let db_fp = database_fingerprint(db, Some(spatial));
+        let key = Self::extension_key(db_fp, spatial);
+        let Some(bytes) = self.lock().get(&key)? else {
+            return Ok(None);
+        };
+        let arrangement = decode_arrangement(&bytes)?;
+        ArrangementRegions::from_parts(db.clone(), spatial, arrangement)
+            .map(Some)
+            .map_err(|e| malformed(e.to_string()))
+    }
+
+    /// Persist a completed region extension. Dependency tags are the
+    /// database's relation names, so redefining any of them invalidates the
+    /// entry.
+    pub fn save_extension(&self, regions: &ArrangementRegions) -> Result<(), StoreError> {
+        use crate::region::Decomposition;
+        let db = regions.database();
+        let spatial = regions.spatial_relation();
+        let db_fp = database_fingerprint(db, Some(spatial));
+        let deps: Vec<String> = db.relations().map(|(n, _)| n.clone()).collect();
+        let blob = encode_arrangement(regions.arrangement());
+        self.lock()
+            .put(Self::extension_key(db_fp, spatial), &deps, &blob)
+    }
+
+    /// Look up a persisted query result by `(plan fingerprint, database
+    /// fingerprint)`. The payload is whatever the caller stored — the server
+    /// stores rendered response text.
+    pub fn load_result(&self, plan_fp: u64, db_fp: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        self.lock().get(&EntryKey {
+            class: CLASS_RESULT,
+            plan_fp,
+            db_fp,
+            name: "result".into(),
+        })
+    }
+
+    /// Persist a query result under `(plan fingerprint, database
+    /// fingerprint)` with the given relation-name dependency tags.
+    pub fn save_result(
+        &self,
+        plan_fp: u64,
+        db_fp: u64,
+        deps: &[String],
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
+        self.lock().put(
+            EntryKey {
+                class: CLASS_RESULT,
+                plan_fp,
+                db_fp,
+                name: "result".into(),
+            },
+            deps,
+            payload,
+        )
+    }
+
+    /// Load a fixpoint snapshot for `(query fingerprint, database
+    /// fingerprint)`, ready for [`crate::Evaluator::resume_from`].
+    pub fn load_fixpoint(
+        &self,
+        query_fp: u64,
+        db_fp: u64,
+    ) -> Result<Option<Snapshot>, StoreError> {
+        let Some(bytes) = self.lock().get(&EntryKey {
+            class: CLASS_FIXPOINT,
+            plan_fp: query_fp,
+            db_fp,
+            name: "fixpoint".into(),
+        })?
+        else {
+            return Ok(None);
+        };
+        Snapshot::decode(&bytes)
+            .map(Some)
+            .map_err(|e| StoreError::Malformed {
+                context: "fixpoint blob",
+                message: e.to_string(),
+            })
+    }
+
+    /// Persist a fixpoint snapshot (from [`crate::Evaluator::checkpoint`])
+    /// keyed by its own query fingerprint and the database fingerprint.
+    pub fn save_fixpoint(
+        &self,
+        snapshot: &Snapshot,
+        db_fp: u64,
+        deps: &[String],
+    ) -> Result<(), StoreError> {
+        self.lock().put(
+            EntryKey {
+                class: CLASS_FIXPOINT,
+                plan_fp: snapshot.fingerprint(),
+                db_fp,
+                name: "fixpoint".into(),
+            },
+            deps,
+            &snapshot.encode(),
+        )
+    }
+
+    /// Invalidate every catalog entry depending on `name` (a redefined or
+    /// dropped relation). One atomic WAL record covers the whole victim set.
+    /// Returns how many entries were dropped.
+    pub fn invalidate_relation(&self, name: &str) -> Result<usize, StoreError> {
+        self.lock().invalidate_dep(name)
+    }
+
+    /// Checkpoint the store: flush pages, snapshot the catalog, reset the WAL.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        self.lock().checkpoint()
+    }
+
+    /// Storage statistics.
+    pub fn stat(&self) -> StoreStat {
+        self.lock().stat()
+    }
+
+    /// Full verification sweep over pages and entries.
+    pub fn verify(&self) -> Result<VerifyReport, StoreError> {
+        self.lock().verify()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::region::Decomposition;
+    use lcdb_logic::{parse_formula, Relation};
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let f = parse_formula("(x >= 0 and y >= 0 and x + y <= 2) or (x = y)").unwrap();
+        db.insert("S", Relation::new(vec!["x".into(), "y".into()], &f));
+        let g = parse_formula("x - y > 1").unwrap();
+        db.insert("T", Relation::new(vec!["x".into(), "y".into()], &g));
+        db
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lcdb-persist-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn arrangement_blob_roundtrips_exactly() {
+        let db = sample_db();
+        let regions = ArrangementRegions::new(db, "S");
+        let a = regions.arrangement();
+        let blob = encode_arrangement(a);
+        let b = decode_arrangement(&blob).unwrap();
+        assert_eq!(a.ambient_dim(), b.ambient_dim());
+        assert_eq!(a.hyperplanes(), b.hyperplanes());
+        assert_eq!(a.num_faces(), b.num_faces());
+        for (fa, fb) in a.faces().iter().zip(b.faces()) {
+            assert_eq!(fa.id, fb.id);
+            assert_eq!(fa.signs, fb.signs);
+            assert_eq!(fa.dim, fb.dim);
+            assert_eq!(fa.witness, fb.witness);
+            assert_eq!(fa.bounded, fb.bounded);
+        }
+        // The rebuilt index answers point location identically.
+        let p = vec![lcdb_arith::int(1), lcdb_arith::int(1)];
+        assert_eq!(a.locate(&p), b.locate(&p));
+    }
+
+    #[test]
+    fn every_blob_truncation_is_typed() {
+        let db = sample_db();
+        let regions = ArrangementRegions::new(db, "S");
+        let blob = encode_arrangement(regions.arrangement());
+        for n in 0..blob.len() {
+            assert!(
+                decode_arrangement(&blob[..n]).is_err(),
+                "prefix of {n} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_roundtrips_extension_and_invalidates_on_define() {
+        let dir = scratch("ext");
+        let cat = PlanCatalog::open(&dir).unwrap();
+        let db = sample_db();
+        assert!(cat.load_extension(&db, "S").unwrap().is_none());
+
+        let built = ArrangementRegions::new(db.clone(), "S");
+        cat.save_extension(&built).unwrap();
+        let warm = cat.load_extension(&db, "S").unwrap().expect("catalog hit");
+        assert_eq!(warm.num_regions(), built.num_regions());
+        assert_eq!(warm.spatial_relation(), "S");
+        for id in warm.region_ids() {
+            assert_eq!(warm.region(id).dim, built.region(id).dim);
+            assert!(warm.subset_of(id, "S") == built.subset_of(id, "S"));
+        }
+
+        // Redefining a relation the extension was built over evicts it.
+        assert_eq!(cat.invalidate_relation("T").unwrap(), 1);
+        assert!(cat.load_extension(&db, "S").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn catalog_results_and_fixpoints_survive_reopen() {
+        let dir = scratch("res");
+        {
+            let cat = PlanCatalog::open(&dir).unwrap();
+            cat.save_result(7, 9, &["S".into()], b"TRUE").unwrap();
+            let snap = Snapshot::Fixpoint(lcdb_recover::FixpointSnapshot {
+                query_fingerprint: 42,
+                stats: Default::default(),
+                entries: Vec::new(),
+            });
+            cat.save_fixpoint(&snap, 9, &["S".into()]).unwrap();
+            cat.checkpoint().unwrap();
+        }
+        let cat = PlanCatalog::open(&dir).unwrap();
+        assert_eq!(cat.load_result(7, 9).unwrap().as_deref(), Some(&b"TRUE"[..]));
+        assert_eq!(cat.load_result(7, 10).unwrap(), None);
+        let snap = cat.load_fixpoint(42, 9).unwrap().expect("fixpoint hit");
+        assert_eq!(snap.fingerprint(), 42);
+        // Invalidation drops both dependents atomically.
+        assert_eq!(cat.invalidate_relation("S").unwrap(), 2);
+        assert!(cat.load_result(7, 9).unwrap().is_none());
+        assert!(cat.load_fixpoint(42, 9).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

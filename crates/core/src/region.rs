@@ -160,6 +160,51 @@ impl ArrangementRegions {
         })
     }
 
+    /// Reassemble a region structure around an arrangement that was built
+    /// earlier (e.g. decoded from the persistent plan catalog), skipping the
+    /// `O(n^d)` rebuild. The caller asserts the arrangement was derived from
+    /// this database's hyperplanes; the per-region metadata is re-derived
+    /// from the faces exactly as [`ArrangementRegions::try_new`] does.
+    ///
+    /// Returns an error if the spatial relation is missing or its arity does
+    /// not match the arrangement's ambient dimension.
+    pub fn from_parts(
+        db: Database,
+        spatial: &str,
+        arrangement: Arrangement,
+    ) -> Result<Self, EvalError> {
+        let d = db
+            .relation(spatial)
+            .ok_or_else(|| {
+                EvalError::invalid_query(format!("unknown spatial relation '{}'", spatial))
+            })?
+            .arity();
+        if d != arrangement.ambient_dim() {
+            return Err(EvalError::invalid_query(format!(
+                "arrangement has ambient dimension {} but spatial relation '{}' has arity {}",
+                arrangement.ambient_dim(),
+                spatial,
+                d
+            )));
+        }
+        let data = arrangement
+            .faces()
+            .iter()
+            .map(|f| RegionData {
+                id: f.id,
+                dim: f.dim,
+                bounded: f.bounded,
+                witness: f.witness.clone(),
+            })
+            .collect();
+        Ok(ArrangementRegions {
+            db,
+            spatial: spatial.to_string(),
+            arrangement,
+            data,
+        })
+    }
+
     /// The underlying arrangement.
     pub fn arrangement(&self) -> &Arrangement {
         &self.arrangement
@@ -422,6 +467,14 @@ impl RegionExtension {
         let mut db = Database::new();
         db.insert("S", relation);
         Self::try_arrangement_db(db, "S", budget)
+    }
+
+    /// Wrap an already-built arrangement region structure — e.g. one
+    /// reassembled from the persistent plan catalog — without rebuilding.
+    pub fn from_arrangement_regions(regions: ArrangementRegions) -> Self {
+        RegionExtension {
+            inner: Box::new(regions),
+        }
     }
 
     /// Region extension over the arrangement, general database form.

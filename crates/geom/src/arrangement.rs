@@ -239,6 +239,67 @@ impl Arrangement {
         })
     }
 
+    /// Reassemble an arrangement from previously materialized parts (e.g. a
+    /// persisted catalog blob), rebuilding the sign-vector index. This is the
+    /// inverse of reading [`Arrangement::hyperplanes`] and
+    /// [`Arrangement::faces`]; it does **not** re-run the LP feasibility
+    /// probes, so the caller is responsible for the parts having come from a
+    /// real build. Structural invariants are still checked: face ids must be
+    /// sequential, sign vectors must match the hyperplane count, witnesses
+    /// must have ambient dimension, face dims must be `≤ dim`, and sign
+    /// vectors must be pairwise distinct.
+    pub fn from_parts(
+        dim: usize,
+        hyperplanes: Vec<Hyperplane>,
+        faces: Vec<Face>,
+    ) -> Result<Self, String> {
+        if dim == 0 {
+            return Err("ambient dimension must be positive".into());
+        }
+        for (i, h) in hyperplanes.iter().enumerate() {
+            if h.dim() != dim {
+                return Err(format!(
+                    "hyperplane {i} has dimension {} in an ambient space of dimension {dim}",
+                    h.dim()
+                ));
+            }
+        }
+        let mut index = HashMap::with_capacity(faces.len());
+        for (i, f) in faces.iter().enumerate() {
+            if f.id != i {
+                return Err(format!("face at position {i} carries id {}", f.id));
+            }
+            if f.signs.len() != hyperplanes.len() {
+                return Err(format!(
+                    "face {i} has {} signs for {} hyperplanes",
+                    f.signs.len(),
+                    hyperplanes.len()
+                ));
+            }
+            if f.witness.len() != dim {
+                return Err(format!(
+                    "face {i} witness has dimension {} in ambient dimension {dim}",
+                    f.witness.len()
+                ));
+            }
+            if f.dim > dim {
+                return Err(format!(
+                    "face {i} claims dimension {} above ambient dimension {dim}",
+                    f.dim
+                ));
+            }
+            if index.insert(f.signs.clone(), i).is_some() {
+                return Err(format!("face {i} duplicates another face's sign vector"));
+            }
+        }
+        Ok(Arrangement {
+            dim,
+            hyperplanes,
+            faces,
+            index,
+        })
+    }
+
     /// Build the arrangement `A(S)` induced by a relation's representation.
     pub fn from_relation(relation: &Relation) -> Self {
         match Arrangement::try_from_relation(relation, &EvalBudget::unlimited()) {

@@ -110,6 +110,12 @@ pub enum RecoverError {
     Truncated {
         /// What was being read when the bytes ran out.
         context: &'static str,
+        /// Absolute byte offset within the snapshot file at which the bytes
+        /// ran out.
+        offset: u64,
+        /// Which record was being decoded: `"header"` before the payload
+        /// kind tag is known, then `"fixpoint"` or `"datalog"`.
+        kind: &'static str,
     },
     /// Structurally invalid payload: unknown kind tag, non-UTF-8 string,
     /// trailing bytes, or an implausible length prefix.
@@ -134,8 +140,15 @@ impl fmt::Display for RecoverError {
                 f,
                 "snapshot checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
             ),
-            RecoverError::Truncated { context } => {
-                write!(f, "snapshot truncated while reading {context}")
+            RecoverError::Truncated {
+                context,
+                offset,
+                kind,
+            } => {
+                write!(
+                    f,
+                    "snapshot truncated at byte offset {offset} while reading {context} in {kind} record"
+                )
             }
             RecoverError::Malformed { message } => write!(f, "malformed snapshot: {message}"),
         }
@@ -292,6 +305,10 @@ pub enum Snapshot {
 const KIND_FIXPOINT: u8 = 1;
 const KIND_DATALOG: u8 = 2;
 
+/// Bytes of fixed header before the payload: magic (8), version (4),
+/// checksum (8), payload length (8).
+const HEADER_LEN: u64 = 28;
+
 const REPR_TEXT: u8 = 0;
 const REPR_PACKED: u8 = 1;
 
@@ -382,14 +399,18 @@ impl Snapshot {
             // Too short to even hold the magic: if what is there matches a
             // magic prefix this is a truncated snapshot, otherwise junk.
             if bytes == &MAGIC[..bytes.len()] {
-                return Err(RecoverError::Truncated { context: "header" });
+                return Err(RecoverError::Truncated {
+                    context: "magic",
+                    offset: bytes.len() as u64,
+                    kind: "header",
+                });
             }
             return Err(RecoverError::BadMagic);
         }
         if bytes[..MAGIC.len()] != MAGIC {
             return Err(RecoverError::BadMagic);
         }
-        let mut cur = Cursor::new(&bytes[MAGIC.len()..]);
+        let mut cur = Cursor::new(&bytes[MAGIC.len()..], MAGIC.len() as u64);
         let version = cur.u32("version")?;
         if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(RecoverError::UnsupportedVersion {
@@ -413,10 +434,14 @@ impl Snapshot {
     }
 
     fn decode_payload(payload: &[u8], version: u32) -> Result<Self, RecoverError> {
-        let mut cur = Cursor::new(payload);
+        // The payload begins right after the fixed 28-byte header (magic,
+        // version, checksum, payload length), so offsets reported from here
+        // are absolute positions within the snapshot file.
+        let mut cur = Cursor::new(payload, HEADER_LEN);
         let kind = cur.u8("kind tag")?;
         let snap = match kind {
             KIND_FIXPOINT => {
+                cur.kind = "fixpoint";
                 let query_fingerprint = cur.u64("query fingerprint")?;
                 let stats = get_stats(&mut cur)?;
                 let n = cur.len_prefix("entry count")?;
@@ -459,6 +484,7 @@ impl Snapshot {
                 })
             }
             KIND_DATALOG => {
+                cur.kind = "datalog";
                 let program_fingerprint = cur.u64("program fingerprint")?;
                 let rounds = cur.u64("round count")?;
                 let n = cur.len_prefix("relation count")?;
@@ -651,15 +677,31 @@ fn get_stats(cur: &mut Cursor<'_>) -> Result<PersistedStats, RecoverError> {
 }
 
 /// Bounds-checked little-endian reader; every short read names the field it
-/// was reading so truncation errors are diagnosable.
+/// was reading, the absolute byte offset at which the bytes ran out, and the
+/// record kind being decoded, so truncation errors are diagnosable without a
+/// hex dump.
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Absolute offset of `buf[0]` within the snapshot file.
+    base: u64,
+    /// Record kind being decoded, for error reports.
+    kind: &'static str,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Cursor { buf, pos: 0 }
+    fn new(buf: &'a [u8], base: u64) -> Self {
+        Cursor {
+            buf,
+            pos: 0,
+            base,
+            kind: "header",
+        }
+    }
+
+    /// Absolute offset of the next unread byte within the snapshot file.
+    fn offset(&self) -> u64 {
+        self.base + self.pos as u64
     }
 
     fn is_empty(&self) -> bool {
@@ -672,7 +714,11 @@ impl<'a> Cursor<'a> {
 
     fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], RecoverError> {
         if self.remaining() < n {
-            return Err(RecoverError::Truncated { context });
+            return Err(RecoverError::Truncated {
+                context,
+                offset: self.offset(),
+                kind: self.kind,
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -713,7 +759,11 @@ impl<'a> Cursor<'a> {
 
     fn bytes_exact(&mut self, n: u64, context: &'static str) -> Result<&'a [u8], RecoverError> {
         if n > self.remaining() as u64 {
-            return Err(RecoverError::Truncated { context });
+            return Err(RecoverError::Truncated {
+                context,
+                offset: self.offset(),
+                kind: self.kind,
+            });
         }
         self.take(n as usize, context)
     }
@@ -933,7 +983,81 @@ mod tests {
         let bytes = sample_fixpoint().encode();
         for n in 0..bytes.len() {
             let r = Snapshot::decode(&bytes[..n]);
-            assert!(r.is_err(), "prefix of {n} bytes decoded successfully");
+            match r {
+                Err(RecoverError::Truncated { offset, .. }) => {
+                    // The reported offset must point inside the prefix the
+                    // decoder actually saw.
+                    assert!(
+                        offset <= n as u64,
+                        "prefix of {n} bytes reported truncation at offset {offset}"
+                    );
+                }
+                Err(_) => {}
+                Ok(_) => panic!("prefix of {n} bytes decoded successfully"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_corpus_reports_offset_and_record_kind() {
+        // A corpus of *internally consistent* truncations: chop the payload
+        // at every length and rebuild a valid header (correct length and
+        // checksum) around the prefix, so decoding reaches the payload
+        // decoder instead of failing the outer length check. Every chop must
+        // produce a typed error; every `Truncated` must carry an in-range
+        // byte offset and name the record kind being decoded.
+        for (snap, want_kind) in [
+            (sample_fixpoint(), "fixpoint"),
+            (sample_datalog(), "datalog"),
+            (sample_packed(), "datalog"),
+        ] {
+            let full = snap.encode();
+            let payload = &full[HEADER_LEN as usize..];
+            let mut saw_truncated = 0usize;
+            for n in 0..payload.len() {
+                let prefix = &payload[..n];
+                let mut bytes = Vec::with_capacity(HEADER_LEN as usize + n);
+                bytes.extend_from_slice(&MAGIC);
+                bytes.extend_from_slice(&VERSION.to_le_bytes());
+                bytes.extend_from_slice(&fnv1a64(prefix).to_le_bytes());
+                bytes.extend_from_slice(&(n as u64).to_le_bytes());
+                bytes.extend_from_slice(prefix);
+                match Snapshot::decode(&bytes) {
+                    Ok(_) => panic!("{want_kind}: payload chopped at {n} decoded successfully"),
+                    Err(RecoverError::Truncated {
+                        context,
+                        offset,
+                        kind,
+                    }) => {
+                        saw_truncated += 1;
+                        assert!(!context.is_empty());
+                        // Offsets are absolute: at or past the payload start,
+                        // never past the end of the chopped file.
+                        assert!(
+                            (HEADER_LEN..=HEADER_LEN + n as u64).contains(&offset),
+                            "{want_kind}: chop {n} reported offset {offset}"
+                        );
+                        if n == 0 {
+                            assert_eq!(kind, "header", "kind tag itself missing");
+                        } else {
+                            assert_eq!(
+                                kind, want_kind,
+                                "{want_kind}: chop {n} misreported record kind"
+                            );
+                        }
+                    }
+                    // Some chops land on a length prefix whose declared count
+                    // exceeds the remaining bytes: those are Malformed.
+                    Err(RecoverError::Malformed { .. }) => {}
+                    Err(other) => {
+                        panic!("{want_kind}: chop {n} gave unexpected error {other}")
+                    }
+                }
+            }
+            assert!(
+                saw_truncated > 0,
+                "{want_kind}: corpus produced no Truncated errors"
+            );
         }
     }
 
@@ -1027,7 +1151,11 @@ mod tests {
                 expected: 1,
                 actual: 2,
             },
-            RecoverError::Truncated { context: "payload" },
+            RecoverError::Truncated {
+                context: "payload",
+                offset: 28,
+                kind: "header",
+            },
             RecoverError::Malformed {
                 message: "x".into(),
             },

@@ -46,11 +46,10 @@ use crate::proto::{
     write_frame, FrameReader, OpCode, ProtoError, Request, RespCode, Response,
 };
 use lcdb_core::{
-    explain_query, parse_regformula, query_fingerprint, CancelToken, EvalBudget, EvalError,
-    Evaluator, Pool, RegionExtension, TraceHandle,
+    explain_query, parse_regformula, query_fingerprint, ArrangementRegions, CancelToken,
+    EvalBudget, EvalError, Evaluator, PlanCatalog, Pool, RegionExtension, TraceHandle,
 };
 use lcdb_logic::{parse_formula, Database, Formula, Relation};
-use lcdb_recover::fingerprint_str;
 use lcdb_trace::Counter;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read};
@@ -92,6 +91,12 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// `rel`/`spatial` lines every session's database starts from.
     pub base_db: Vec<String>,
+    /// Directory of the persistent plan catalog (`lcdb-store`). When set,
+    /// the server warm-starts: arrangements and results computed against a
+    /// fingerprint found in the catalog are loaded instead of recomputed,
+    /// and completed evaluations are persisted on the way out. `None`
+    /// disables persistence entirely.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +114,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             cache_capacity: 256,
             base_db: Vec::new(),
+            store_dir: None,
         }
     }
 }
@@ -185,6 +191,11 @@ struct Shared {
     extensions: Mutex<HashMap<u64, Arc<RegionExtension>>>,
     /// Base database every session starts from (pre-parsed once).
     base: (Database, Option<String>),
+    /// Fingerprint of the base database; its cache and extension entries
+    /// are protected from churn by Define-heavy sessions.
+    base_fp: u64,
+    /// Persistent plan catalog for warm starts (None = persistence off).
+    catalog: Option<PlanCatalog>,
     c_accepted: Counter,
     c_shed: Counter,
     c_timeout: Counter,
@@ -194,6 +205,8 @@ struct Shared {
     c_faults: Counter,
     c_cache_hit: Counter,
     c_cache_miss: Counter,
+    /// Results served from the persistent catalog (warm starts).
+    c_store_hit: Counter,
 }
 
 impl Shared {
@@ -262,7 +275,10 @@ impl Shared {
             .queued
     }
 
-    /// Build (or fetch) the region extension for a database snapshot.
+    /// Build (or fetch) the region extension for a database snapshot: the
+    /// in-memory map first, then the persistent catalog (a warm start skips
+    /// the O(n^d) arrangement build), then a fresh build — which is
+    /// persisted for the next process.
     fn extension(
         &self,
         db: &Database,
@@ -279,19 +295,44 @@ impl Shared {
         {
             return Ok(Arc::clone(ext));
         }
-        let ext = Arc::new(RegionExtension::try_arrangement_db_traced(
-            db.clone(),
-            spatial,
-            budget,
-            pool,
-            &self.trace,
-        )?);
+        let regions = match self.catalog.as_ref().and_then(|cat| {
+            // A corrupt or torn catalog blob is a typed error inside the
+            // store (the page is quarantined); fall back to rebuilding.
+            cat.load_extension(db, spatial).unwrap_or_else(|e| {
+                self.trace.mark("server.store", &e.to_string());
+                None
+            })
+        }) {
+            Some(warm) => warm,
+            None => {
+                let built = ArrangementRegions::try_new_traced(
+                    db.clone(),
+                    spatial,
+                    budget,
+                    pool,
+                    &self.trace,
+                )?;
+                if let Some(cat) = &self.catalog {
+                    if let Err(e) = cat.save_extension(&built) {
+                        self.trace.mark("server.store", &e.to_string());
+                    }
+                }
+                built
+            }
+        };
+        let ext = Arc::new(RegionExtension::from_arrangement_regions(regions));
         let mut map = self.extensions.lock().unwrap_or_else(|p| p.into_inner());
         // Crude bound: serving is dominated by a handful of hot databases;
         // when a churn-heavy workload overflows the map, dropping it all
-        // and rebuilding on demand is simpler than LRU bookkeeping.
+        // and rebuilding on demand is simpler than LRU bookkeeping. The
+        // base database's extension is the one entry every session uses, so
+        // it survives the clear.
         if map.len() >= 32 {
+            let base = map.remove(&self.base_fp);
             map.clear();
+            if let Some(base) = base {
+                map.insert(self.base_fp, base);
+            }
         }
         Ok(Arc::clone(map.entry(db_fp).or_insert(ext)))
     }
@@ -309,6 +350,7 @@ impl Shared {
             ("faults", &self.c_faults),
             ("cache_hits", &self.c_cache_hit),
             ("cache_misses", &self.c_cache_miss),
+            ("store_hits", &self.c_store_hit),
         ] {
             s.push_str(name);
             s.push('=');
@@ -329,15 +371,20 @@ impl Shared {
 /// defining formula, plus the designated spatial relation. Process-stable
 /// (FNV-1a over the canonical rendering), so cache keys survive restarts.
 pub fn db_fingerprint(db: &Database, spatial: Option<&str>) -> u64 {
-    let mut desc = String::new();
-    for (name, rel) in db.relations() {
-        desc.push_str(name);
-        desc.push_str(&rel.to_string());
-        desc.push(';');
+    lcdb_core::database_fingerprint(db, spatial)
+}
+
+/// The relation name a `Define` line (re)binds, if any: the head of a
+/// `NAME(vars) := formula` definition. `spatial NAME` lines rebind no
+/// relation, so dependents of existing definitions stay valid.
+fn defined_relation(line: &str) -> Option<&str> {
+    let line = line.trim();
+    if line.starts_with("spatial ") {
+        return None;
     }
-    desc.push_str("|spatial=");
-    desc.push_str(spatial.unwrap_or(""));
-    fingerprint_str(&desc)
+    let line = line.strip_prefix("rel ").unwrap_or(line);
+    let head = line.split_once(":=")?.0.trim();
+    Some(head[..head.find('(')?].trim())
 }
 
 /// Salt mixed into the plan hash so the same query text evaluated as a
@@ -479,6 +526,15 @@ impl Server {
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         }
 
+        let base_fp = db_fingerprint(&base_db, base_spatial.as_deref());
+        let catalog = match &cfg.store_dir {
+            Some(dir) => Some(
+                PlanCatalog::open(dir)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            ),
+            None => None,
+        };
+
         let metrics = trace.metrics();
         let shared = Arc::new(Shared {
             c_accepted: metrics.counter("server.accepted"),
@@ -490,9 +546,12 @@ impl Server {
             c_faults: metrics.counter("server.faults"),
             c_cache_hit: metrics.counter("server.cache.hit"),
             c_cache_miss: metrics.counter("server.cache.miss"),
-            cache: ResultCache::new(cfg.cache_capacity),
+            c_store_hit: metrics.counter("server.store.hit"),
+            cache: ResultCache::new(cfg.cache_capacity).protecting(base_fp),
             extensions: Mutex::new(HashMap::new()),
             base: (base_db, base_spatial),
+            base_fp,
+            catalog,
             trace,
             shutdown: AtomicBool::new(false),
             active_sessions: AtomicUsize::new(0),
@@ -756,6 +815,18 @@ fn session_inner(
                     let resp = match apply_define(&mut db, &mut spatial, &req.text) {
                         Ok(msg) => {
                             db_fp = db_fingerprint(&db, spatial.as_deref());
+                            // A rebound relation invalidates every persisted
+                            // artifact depending on it — one atomic WAL
+                            // record, before the definition is acknowledged,
+                            // so no later request can warm-start from state
+                            // derived from the old definition.
+                            if let (Some(cat), Some(name)) =
+                                (&shared.catalog, defined_relation(&req.text))
+                            {
+                                if let Err(e) = cat.invalidate_relation(name) {
+                                    shared.trace.mark("server.store", &e.to_string());
+                                }
+                            }
                             Response::ok(req.id, msg)
                         }
                         Err(e) => Response::error(RespCode::ParseError, req.id, e),
@@ -870,9 +941,35 @@ fn execute(shared: &Arc<Shared>, job: &Job, pool: &Pool) -> Response {
         };
     }
     shared.c_cache_miss.incr();
+    // Warm start: the persistent catalog is keyed identically to the
+    // in-memory cache, so a result computed by an earlier process (or
+    // evicted from memory) is a µs-scale page fetch instead of a recompute.
+    if let Some(cat) = &shared.catalog {
+        match cat.load_result(key.0, key.1) {
+            Ok(Some(bytes)) => {
+                if let Ok(body) = String::from_utf8(bytes) {
+                    shared.c_store_hit.incr();
+                    shared.cache.put(key, body.clone());
+                    return Response {
+                        code: RespCode::Ok,
+                        id,
+                        aux: 2,
+                        body,
+                    };
+                }
+            }
+            Ok(None) => {}
+            Err(e) => shared.trace.mark("server.store", &e.to_string()),
+        }
+    }
     if job.req.op == OpCode::Explain {
         let body = explain_query(&f);
         shared.cache.put(key, body.clone());
+        if let Some(cat) = &shared.catalog {
+            if let Err(e) = cat.save_result(key.0, key.1, &[], body.as_bytes()) {
+                shared.trace.mark("server.store", &e.to_string());
+            }
+        }
         return Response::ok(id, body);
     }
 
@@ -909,6 +1006,18 @@ fn execute(shared: &Arc<Shared>, job: &Job, pool: &Pool) -> Response {
     let ev = Evaluator::with_budget(ext.as_ref(), budget)
         .with_pool(pool.clone())
         .with_trace(shared.trace.clone());
+    // Resume fixpoint progress persisted by an earlier run of this query
+    // (a completed run seeds completed stages; an aborted run its partial
+    // ones). A mismatched or corrupt snapshot is ignored.
+    if let Some(cat) = &shared.catalog {
+        if let Ok(Some(snap)) = cat.load_fixpoint(plan_fp, job.db_fp) {
+            if ev.resume_from(&f, &snap).is_err() {
+                shared
+                    .trace
+                    .mark("server.store", "persisted fixpoint snapshot not resumable");
+            }
+        }
+    }
     let result = match job.req.op {
         OpCode::EvalSentence => ev.try_eval_sentence(&f).map(|b| b.to_string()),
         OpCode::EvalQuery => ev.try_eval_query(&f).map(|fm| fm.to_string()),
@@ -919,6 +1028,15 @@ fn execute(shared: &Arc<Shared>, job: &Job, pool: &Pool) -> Response {
     match result {
         Ok(body) => {
             shared.cache.put(key, body.clone());
+            if let Some(cat) = &shared.catalog {
+                let deps: Vec<String> = job.db.relations().map(|(n, _)| n.clone()).collect();
+                if let Err(e) = cat.save_result(key.0, key.1, &deps, body.as_bytes()) {
+                    shared.trace.mark("server.store", &e.to_string());
+                }
+                if let Err(e) = cat.save_fixpoint(&ev.checkpoint(&f), job.db_fp, &deps) {
+                    shared.trace.mark("server.store", &e.to_string());
+                }
+            }
             Response::ok(id, body)
         }
         Err(e) => eval_error_response(&e, id, shared),
@@ -992,9 +1110,12 @@ mod tests {
             c_faults: metrics.counter("g"),
             c_cache_hit: metrics.counter("h"),
             c_cache_miss: metrics.counter("i"),
+            c_store_hit: metrics.counter("j"),
             cache: ResultCache::new(0),
             extensions: Mutex::new(HashMap::new()),
             base: (Database::new(), None),
+            base_fp: 0,
+            catalog: None,
             trace: trace.clone(),
             shutdown: AtomicBool::new(false),
             active_sessions: AtomicUsize::new(0),
@@ -1051,9 +1172,12 @@ mod tests {
             c_faults: metrics.counter("g2"),
             c_cache_hit: metrics.counter("h2"),
             c_cache_miss: metrics.counter("i2"),
+            c_store_hit: metrics.counter("j2"),
             cache: ResultCache::new(0),
             extensions: Mutex::new(HashMap::new()),
             base: (Database::new(), None),
+            base_fp: 0,
+            catalog: None,
             trace: trace.clone(),
             shutdown: AtomicBool::new(false),
             active_sessions: AtomicUsize::new(0),

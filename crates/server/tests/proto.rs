@@ -221,3 +221,63 @@ fn empty_and_zero_length_frames() {
     assert!(payload.is_empty());
     assert_eq!(Request::decode(&payload), Err(ProtoError::Truncated));
 }
+
+/// Feed a multi-frame stream one byte at a time: each frame must surface
+/// exactly when its final byte arrives — never early, never late, never
+/// torn — and `mid_frame` must flip precisely at frame boundaries.
+#[test]
+fn one_byte_at_a_time_delivery() {
+    let payloads: [&[u8]; 3] = [b"alpha", b"", b"a longer third payload \xf0\x9f\x91\x8d"];
+    let mut stream = Vec::new();
+    for p in payloads {
+        stream.extend_from_slice(&frame(p));
+    }
+    let mut reader = FrameReader::new();
+    let mut got: Vec<Vec<u8>> = Vec::new();
+    for (i, &b) in stream.iter().enumerate() {
+        reader.push(std::slice::from_ref(&b));
+        let at_end = i + 1 == stream.len();
+        match reader.next_frame().expect("framing ok") {
+            Some(p) => got.push(p),
+            None => assert!(
+                !at_end || got.len() == payloads.len(),
+                "stream consumed but a frame is missing"
+            ),
+        }
+        // A second poll on the same byte never invents a frame.
+        if !at_end {
+            assert!(
+                reader.next_frame().expect("framing ok").is_none() || !got.is_empty(),
+                "frame duplicated at byte {i}"
+            );
+        }
+    }
+    assert_eq!(got, payloads.map(<[u8]>::to_vec).to_vec());
+    assert!(!reader.mid_frame(), "stream ended on a frame boundary");
+}
+
+/// Split the 4-byte length header itself across reads: with only part of
+/// the header buffered the reader must report "incomplete" (and `mid_frame`,
+/// so the slow-loris timeout applies), not misread a length.
+#[test]
+fn header_split_across_reads() {
+    let payload = b"split-header payload".to_vec();
+    let framed = frame(&payload);
+    for split in 1..4 {
+        let mut reader = FrameReader::new();
+        reader.push(&framed[..split]);
+        assert_eq!(
+            reader.next_frame(),
+            Ok(None),
+            "partial {split}-byte header must stay pending"
+        );
+        assert!(
+            reader.mid_frame(),
+            "a partial header is mid-frame (slow-loris leash applies)"
+        );
+        reader.push(&framed[split..]);
+        assert_eq!(reader.next_frame(), Ok(Some(payload.clone())));
+        assert_eq!(reader.next_frame(), Ok(None), "no residue after the frame");
+        assert!(!reader.mid_frame());
+    }
+}

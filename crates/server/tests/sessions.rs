@@ -282,6 +282,116 @@ fn malformed_input_is_contained()  {
     server.shutdown();
 }
 
+/// One session's `Define` churn must not evict or poison the cache entries
+/// other sessions computed against the shared base database: the base
+/// fingerprint's entries live in a protected cache segment.
+#[test]
+fn define_churn_in_one_session_cannot_evict_base_entries() {
+    let server = start(ServerConfig {
+        base_db: vec![GAPPED.to_string()],
+        cache_capacity: 8,
+        ..quick_cfg()
+    });
+    let addr = addr_of(&server);
+
+    // Session A computes and caches the base-database answer.
+    let mut a = Client::connect(&addr).expect("connect A");
+    let r = a.eval_sentence(NONEMPTY, 0).expect("eval");
+    assert_eq!((r.code, r.body.as_str(), r.aux), (RespCode::Ok, "true", 0));
+    let r = a.eval_sentence(NONEMPTY, 0).expect("eval");
+    assert_eq!(r.aux, 1, "second evaluation is a cache hit");
+
+    // Session B churns: each redefinition gives its private database a
+    // fresh fingerprint, and each evaluation inserts a fresh cache entry —
+    // far more than the whole cache holds.
+    let mut b = Client::connect(&addr).expect("connect B");
+    for i in 0..12u64 {
+        let r = b
+            .define(&format!("S(x) := 0 < x and x < {}", i + 1))
+            .expect("define");
+        assert_eq!(r.code, RespCode::Ok, "{}", r.body);
+        let r = b.eval_sentence(NONEMPTY, 0).expect("eval");
+        assert_eq!((r.code, r.body.as_str()), (RespCode::Ok, "true"));
+    }
+
+    // B's redefinitions were private: a fresh session still sees the base
+    // database, and its cached answer survived B's churn.
+    let mut c = Client::connect(&addr).expect("connect C");
+    let r = c.eval_sentence(NONEMPTY, 0).expect("eval");
+    assert_eq!(
+        (r.code, r.body.as_str(), r.aux),
+        (RespCode::Ok, "true", 1),
+        "base-database entry was evicted or poisoned by session churn"
+    );
+    server.shutdown();
+}
+
+/// Warm start from the persistent catalog: a second server process on the
+/// same store directory serves persisted results without recomputing, and a
+/// `Define` invalidates the dependent catalog entries.
+#[test]
+fn warm_start_serves_persisted_results_across_processes() {
+    let dir = std::env::temp_dir().join(format!("lcdb-server-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || ServerConfig {
+        base_db: vec![GAPPED.to_string()],
+        store_dir: Some(dir.clone()),
+        ..quick_cfg()
+    };
+
+    // First "process": compute and persist.
+    {
+        let server = start(cfg());
+        let mut c = Client::connect(&addr_of(&server)).expect("connect");
+        let r = c.eval_sentence(NONEMPTY, 0).expect("eval");
+        assert_eq!((r.code, r.body.as_str(), r.aux), (RespCode::Ok, "true", 0));
+        server.shutdown();
+    }
+
+    // Second "process": the same query is served from the catalog (aux 2 =
+    // store hit), and a *different* query reuses the persisted arrangement.
+    {
+        let server = start(cfg());
+        let mut c = Client::connect(&addr_of(&server)).expect("connect");
+        let r = c.eval_sentence(NONEMPTY, 0).expect("eval");
+        assert_eq!(
+            (r.code, r.body.as_str(), r.aux),
+            (RespCode::Ok, "true", 2),
+            "expected a persistent-catalog hit"
+        );
+        let r = c.status().expect("status");
+        assert!(r.body.contains("store_hits=1"), "status:\n{}", r.body);
+        let r = c
+            .eval_sentence("exists x. (S(x) and x < 1)", 0)
+            .expect("eval");
+        assert_eq!((r.code, r.body.as_str()), (RespCode::Ok, "true"));
+
+        // Redefining S invalidates the persisted dependents: after the
+        // define, the old base answer is recomputed, not warm-served.
+        let r = c.define("S(x) := x < x").expect("define");
+        assert_eq!(r.code, RespCode::Ok, "{}", r.body);
+        let r = c.eval_sentence(NONEMPTY, 0).expect("eval");
+        assert_eq!((r.code, r.body.as_str(), r.aux), (RespCode::Ok, "false", 0));
+        server.shutdown();
+    }
+
+    // Third "process": the invalidation was durable — the base query must
+    // NOT be served from the catalog (its entry was dropped), while the
+    // session still computes the correct fresh answer.
+    {
+        let server = start(cfg());
+        let mut c = Client::connect(&addr_of(&server)).expect("connect");
+        let r = c.eval_sentence(NONEMPTY, 0).expect("eval");
+        assert_eq!(
+            (r.code, r.body.as_str(), r.aux),
+            (RespCode::Ok, "true", 0),
+            "invalidated entry must be recomputed, not warm-served"
+        );
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A server started with a base database serves it to every session.
 #[test]
 fn base_database_preloaded_for_all_sessions() {

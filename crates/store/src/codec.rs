@@ -1,0 +1,148 @@
+//! Little-endian binary encoding helpers shared by the store's file formats.
+//!
+//! The decoder mirrors `lcdb_recover`'s bounds-checked cursor idiom, with
+//! one robustness addition: every error carries the *absolute byte offset*
+//! at which the reader ran out, so a truncated or corrupt file is
+//! diagnosable without a hex dump.
+
+use crate::StoreError;
+
+/// Append one byte.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a little-endian u32.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian u64.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Length-prefixed byte string (u64 length).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// A bounds-checked reader over a byte slice belonging to `file`, positioned
+/// at absolute offset `base + pos` within that file.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    base: u64,
+    file: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over `buf`, which starts at offset 0 of `file`.
+    pub fn new(buf: &'a [u8], file: &'static str) -> Self {
+        Cursor { buf, pos: 0, base: 0, file }
+    }
+
+    /// A cursor whose slice starts at absolute offset `base` within `file`.
+    pub fn with_base(buf: &'a [u8], base: u64, file: &'static str) -> Self {
+        Cursor { buf, pos: 0, base, file }
+    }
+
+    /// Absolute offset of the next unread byte.
+    pub fn offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                file: self.file,
+                offset: self.offset(),
+                context,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
+        let b = self.take(4, context)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
+        let b = self.take(8, context)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Read a u64 length prefix, rejecting lengths that cannot fit in the
+    /// remaining bytes — a plausibility check that turns a corrupted length
+    /// into a typed error instead of a giant allocation.
+    pub fn len_prefix(&mut self, context: &'static str) -> Result<usize, StoreError> {
+        let at = self.offset();
+        let len = self.u64(context)?;
+        if len > self.remaining() as u64 {
+            return Err(StoreError::Malformed {
+                context,
+                message: format!(
+                    "length prefix {len} at byte offset {at} exceeds the {} bytes that remain",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(len as usize)
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self, context: &'static str) -> Result<Vec<u8>, StoreError> {
+        let len = self.len_prefix(context)?;
+        Ok(self.take(len, context)?.to_vec())
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self, context: &'static str) -> Result<String, StoreError> {
+        let at = self.offset();
+        let bytes = self.bytes(context)?;
+        String::from_utf8(bytes).map_err(|_| StoreError::Malformed {
+            context,
+            message: format!("string at byte offset {at} is not valid UTF-8"),
+        })
+    }
+
+    /// Assert the payload was fully consumed.
+    pub fn done(&self, context: &'static str) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(StoreError::Malformed {
+                context,
+                message: format!(
+                    "{} trailing bytes at byte offset {}",
+                    self.remaining(),
+                    self.offset()
+                ),
+            });
+        }
+        Ok(())
+    }
+}

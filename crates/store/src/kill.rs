@@ -1,0 +1,99 @@
+//! Environment-armed process kill points for crash-torture testing.
+//!
+//! A kill point marks a position inside a durability-critical sequence —
+//! immediately before a write, between the two halves of a write (a torn
+//! write), after the write but before `fsync`, after `fsync`. The torture
+//! harness first runs a workload to completion to count the kill points it
+//! passes, then re-runs it once per point with the process armed to die
+//! there, and asserts recovery lands byte-identically on the pre- or
+//! post-write state.
+//!
+//! Arming is purely environmental, so the instrumentation is always
+//! compiled (one relaxed atomic increment and one `OnceLock` read when
+//! disarmed) and production binaries are unaffected:
+//!
+//! * `LCDB_KILL_AT=n` — exit at the `n`-th kill point hit, any site;
+//! * `LCDB_KILL_SITE=site:n` — exit at the `n`-th hit of `site`.
+//!
+//! The process exits with [`KILL_EXIT_CODE`] via `std::process::exit`, which
+//! runs no destructors and flushes no buffers — writes already issued stay,
+//! writes not yet issued are lost, exactly the torn states recovery must
+//! handle.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Exit code used when a kill point fires, distinguishable from every exit
+/// code the CLI uses.
+pub const KILL_EXIT_CODE: i32 = 86;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+enum Mode {
+    Off,
+    At(u64),
+    Site { site: String, nth: u64 },
+}
+
+fn mode() -> &'static Mode {
+    static MODE: OnceLock<Mode> = OnceLock::new();
+    MODE.get_or_init(|| {
+        if let Ok(v) = std::env::var("LCDB_KILL_AT") {
+            if let Ok(n) = v.trim().parse::<u64>() {
+                if n > 0 {
+                    return Mode::At(n);
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("LCDB_KILL_SITE") {
+            if let Some((site, nth)) = v.rsplit_once(':') {
+                if let Ok(n) = nth.trim().parse::<u64>() {
+                    if n > 0 && !site.is_empty() {
+                        return Mode::Site {
+                            site: site.to_string(),
+                            nth: n,
+                        };
+                    }
+                }
+            }
+        }
+        Mode::Off
+    })
+}
+
+fn site_counts() -> &'static Mutex<HashMap<String, u64>> {
+    static COUNTS: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+    COUNTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Record passing kill point `site`; exit the process here if armed to.
+pub fn point(site: &str) {
+    let n = HITS.fetch_add(1, Ordering::Relaxed) + 1;
+    match mode() {
+        Mode::Off => {}
+        Mode::At(k) => {
+            if n == *k {
+                std::process::exit(KILL_EXIT_CODE);
+            }
+        }
+        Mode::Site { site: want, nth } => {
+            if site == want {
+                let mut counts = match site_counts().lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                let c = counts.entry(want.clone()).or_insert(0);
+                *c += 1;
+                if *c == *nth {
+                    std::process::exit(KILL_EXIT_CODE);
+                }
+            }
+        }
+    }
+}
+
+/// Total kill points passed by this process so far.
+pub fn hits() -> u64 {
+    HITS.load(Ordering::Relaxed)
+}
